@@ -1,0 +1,91 @@
+"""E9 — Theorem 1 / Corollary 1: evaluation commutes with homomorphisms.
+
+Times and checks the two evaluation orders on a mid-sized workload:
+evaluate once with N[X] annotations and specialize, versus specialize the
+source first and evaluate in the target semiring.  The identity must hold for
+every target; the timing comparison also illustrates when the "evaluate once,
+specialize many times" strategy pays off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nrc.values import map_value_annotations
+from repro.provenance import tokens_used
+from repro.semirings import BOOLEAN, CLEARANCE, NATURAL, TROPICAL, polynomial_valuation
+from repro.semirings.polynomial import PROVENANCE
+from repro.uxquery import prepare_query
+from repro.workloads import descendant_query, random_forest, token_annotated_forest
+
+TARGETS = {
+    "boolean": (BOOLEAN, [True, False, True, True]),
+    "natural": (NATURAL, [1, 2, 0, 3]),
+    "tropical": (TROPICAL, [0.0, 1.0, 2.0, 0.5]),
+    "clearance": (CLEARANCE, ["P", "C", "S", "T"]),
+}
+
+
+def _workload():
+    forest = token_annotated_forest(num_trees=3, depth=4, fanout=2, seed=21)
+    query = descendant_query("a")
+    return forest, query
+
+
+@pytest.mark.parametrize("target_name", sorted(TARGETS))
+def test_commutation_specialize_after(benchmark, target_name, table_printer):
+    forest, query = _workload()
+    target, values = TARGETS[target_name]
+    tokens = sorted(tokens_used(forest))
+    valuation = {token: values[index % len(values)] for index, token in enumerate(tokens)}
+    hom = polynomial_valuation(valuation, target)
+
+    prepared = prepare_query(query, PROVENANCE, {"S": forest})
+    annotated_answer = prepared.evaluate({"S": forest})
+
+    specialized_after = benchmark(lambda: map_value_annotations(annotated_answer, hom))
+
+    specialized_source = map_value_annotations(forest, hom)
+    prepared_target = prepare_query(query, target, {"S": specialized_source})
+    specialized_before = prepared_target.evaluate({"S": specialized_source})
+    assert specialized_after == specialized_before
+    table_printer(
+        f"Corollary 1 over {target_name}",
+        ["identity H(p(v)) == p(H(v))", "answer members"],
+        [(specialized_after == specialized_before, len(specialized_after.children))],
+    )
+
+
+@pytest.mark.parametrize("target_name", sorted(TARGETS))
+def test_commutation_evaluate_in_target(benchmark, target_name):
+    """The other order: specialize the source, then evaluate in the target."""
+    forest, query = _workload()
+    target, values = TARGETS[target_name]
+    tokens = sorted(tokens_used(forest))
+    valuation = {token: values[index % len(values)] for index, token in enumerate(tokens)}
+    hom = polynomial_valuation(valuation, target)
+    specialized_source = map_value_annotations(forest, hom)
+    prepared_target = prepare_query(query, target, {"S": specialized_source})
+    result = benchmark(lambda: prepared_target.evaluate({"S": specialized_source}))
+    assert result is not None
+
+
+def test_commutation_random_boolean_forests(benchmark):
+    """Duplicate elimination: B evaluation factors through N evaluation (Section 6.4)."""
+    from repro.semirings import duplicate_elimination
+
+    dagger = duplicate_elimination()
+    forest = random_forest(NATURAL, num_trees=3, depth=3, fanout=3, seed=5)
+    query = descendant_query("a")
+    prepared = prepare_query(query, NATURAL, {"S": forest})
+
+    def both_orders():
+        bag_answer = prepared.evaluate({"S": forest})
+        after = map_value_annotations(bag_answer, dagger)
+        boolean_source = map_value_annotations(forest, dagger)
+        prepared_bool = prepare_query(query, BOOLEAN, {"S": boolean_source})
+        before = prepared_bool.evaluate({"S": boolean_source})
+        return after, before
+
+    after, before = benchmark(both_orders)
+    assert after == before

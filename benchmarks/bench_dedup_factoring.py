@@ -1,0 +1,59 @@
+"""E14 — Section 6.4: duplicate elimination deferred to a final step.
+
+The homomorphism ``dagger : N -> B`` lets set-semantics evaluation be factored
+through bag-semantics evaluation with duplicate elimination at the end (the
+strategy of commercial RDBMSs).  This experiment checks the identity and times
+the two strategies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nrc.values import map_value_annotations
+from repro.semirings import BOOLEAN, NATURAL, duplicate_elimination
+from repro.uxquery import prepare_query
+from repro.workloads import random_forest, standard_query_suite
+
+QUERIES = sorted(standard_query_suite())
+
+
+def _sources(seed: int = 31):
+    bag_forest = random_forest(NATURAL, num_trees=3, depth=4, fanout=3, seed=seed)
+    boolean_forest = map_value_annotations(bag_forest, duplicate_elimination())
+    return bag_forest, boolean_forest
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_dedup_factoring_identity(benchmark, query_name, table_printer):
+    """dagger(p_N(v)) == p_B(dagger(v)) for the whole query workload."""
+    dagger = duplicate_elimination()
+    bag_forest, boolean_forest = _sources()
+    text = standard_query_suite()[query_name]
+    prepared_bag = prepare_query(text, NATURAL, {"S": bag_forest})
+    prepared_bool = prepare_query(text, BOOLEAN, {"S": boolean_forest})
+
+    def factored():
+        bag_answer = prepared_bag.evaluate({"S": bag_forest})
+        return map_value_annotations(bag_answer, dagger)
+
+    factored_answer = benchmark(factored)
+    direct_answer = prepared_bool.evaluate({"S": boolean_forest})
+    assert factored_answer == direct_answer
+    table_printer(
+        f"Duplicate-elimination factoring for {query_name}",
+        ["strategy", "answer members"],
+        [
+            ("bag evaluation + final dedup", len(factored_answer.children)),
+            ("set evaluation throughout", len(direct_answer.children)),
+        ],
+    )
+
+
+def test_dedup_direct_boolean_baseline(benchmark):
+    """The direct Boolean evaluation, for the timing comparison."""
+    _, boolean_forest = _sources()
+    text = standard_query_suite()["descendant"]
+    prepared = prepare_query(text, BOOLEAN, {"S": boolean_forest})
+    answer = benchmark(lambda: prepared.evaluate({"S": boolean_forest}))
+    assert answer is not None

@@ -1,0 +1,44 @@
+"""E1 — Figure 1: the iteration (grandchildren) example.
+
+Regenerates the answer ``p[ d^(z*x1*y1 + z*x2*y2)  e^(z*x2*y3) ]`` and times the
+full pipeline (parse + compile + evaluate) as well as evaluation alone.
+"""
+
+from __future__ import annotations
+
+from repro.paperdata import figure1_expected_children, figure1_query, figure1_source
+from repro.semirings import PROVENANCE
+from repro.uxquery import evaluate_query, prepare_query
+
+
+def _check(answer) -> None:
+    assert answer.label == "p"
+    assert dict(answer.children.items()) == dict(figure1_expected_children())
+
+
+def test_figure1_full_pipeline(benchmark, table_printer):
+    source = figure1_source()
+    answer = benchmark(lambda: evaluate_query(figure1_query(), PROVENANCE, {"S": source}))
+    _check(answer)
+    table_printer(
+        "Figure 1 (paper vs measured)",
+        ["child", "paper annotation", "measured annotation"],
+        [
+            (tree.label, expected, answer.children.annotation(tree))
+            for tree, expected in figure1_expected_children().items()
+        ],
+    )
+
+
+def test_figure1_prepared_evaluation(benchmark):
+    source = figure1_source()
+    prepared = prepare_query(figure1_query(), PROVENANCE, {"S": source})
+    answer = benchmark(lambda: prepared.evaluate({"S": source}))
+    _check(answer)
+
+
+def test_figure1_direct_interpreter(benchmark):
+    source = figure1_source()
+    prepared = prepare_query(figure1_query(), PROVENANCE, {"S": source})
+    answer = benchmark(lambda: prepared.evaluate({"S": source}, method="direct"))
+    _check(answer)

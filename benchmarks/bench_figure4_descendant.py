@@ -1,0 +1,47 @@
+"""E2 — Figure 4: the XPath descendant example ``element r { $T//c }``.
+
+Regenerates the two answer subtrees with annotations ``q1 = x1*y3 + y1*y2``
+and ``y1``, and compares the srt-based compiled evaluation with the direct
+navigation semantics.
+"""
+
+from __future__ import annotations
+
+from repro.paperdata import figure4_expected_children, figure4_query, figure4_source
+from repro.semirings import PROVENANCE
+from repro.uxml import to_paper_notation
+from repro.uxquery import prepare_query
+
+
+def _check(answer) -> None:
+    assert answer.label == "r"
+    assert dict(answer.children.items()) == dict(figure4_expected_children())
+
+
+def test_figure4_compiled_srt(benchmark, table_printer):
+    source = figure4_source()
+    prepared = prepare_query(figure4_query(), PROVENANCE, {"T": source})
+    answer = benchmark(lambda: prepared.evaluate({"T": source}))
+    _check(answer)
+    table_printer(
+        "Figure 4 (paper vs measured)",
+        ["answer subtree", "paper annotation", "measured annotation"],
+        [
+            (to_paper_notation(tree), expected, answer.children.annotation(tree))
+            for tree, expected in figure4_expected_children().items()
+        ],
+    )
+
+
+def test_figure4_direct_navigation(benchmark):
+    source = figure4_source()
+    prepared = prepare_query(figure4_query(), PROVENANCE, {"T": source})
+    answer = benchmark(lambda: prepared.evaluate({"T": source}, method="direct"))
+    _check(answer)
+
+
+def test_figure4_descendant_axis(benchmark):
+    source = figure4_source()
+    prepared = prepare_query("element r { $T/descendant::c }", PROVENANCE, {"T": source})
+    answer = benchmark(lambda: prepared.evaluate({"T": source}))
+    _check(answer)

@@ -1,0 +1,67 @@
+"""E5 — Figure 7: security clearances propagated through the view.
+
+Regenerates the clearance of every (A, C) tuple under the valuation
+``w1 := C, x2 := S, y5 := T`` both by specializing the provenance polynomials
+(Corollary 1) and by evaluating the view directly over the clearance semiring.
+"""
+
+from __future__ import annotations
+
+from repro.paperdata import (
+    figure5_uxquery,
+    figure6_source_uxml,
+    figure7_expected_clearances,
+    figure7_valuation,
+)
+from repro.provenance import specialize, tokens_used
+from repro.relational import forest_to_relation
+from repro.security import AccessControl, clearance_view, clearance_view_via_provenance
+from repro.semirings import CLEARANCE
+
+
+def test_figure7_via_provenance_specialization(benchmark, table_printer):
+    source = figure6_source_uxml()
+    view = benchmark(
+        lambda: clearance_view_via_provenance(
+            figure5_uxquery(), {"d": source}, figure7_valuation()
+        )
+    )
+    relation = forest_to_relation(view.children, ("A", "C"))
+    expected = figure7_expected_clearances()
+    assert dict(relation.items()) == expected
+    table_printer(
+        "Figure 7 clearances (paper vs measured)",
+        ["A", "C", "paper", "measured"],
+        [(row[0], row[1], expected[row], relation.annotation(row)) for row in sorted(expected)],
+    )
+
+
+def test_figure7_direct_clearance_evaluation(benchmark):
+    source = figure6_source_uxml()
+    valuation = {token: CLEARANCE.one for token in tokens_used(source)}
+    valuation.update(figure7_valuation())
+    clearance_source = specialize(source, valuation, CLEARANCE)
+    view = benchmark(lambda: clearance_view(figure5_uxquery(), {"d": clearance_source}))
+    relation = forest_to_relation(view.children, ("A", "C"))
+    assert dict(relation.items()) == figure7_expected_clearances()
+
+
+def test_figure7_per_user_visibility(benchmark, table_printer):
+    source = figure6_source_uxml()
+    view = clearance_view_via_provenance(figure5_uxquery(), {"d": source}, figure7_valuation())
+    control = AccessControl()
+
+    def visible_counts():
+        return {
+            level: len(control.visible_members(view.children, level))
+            for level in CLEARANCE.levels
+        }
+
+    counts = benchmark(visible_counts)
+    # Fig. 7 discussion: confidential sees the first and last tuple, secret all but one.
+    assert counts == {"P": 0, "C": 2, "S": 5, "T": 6}
+    table_printer(
+        "Figure 7 visible tuples per clearance level",
+        ["user clearance", "visible tuples (of 6)"],
+        sorted(counts.items(), key=lambda kv: CLEARANCE.rank(kv[0])),
+    )

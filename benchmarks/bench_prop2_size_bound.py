@@ -1,0 +1,86 @@
+"""E8 — Proposition 2: provenance polynomial sizes are O(|v|^|p|).
+
+Sweeps document size (depth / fan-out of token-annotated documents) and query
+size, measures the largest provenance polynomial in the answer, and checks it
+against the stated bound.  The printed table is the "figure" this experiment
+regenerates: measured size vs bound across the sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.provenance import max_polynomial_size, proposition2_bound
+from repro.semirings import PROVENANCE
+from repro.uxml import TreeBuilder, forest_size
+from repro.uxquery import parse_query, prepare_query, query_size
+from repro.workloads import child_chain_query, descendant_query, token_annotated_forest
+
+
+def _uniform_document(depth: int, fanout: int):
+    """A uniform-label document: the worst case for annotation growth under //."""
+    builder = TreeBuilder(PROVENANCE)
+    counter = [0]
+
+    def token():
+        counter[0] += 1
+        return f"u{counter[0]}"
+
+    def level(remaining: int):
+        if remaining == 1:
+            return builder.leaf("n")
+        node = level(remaining - 1)
+        return builder.tree("n", *[(node, token()) for _ in range(fanout)])
+
+    return builder.forest((level(depth), token()))
+
+
+SWEEP = [(2, 2), (3, 2), (4, 2), (3, 3), (4, 3)]
+
+
+def test_prop2_descendant_sweep(benchmark, table_printer):
+    query_text = descendant_query("n")
+    query = parse_query(query_text)
+    rows = []
+
+    def run_sweep():
+        collected = []
+        for depth, fanout in SWEEP:
+            document = _uniform_document(depth, fanout)
+            prepared = prepare_query(query_text, PROVENANCE, {"S": document})
+            answer = prepared.evaluate({"S": document})
+            collected.append(
+                (
+                    depth,
+                    fanout,
+                    forest_size(document),
+                    max_polynomial_size(answer.children),
+                    proposition2_bound(forest_size(document), query_size(query)),
+                )
+            )
+        return collected
+
+    rows = benchmark(run_sweep)
+    for depth, fanout, document_size, measured, bound in rows:
+        assert measured <= bound
+    table_printer(
+        "Proposition 2: max polynomial size vs O(|v|^|p|) bound (//n query)",
+        ["depth", "fanout", "|v|", "measured max size", "bound"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("chain_length", [1, 2, 3])
+def test_prop2_query_size_sweep(benchmark, chain_length, table_printer):
+    document = token_annotated_forest(num_trees=2, depth=4, fanout=2, seed=7)
+    query_text = child_chain_query(chain_length)
+    prepared = prepare_query(query_text, PROVENANCE, {"S": document})
+    answer = benchmark(lambda: prepared.evaluate({"S": document}))
+    measured = max_polynomial_size(answer.children)
+    bound = proposition2_bound(forest_size(document), query_size(parse_query(query_text)))
+    assert measured <= bound
+    table_printer(
+        f"Proposition 2: child-chain of length {chain_length}",
+        ["|v|", "|p|", "measured max size", "bound"],
+        [(forest_size(document), query_size(parse_query(query_text)), measured, bound)],
+    )

@@ -1,0 +1,82 @@
+"""E12 — Proposition 3: equivalent UXQueries agree on distributive lattices.
+
+For pairs of queries that are equivalent on ordinary UXML, checks that they
+compute identical annotated answers when the annotations come from a
+distributive lattice (the clearance chain and the divisor lattice), and
+documents the contrast with a non-lattice semiring (N), where the same pair
+can disagree on multiplicities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semirings import CLEARANCE, NATURAL, DivisorLatticeSemiring
+from repro.uxquery import prepare_query
+from repro.workloads import random_forest
+
+EQUIVALENT_PAIRS = {
+    "iteration-vs-xpath": (
+        "element p { for $t in $S return for $x in ($t)/* return ($x)/* }",
+        "element p { $S/*/* }",
+    ),
+    "descendant-shorthand": ("element p { $S//c }", "element p { $S/descendant::c }"),
+    "union-commutes": ("element p { $S/a, $S/b }", "element p { $S/b, $S/a }"),
+}
+
+LATTICES = {
+    "clearance": CLEARANCE,
+    "divisors-of-30": DivisorLatticeSemiring(30),
+}
+
+
+@pytest.mark.parametrize("pair_name", sorted(EQUIVALENT_PAIRS))
+@pytest.mark.parametrize("lattice_name", sorted(LATTICES))
+def test_prop3_equivalent_queries_agree(benchmark, pair_name, lattice_name, table_printer):
+    left_text, right_text = EQUIVALENT_PAIRS[pair_name]
+    lattice = LATTICES[lattice_name]
+    samples = [value for value in lattice.sample_elements() if not lattice.is_zero(value)]
+    forest = random_forest(
+        lattice, num_trees=3, depth=3, fanout=3, seed=13,
+        annotation_fn=lambda rng: rng.choice(samples),
+    )
+    left = prepare_query(left_text, lattice, {"S": forest})
+    right = prepare_query(right_text, lattice, {"S": forest})
+
+    def both():
+        return left.evaluate({"S": forest}), right.evaluate({"S": forest})
+
+    left_answer, right_answer = benchmark(both)
+    assert left_answer == right_answer
+    table_printer(
+        f"Proposition 3: {pair_name} over {lattice_name}",
+        ["query", "answer members"],
+        [("left", len(left_answer.children)), ("right", len(right_answer.children))],
+    )
+
+
+def test_prop3_contrast_on_naturals(benchmark, table_printer):
+    """Outside distributive lattices the equivalence can fail: multiplicities differ."""
+    from repro.uxml import TreeBuilder
+
+    left_text = "element p { $S/a, $S/a }"
+    right_text = "element p { $S/a }"
+    builder = TreeBuilder(NATURAL)
+    forest = builder.forest(builder.tree("r", builder.leaf("a"), builder.leaf("b")))
+    left = prepare_query(left_text, NATURAL, {"S": forest})
+    right = prepare_query(right_text, NATURAL, {"S": forest})
+
+    def both():
+        return left.evaluate({"S": forest}), right.evaluate({"S": forest})
+
+    left_answer, right_answer = benchmark(both)
+    assert not right_answer.children.is_empty()
+    assert left_answer != right_answer
+    table_printer(
+        "Proposition 3 contrast over N (doubled union vs single)",
+        ["query", "total multiplicity"],
+        [
+            ("(S/a, S/a)", left_answer.children.total_annotation()),
+            ("S/a", right_answer.children.total_annotation()),
+        ],
+    )

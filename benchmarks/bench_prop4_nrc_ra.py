@@ -1,0 +1,85 @@
+"""E11 — Proposition 4: NRC(RA+) on K-complex values agrees with RA+ on K-relations.
+
+Runs the Figure 5 query both as the K-relational algebra of the 2007 paper and
+as its NRC encoding (nested pairs + big unions), on the paper's database and on
+larger random databases, checking that the answers coincide tuple-for-tuple.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nrc import (
+    Var,
+    evaluate as evaluate_nrc,
+    join_expr,
+    kset_to_relation_rows,
+    project_expr,
+    relation_to_kset,
+    union_all,
+)
+from repro.paperdata import figure5_algebra, figure5_expected_q, figure5_relations
+from repro.relational import NaturalJoin, Projection, RelationRef, UnionExpr, evaluate_algebra
+from repro.semirings import NATURAL, PROVENANCE
+from repro.workloads import random_database
+
+
+def _figure5_nrc_query():
+    pi_ab = project_expr(Var("R"), 3, [0, 1])
+    pi_bc = project_expr(Var("R"), 3, [1, 2])
+    return join_expr(pi_ab, 2, union_all([pi_bc, Var("S")]), 2, 1, 0, [("left", 0), ("right", 1)])
+
+
+def test_prop4_figure5_in_nrc(benchmark, table_printer):
+    db = figure5_relations()
+    env = {
+        "R": relation_to_kset(PROVENANCE, list(db["R"].items())),
+        "S": relation_to_kset(PROVENANCE, list(db["S"].items())),
+    }
+    expr = _figure5_nrc_query()
+    result = benchmark(lambda: evaluate_nrc(expr, PROVENANCE, env))
+    rows = dict(kset_to_relation_rows(result, 2))
+    expected = {row: annotation for row, annotation in figure5_expected_q().items()}
+    assert rows == expected
+    table_printer(
+        "Proposition 4: Figure 5 via NRC(RA+) (paper vs measured)",
+        ["A", "C", "paper annotation", "NRC annotation"],
+        [(row[0], row[1], expected[row], rows[row]) for row in sorted(expected)],
+    )
+
+
+def test_prop4_figure5_relational_baseline(benchmark):
+    db = figure5_relations()
+    result = benchmark(lambda: evaluate_algebra(figure5_algebra(), db))
+    assert result == figure5_expected_q()
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_prop4_random_databases(benchmark, seed):
+    schemas = {"R": ("A", "B", "C"), "S": ("B", "C")}
+    db = random_database(NATURAL, schemas, rows_per_relation=12, domain_size=4, seed=seed)
+    algebra = Projection(
+        NaturalJoin(
+            Projection(RelationRef("R"), ("A", "B")),
+            UnionExpr(Projection(RelationRef("R"), ("B", "C")), RelationRef("S")),
+        ),
+        ("A", "C"),
+    )
+    expected = evaluate_algebra(algebra, db)
+    env = {
+        "R": relation_to_kset(NATURAL, list(db["R"].items())),
+        "S": relation_to_kset(NATURAL, list(db["S"].items())),
+    }
+    expr = join_expr(
+        project_expr(Var("R"), 3, [0, 1]),
+        2,
+        union_all([project_expr(Var("R"), 3, [1, 2]), Var("S")]),
+        2,
+        1,
+        0,
+        [("left", 0), ("right", 1)],
+    )
+    result = benchmark(lambda: evaluate_nrc(expr, NATURAL, env))
+    assert dict(kset_to_relation_rows(result, 2)) == {
+        row: annotation for row, annotation in expected.project(("A", "C")).items()
+    }

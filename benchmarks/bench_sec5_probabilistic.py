@@ -1,0 +1,73 @@
+"""E7 — Section 5: probabilistic UXML with independent events.
+
+Builds the probabilistic model over the Section 5 representation (independent
+Bernoulli events on y1, y2, y3), regenerates the world distribution and the
+marginal probability of answer items, and checks the strong-representation
+shortcut (query the representation once, then specialize per valuation).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.paperdata import section5_query, section5_representation
+from repro.probabilistic import ProbabilisticUXML
+from repro.semirings import PROVENANCE
+from repro.uxml import TreeBuilder
+
+
+def _model() -> ProbabilisticUXML:
+    return ProbabilisticUXML.bernoulli(
+        section5_representation(), {"y1": 0.9, "y2": 0.5, "y3": 0.2}
+    )
+
+
+def test_sec5_world_distribution(benchmark, table_printer):
+    model = _model()
+    distribution = benchmark(model.world_distribution)
+    assert math.isclose(sum(distribution.values()), 1.0)
+    assert len(distribution) == 6
+    table_printer(
+        "Section 5 probabilistic worlds",
+        ["quantity", "value"],
+        [
+            ("distinct worlds", len(distribution)),
+            ("total probability", round(sum(distribution.values()), 6)),
+        ],
+    )
+
+
+def test_sec5_answer_distribution(benchmark, table_printer):
+    model = _model()
+    distribution = benchmark(lambda: model.answer_distribution(section5_query(), "T"))
+    assert math.isclose(sum(distribution.values()), 1.0)
+    assert len(distribution) == 5
+    table_printer(
+        "Section 5 answer distribution (query once, specialize per world)",
+        ["quantity", "value"],
+        [
+            ("distinct answers", len(distribution)),
+            ("total probability", round(sum(distribution.values()), 6)),
+        ],
+    )
+
+
+def test_sec5_marginal_member_probability(benchmark, table_printer):
+    model = _model()
+    leaf_c = TreeBuilder(PROVENANCE).leaf("c")
+    probability = benchmark(
+        lambda: model.member_probability(section5_query(), "T", leaf_c)
+    )
+    # P(y3 or (y1 and y2)) = 1 - (1 - 0.2) * (1 - 0.45) = 0.56
+    assert math.isclose(probability, 0.56)
+    table_printer(
+        "Marginal probability that the leaf c appears in the answer",
+        ["expected (independent events)", "measured"],
+        [(0.56, round(probability, 6))],
+    )
+
+
+def test_sec5_repetition_distribution(benchmark):
+    model = ProbabilisticUXML.with_repetitions(section5_representation(), max_value=3)
+    distribution = benchmark(model.world_distribution)
+    assert math.isclose(sum(distribution.values()), 1.0)

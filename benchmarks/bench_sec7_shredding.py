@@ -1,0 +1,68 @@
+"""E10 — Theorem 2 (Section 7): the shredding + Datalog semantics.
+
+Regenerates the Section 7 worked example (``//c`` with ``x1 := 0``) and checks
+on larger random documents that the shredded Datalog evaluation of XPath
+agrees with the direct / compiled semantics.  The timing comparison documents
+the expected shape: the relational route is slower (it materializes edge
+relations and copies them per step) — the paper also presents it as a
+proof-of-concept rather than the practical path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paperdata import figure4_source
+from repro.semirings import NATURAL, PROVENANCE
+from repro.shredding import evaluate_xpath_via_datalog, shred_forest, unshred
+from repro.uxml.navigation import apply_axis, double_slash
+from repro.uxquery.ast import Step
+from repro.workloads import random_forest
+
+DOUBLE_SLASH_C = [Step("descendant-or-self", "*"), Step("child", "c")]
+
+
+def test_sec7_worked_example(benchmark, table_printer):
+    source = figure4_source(x1="0")
+    answer = benchmark(lambda: evaluate_xpath_via_datalog(source, DOUBLE_SLASH_C))
+    expected = double_slash(source, "c")
+    assert answer == expected
+    table_printer(
+        "Section 7 //c example (x1 := 0): answer roots and annotations",
+        ["answer root", "annotation"],
+        sorted(((tree.label, str(annotation)) for tree, annotation in answer.items())),
+    )
+
+
+def test_sec7_shred_round_trip(benchmark):
+    forest = random_forest(NATURAL, num_trees=3, depth=4, fanout=3, seed=2)
+    rebuilt = benchmark(lambda: unshred(shred_forest(forest), NATURAL))
+    assert rebuilt == forest
+
+
+@pytest.mark.parametrize("axis", ["child", "descendant", "descendant-or-self"])
+def test_sec7_datalog_vs_direct(benchmark, axis, table_printer):
+    forest = random_forest(NATURAL, num_trees=2, depth=4, fanout=2, seed=9)
+    step = Step(axis, "a")
+    via_datalog = benchmark(lambda: evaluate_xpath_via_datalog(forest, [step]))
+    direct = apply_axis(forest, axis, "a")
+    assert via_datalog == direct
+    table_printer(
+        f"Theorem 2 agreement for {axis}::a",
+        ["semantics", "answer members"],
+        [("shredded Datalog", len(via_datalog)), ("direct K-UXML", len(direct))],
+    )
+
+
+def test_sec7_direct_baseline(benchmark):
+    """The direct semantics on the same workload, for the timing comparison."""
+    forest = random_forest(NATURAL, num_trees=2, depth=4, fanout=2, seed=9)
+    result = benchmark(lambda: apply_axis(forest, "descendant", "a"))
+    assert result == apply_axis(forest, "descendant", "a")
+
+
+def test_sec7_provenance_annotations_survive_shredding(benchmark):
+    source = figure4_source()
+    answer = benchmark(lambda: evaluate_xpath_via_datalog(source, DOUBLE_SLASH_C))
+    assert answer == double_slash(source, "c")
+    assert answer.semiring == PROVENANCE

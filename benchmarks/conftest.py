@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's figures / formal claims
+(see the experiment index in DESIGN.md and the results in EXPERIMENTS.md).
+Besides timing the relevant operation with pytest-benchmark, each benchmark
+*asserts* that the regenerated rows match the paper and prints them (run with
+``-s`` to see the tables).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print a small aligned table (visible with ``pytest -s``)."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(column) for column in header]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "",
+        f"=== {title} ===",
+        " | ".join(column.ljust(widths[index]) for index, column in enumerate(header)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in materialized:
+        lines.append(" | ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    print("\n".join(lines))
+
+
+@pytest.fixture
+def table_printer():
+    """Fixture exposing :func:`print_table` to benchmark functions."""
+    return print_table

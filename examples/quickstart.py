@@ -1,0 +1,72 @@
+"""Quickstart: annotated unordered XML, K-UXQuery, and provenance.
+
+Builds the paper's Figure 1 document with provenance-token annotations, runs
+the grandchildren query, and shows how the single provenance-annotated answer
+specializes to set, bag, cost and clearance semantics via Corollary 1.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.provenance import minimal_witnesses, required_tokens, specialize
+from repro.semirings import BOOLEAN, CLEARANCE, NATURAL, PROVENANCE, TROPICAL
+from repro.uxml import TreeBuilder, to_paper_notation, to_xml
+from repro.uxquery import evaluate_query
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ data
+    # Each child membership carries a provenance token (x1, x2, y1, ...).
+    b = TreeBuilder(PROVENANCE)
+    source = b.forest(
+        b.tree(
+            "a",
+            b.tree("b", b.leaf("d") @ "y1") @ "x1",
+            b.tree("c", b.leaf("d") @ "y2", b.leaf("e") @ "y3") @ "x2",
+        )
+        @ "z"
+    )
+    print("Source document (paper notation):")
+    print(" ", to_paper_notation(source))
+    print()
+    print("Source document (XML):")
+    (root,) = source
+    print(to_xml(root, source.annotation(root)))
+    print()
+
+    # ----------------------------------------------------------------- query
+    query = "element p { for $t in $S return for $x in ($t)/* return ($x)/* }"
+    answer = evaluate_query(query, PROVENANCE, {"S": source})
+    print("Query:", query)
+    print("Answer with provenance polynomials:")
+    print(" ", to_paper_notation(answer))
+    print()
+
+    # -------------------------------------------------------- reading provenance
+    for child, annotation in answer.children.items():
+        print(f"  item {child.label!r}:")
+        print(f"    provenance polynomial : {annotation}")
+        print(f"    tokens needed in every derivation : {sorted(required_tokens(annotation))}")
+        witnesses = [sorted(w) for w in minimal_witnesses(annotation)]
+        print(f"    minimal witnesses     : {sorted(witnesses)}")
+    print()
+
+    # -------------------------------------------- specializing to other semirings
+    print("Specializations of the same answer (Corollary 1):")
+    boolean_valuation = {"z": True, "x1": True, "x2": False, "y1": True, "y2": True, "y3": True}
+    print("  as sets   (x2 absent)    :", to_paper_notation(
+        specialize(answer.children, boolean_valuation, BOOLEAN)))
+    bag_valuation = {"z": 1, "x1": 2, "x2": 1, "y1": 1, "y2": 3, "y3": 1}
+    print("  as bags   (multiplicities):", to_paper_notation(
+        specialize(answer.children, bag_valuation, NATURAL)))
+    cost_valuation = {"z": 0.0, "x1": 1.0, "x2": 2.0, "y1": 5.0, "y2": 1.0, "y3": 4.0}
+    print("  as costs  (min over ways) :", to_paper_notation(
+        specialize(answer.children, cost_valuation, TROPICAL)))
+    clearance_valuation = {"z": "P", "x1": "S", "x2": "C", "y1": "P", "y2": "P", "y3": "T"}
+    print("  as clearances             :", to_paper_notation(
+        specialize(answer.children, clearance_valuation, CLEARANCE)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that the package can be installed in editable mode on systems where
+the ``wheel`` package is unavailable (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

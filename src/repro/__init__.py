@@ -1,0 +1,43 @@
+"""repro — Annotated XML: Queries and Provenance (PODS 2008).
+
+A library for semiring-annotated unordered XML (K-UXML), the positive XQuery
+fragment K-UXQuery, the annotated nested relational calculus NRC_K + srt, the
+relational shredding semantics, and the paper's applications to provenance,
+security, incomplete and probabilistic data.
+
+Quick start::
+
+    from repro.semirings import PROVENANCE
+    from repro.uxml import TreeBuilder
+    from repro.uxquery import evaluate_query
+
+    b = TreeBuilder(PROVENANCE)
+    source = b.forest(
+        b.tree(
+            "a",
+            b.tree("b", b.leaf("d") @ "y1") @ "x1",
+            b.tree("c", b.leaf("d") @ "y2", b.leaf("e") @ "y3") @ "x2",
+        )
+        @ "z"
+    )
+    answer = evaluate_query("element p { $S/*/* }", PROVENANCE, {"S": source})
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "semirings",
+    "kcollections",
+    "uxml",
+    "nrc",
+    "uxquery",
+    "relational",
+    "shredding",
+    "security",
+    "incomplete",
+    "probabilistic",
+    "provenance",
+    "paperdata",
+    "workloads",
+    "errors",
+]

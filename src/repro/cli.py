@@ -1,0 +1,164 @@
+"""Command-line interface.
+
+A small front end so the library can be used without writing Python:
+
+* ``python -m repro semirings`` — list the available annotation semirings;
+* ``python -m repro query`` — run a K-UXQuery over an annotated XML document;
+* ``python -m repro specialize`` — apply a token valuation to an annotated
+  document (Corollary 1: specialize provenance to a concrete semiring);
+* ``python -m repro shred`` — print the ``E(pid, nid, label)`` edge relation
+  of a document (Section 7).
+
+Annotated documents are ordinary XML files whose elements may carry an
+``annot="..."`` attribute, parsed according to the chosen semiring.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.kcollections import KSet
+from repro.semirings import available_semirings, get_semiring, polynomial_valuation
+from repro.semirings.polynomial import PROVENANCE
+from repro.shredding import edge_relation, shred_forest
+from repro.uxml import forest_to_xml, parse_document, to_paper_notation, to_xml
+from repro.uxml.tree import UTree, map_forest_annotations
+from repro.uxquery import evaluate_query
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` command-line tool."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Annotated XML: queries and provenance (PODS 2008) — command line front end",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("semirings", help="list the available annotation semirings")
+
+    query = subparsers.add_parser("query", help="run a K-UXQuery over an annotated XML document")
+    query.add_argument("--query", "-q", required=True, help="K-UXQuery text, or @file to read it from a file")
+    query.add_argument("--input", "-i", required=True, help="annotated XML document")
+    query.add_argument("--var", default="S", help="variable the document is bound to (default: S)")
+    query.add_argument("--semiring", "-k", default="provenance-polynomials", help="annotation semiring (see `repro semirings`)")
+    query.add_argument("--annot-attr", default="annot", help="attribute carrying annotations (default: annot)")
+    query.add_argument("--format", choices=("paper", "xml"), default="paper", help="output format")
+    query.add_argument("--method", choices=("nrc", "direct"), default="nrc", help="evaluation semantics")
+
+    specialize = subparsers.add_parser(
+        "specialize", help="apply a token valuation to a provenance-annotated document"
+    )
+    specialize.add_argument("--input", "-i", required=True, help="N[X]-annotated XML document")
+    specialize.add_argument("--semiring", "-k", required=True, help="target semiring")
+    specialize.add_argument(
+        "--set",
+        dest="bindings",
+        action="append",
+        default=[],
+        metavar="TOKEN=VALUE",
+        help="token valuation entry (repeatable); unset tokens default to the semiring one",
+    )
+    specialize.add_argument("--annot-attr", default="annot", help="attribute carrying annotations")
+    specialize.add_argument("--format", choices=("paper", "xml"), default="xml", help="output format")
+
+    shred = subparsers.add_parser("shred", help="print the E(pid, nid, label) edge relation of a document")
+    shred.add_argument("--input", "-i", required=True, help="annotated XML document")
+    shred.add_argument("--semiring", "-k", default="provenance-polynomials", help="annotation semiring")
+    shred.add_argument("--annot-attr", default="annot", help="attribute carrying annotations")
+
+    return parser
+
+
+def _read_query(text: str) -> str:
+    if text.startswith("@"):
+        return Path(text[1:]).read_text(encoding="utf-8")
+    return text
+
+
+def _load_document(path: str, semiring, annot_attr: str) -> KSet:
+    return parse_document(Path(path).read_text(encoding="utf-8"), semiring, annot_attr)
+
+
+def _render(value, output_format: str) -> str:
+    if output_format == "paper":
+        if isinstance(value, UTree):
+            return to_paper_notation(value)
+        return to_paper_notation(value)
+    if isinstance(value, UTree):
+        return to_xml(value)
+    if isinstance(value, KSet):
+        return forest_to_xml(value)
+    return str(value)
+
+
+def _command_semirings(_: argparse.Namespace) -> int:
+    for name in available_semirings():
+        print(name)
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    semiring = get_semiring(args.semiring)
+    document = _load_document(args.input, semiring, args.annot_attr)
+    answer = evaluate_query(
+        _read_query(args.query), semiring, {args.var: document}, method=args.method
+    )
+    print(_render(answer, args.format))
+    return 0
+
+
+def _command_specialize(args: argparse.Namespace) -> int:
+    target = get_semiring(args.semiring)
+    document = _load_document(args.input, PROVENANCE, args.annot_attr)
+    valuation = {}
+    for binding in args.bindings:
+        token, _, raw = binding.partition("=")
+        if not token or not raw:
+            raise ReproError(f"--set expects TOKEN=VALUE, got {binding!r}")
+        valuation[token.strip()] = target.parse_element(raw.strip())
+    from repro.provenance import tokens_used
+
+    for token in tokens_used(document):
+        valuation.setdefault(token, target.one)
+    specialized = map_forest_annotations(document, polynomial_valuation(valuation, target))
+    print(_render(specialized, args.format))
+    return 0
+
+
+def _command_shred(args: argparse.Namespace) -> int:
+    semiring = get_semiring(args.semiring)
+    document = _load_document(args.input, semiring, args.annot_attr)
+    print(edge_relation(shred_forest(document), semiring).to_table())
+    return 0
+
+
+_COMMANDS = {
+    "semirings": _command_semirings,
+    "query": _command_query,
+    "specialize": _command_specialize,
+    "shred": _command_shred,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro`` (returns a process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

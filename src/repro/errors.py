@@ -1,0 +1,92 @@
+"""Exception hierarchy for the annotated-XML provenance library.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AnnotationError(ReproError):
+    """An annotation value is not a valid element of the expected semiring."""
+
+
+class SemiringError(ReproError):
+    """A semiring operation was used incorrectly (e.g. mixing semirings)."""
+
+
+class HomomorphismError(ReproError):
+    """A mapping between semirings is not defined or not a homomorphism."""
+
+
+class UXMLError(ReproError):
+    """Malformed K-UXML data (bad tree structure, parse errors, ...)."""
+
+
+class UXMLParseError(UXMLError):
+    """The textual representation of a UXML document could not be parsed."""
+
+
+class NRCError(ReproError):
+    """Base class for errors in the NRC_K + srt calculus."""
+
+
+class NRCTypeError(NRCError):
+    """An NRC expression does not typecheck."""
+
+
+class NRCEvalError(NRCError):
+    """An NRC expression failed to evaluate (unbound variable, bad value...)."""
+
+
+class UXQueryError(ReproError):
+    """Base class for errors in the K-UXQuery front end."""
+
+
+class UXQuerySyntaxError(UXQueryError):
+    """The K-UXQuery source text could not be tokenized or parsed."""
+
+
+class UXQueryTypeError(UXQueryError):
+    """A K-UXQuery expression does not typecheck (Figure 3 rules)."""
+
+
+class UXQueryEvalError(UXQueryError):
+    """A K-UXQuery expression failed to evaluate."""
+
+
+class RelationalError(ReproError):
+    """Errors in the K-relation / positive relational algebra substrate."""
+
+
+class SchemaError(RelationalError):
+    """A relational operation was applied to incompatible schemas."""
+
+
+class DatalogError(ReproError):
+    """Errors in the Datalog-with-Skolem-functions engine of Section 7."""
+
+
+class DatalogSafetyError(DatalogError):
+    """A Datalog rule is unsafe (head variable not bound in the body)."""
+
+
+class DatalogNonTerminationError(DatalogError):
+    """Fixpoint iteration did not converge within the configured bound."""
+
+
+class ShreddingError(ReproError):
+    """Errors while shredding UXML into relations or rebuilding trees."""
+
+
+class PossibleWorldsError(ReproError):
+    """Errors in the incomplete / probabilistic possible-worlds machinery."""
+
+
+class WorkloadError(ReproError):
+    """Errors in the synthetic workload generators."""

@@ -1,0 +1,27 @@
+"""Incomplete K-UXML: possible worlds and strong representation systems (Section 5)."""
+
+from repro.incomplete.possible_worlds import (
+    apply_valuation,
+    boolean_valuations,
+    check_strong_representation,
+    mod_boolean,
+    mod_natural,
+    natural_valuations,
+    posbool_representation,
+    possible_worlds,
+    representation_tokens,
+    valuations_over,
+)
+
+__all__ = [
+    "representation_tokens",
+    "boolean_valuations",
+    "natural_valuations",
+    "valuations_over",
+    "apply_valuation",
+    "possible_worlds",
+    "mod_boolean",
+    "mod_natural",
+    "posbool_representation",
+    "check_strong_representation",
+]

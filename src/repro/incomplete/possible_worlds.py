@@ -1,0 +1,221 @@
+"""Incomplete K-UXML databases and strong representation systems (Section 5).
+
+An incomplete K-UXML database is a *set of possible worlds*, each of which is
+a K-UXML database.  The paper represents such sets compactly by a single
+``N[X]``-annotated document ``v``: the worlds are the images of ``v`` under
+all valuations ``f : X -> K`` (lifted to homomorphisms ``f*``), i.e.::
+
+    Mod_K(v) = { f*(v) : f valuation }
+
+Corollary 1 then makes ``N[X]``-UXML a *strong representation system*: for any
+K-UXQuery ``p``, ``p(Mod_K(v)) = Mod_K(p(v))`` — querying the representation
+and querying every world commute.  For ``K = B`` (and any distributive
+lattice) the smaller ``PosBool`` annotations suffice.
+
+This module enumerates possible worlds for finite valuation spaces and checks
+the strong-representation identity; it is used by the Section 5 examples, the
+tests and the E6/E7 benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import PossibleWorldsError
+from repro.kcollections.kset import KSet
+from repro.nrc.values import map_value_annotations
+from repro.semirings.base import Semiring
+from repro.semirings.boolean import BOOLEAN
+from repro.semirings.homomorphism import (
+    SemiringHomomorphism,
+    polynomial_to_posbool,
+    polynomial_valuation,
+    posbool_valuation,
+)
+from repro.semirings.natural import NATURAL
+from repro.semirings.polynomial import PROVENANCE, Polynomial
+from repro.semirings.posbool import POSBOOL, BoolExpr
+from repro.uxml.tree import UTree, map_forest_annotations
+from repro.uxquery.engine import evaluate_query
+
+__all__ = [
+    "representation_tokens",
+    "boolean_valuations",
+    "natural_valuations",
+    "valuations_over",
+    "apply_valuation",
+    "possible_worlds",
+    "mod_boolean",
+    "mod_natural",
+    "posbool_representation",
+    "check_strong_representation",
+]
+
+
+def representation_tokens(representation: KSet | UTree) -> frozenset[str]:
+    """All provenance tokens (or PosBool event variables) used by a representation."""
+    tokens: set[str] = set()
+
+    def collect(annotation: Any) -> None:
+        if isinstance(annotation, Polynomial):
+            tokens.update(annotation.variables)
+        elif isinstance(annotation, BoolExpr):
+            tokens.update(annotation.variables)
+        else:
+            raise PossibleWorldsError(
+                f"representations must carry N[X] or PosBool annotations, got {annotation!r}"
+            )
+
+    def walk_tree(tree: UTree) -> None:
+        for child, annotation in tree.children.items():
+            collect(annotation)
+            walk_tree(child)
+
+    if isinstance(representation, UTree):
+        walk_tree(representation)
+    elif isinstance(representation, KSet):
+        for tree, annotation in representation.items():
+            collect(annotation)
+            if isinstance(tree, UTree):
+                walk_tree(tree)
+    else:
+        raise PossibleWorldsError(f"unsupported representation {representation!r}")
+    return frozenset(tokens)
+
+
+def boolean_valuations(tokens: Iterable[str]) -> Iterator[dict[str, bool]]:
+    """All ``2^n`` Boolean valuations of the given tokens."""
+    names = sorted(set(tokens))
+    for values in itertools.product((False, True), repeat=len(names)):
+        yield dict(zip(names, values))
+
+
+def natural_valuations(tokens: Iterable[str], max_value: int) -> Iterator[dict[str, int]]:
+    """All valuations of the tokens into ``{0, ..., max_value}``."""
+    names = sorted(set(tokens))
+    for values in itertools.product(range(max_value + 1), repeat=len(names)):
+        yield dict(zip(names, values))
+
+
+def valuations_over(tokens: Iterable[str], values: Sequence[Any]) -> Iterator[dict[str, Any]]:
+    """All valuations of the tokens into an explicit finite set of semiring values."""
+    names = sorted(set(tokens))
+    for combo in itertools.product(values, repeat=len(names)):
+        yield dict(zip(names, combo))
+
+
+def _valuation_homomorphism(
+    representation_kind: str, valuation: Mapping[str, Any], target: Semiring
+) -> SemiringHomomorphism:
+    if representation_kind == "polynomial":
+        return polynomial_valuation(valuation, target)
+    if representation_kind == "posbool":
+        if target != BOOLEAN:
+            raise PossibleWorldsError("PosBool representations specialize to the Boolean semiring")
+        return posbool_valuation({name: bool(value) for name, value in valuation.items()})
+    raise PossibleWorldsError(f"unknown representation kind {representation_kind!r}")
+
+
+def _representation_kind(representation: KSet | UTree) -> str:
+    semiring = representation.semiring
+    if semiring == PROVENANCE:
+        return "polynomial"
+    if semiring == POSBOOL:
+        return "posbool"
+    raise PossibleWorldsError(
+        f"representations must be annotated with N[X] or PosBool, got {semiring.name}"
+    )
+
+
+def apply_valuation(
+    representation: KSet | UTree, valuation: Mapping[str, Any], target: Semiring
+) -> Any:
+    """Apply a valuation homomorphism to a representation, producing one world."""
+    hom = _valuation_homomorphism(_representation_kind(representation), valuation, target)
+    return map_value_annotations(representation, hom)
+
+
+def possible_worlds(
+    representation: KSet | UTree,
+    target: Semiring,
+    valuations: Iterable[Mapping[str, Any]],
+) -> frozenset:
+    """``Mod_K(v)``: the set of worlds obtained from the given valuations."""
+    return frozenset(apply_valuation(representation, valuation, target) for valuation in valuations)
+
+
+def mod_boolean(representation: KSet | UTree) -> frozenset:
+    """``Mod_B(v)`` for all Boolean valuations of the representation's tokens."""
+    tokens = representation_tokens(representation)
+    return possible_worlds(representation, BOOLEAN, boolean_valuations(tokens))
+
+
+def mod_natural(representation: KSet | UTree, max_value: int = 2) -> frozenset:
+    """A finite slice of ``Mod_N(v)``: valuations into ``{0, ..., max_value}``."""
+    tokens = representation_tokens(representation)
+    return possible_worlds(representation, NATURAL, natural_valuations(tokens, max_value))
+
+
+def posbool_representation(representation: KSet) -> KSet:
+    """Convert an ``N[X]`` representation into the (smaller) PosBool representation."""
+    return map_forest_annotations(representation, polynomial_to_posbool())
+
+
+def check_strong_representation(
+    query: str,
+    variable: str,
+    representation: KSet,
+    target: Semiring,
+    valuations: Iterable[Mapping[str, Any]] | None = None,
+    method: str = "nrc",
+) -> dict[str, Any]:
+    """Check ``p(Mod_K(v)) == Mod_K(p(v))`` for a finite valuation space.
+
+    Returns a report dictionary with the two sets of worlds and whether they
+    agree (``report["holds"]``).  When ``valuations`` is omitted, Boolean
+    valuations of the representation's tokens are used (``target`` must then
+    be the Boolean semiring).
+    """
+    kind = _representation_kind(representation)
+    tokens = representation_tokens(representation)
+    if valuations is None:
+        if target != BOOLEAN:
+            raise PossibleWorldsError(
+                "default valuations are Boolean; pass explicit valuations for other semirings"
+            )
+        valuation_list = list(boolean_valuations(tokens))
+    else:
+        valuation_list = [dict(valuation) for valuation in valuations]
+
+    # Right-hand side: query the representation once, then specialize.
+    representation_semiring = PROVENANCE if kind == "polynomial" else POSBOOL
+    queried_representation = evaluate_query(
+        query, representation_semiring, {variable: representation}, method=method
+    )
+    rhs = frozenset(
+        map_value_annotations(
+            queried_representation,
+            _valuation_homomorphism(kind, valuation, target),
+        )
+        for valuation in valuation_list
+    )
+
+    # Left-hand side: specialize first, then query every world.
+    lhs = frozenset(
+        evaluate_query(
+            query,
+            target,
+            {variable: apply_valuation(representation, valuation, target)},
+            method=method,
+        )
+        for valuation in valuation_list
+    )
+
+    return {
+        "holds": lhs == rhs,
+        "worlds_query_then_specialize": rhs,
+        "worlds_specialize_then_query": lhs,
+        "num_valuations": len(valuation_list),
+        "tokens": tokens,
+    }

@@ -1,0 +1,5 @@
+"""K-collections: the free K-semimodule collection type of Section 6.2 / Appendix A."""
+
+from repro.kcollections.kset import KSet
+
+__all__ = ["KSet"]

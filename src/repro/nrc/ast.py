@@ -1,0 +1,413 @@
+"""Abstract syntax of the NRC_K + srt calculus (Sections 6.1-6.2).
+
+The expression language::
+
+    e ::= l | x | {} | {e} | e1 U e2 | k e                (collections)
+        | U(x in e1) e2                                   (big union)
+        | if e1 = e2 then e3 else e4                      (label equality only)
+        | (e1, e2) | pi_1(e) | pi_2(e)                    (pairs)
+        | Tree(e1, e2) | tag(e) | kids(e)                 (trees)
+        | (srt(x, y). e1) e2                              (structural recursion)
+        | let x := e1 in e2                               (convenience)
+
+All nodes are immutable; :func:`free_variables` and :func:`substitute` are
+used by the rewrite rules of Appendix A and by the UXQuery compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = [
+    "Expr",
+    "LabelLit",
+    "Var",
+    "EmptySet",
+    "Singleton",
+    "Union",
+    "Scale",
+    "BigUnion",
+    "IfEq",
+    "PairExpr",
+    "Proj",
+    "TreeExpr",
+    "Tag",
+    "Kids",
+    "Srt",
+    "Let",
+    "free_variables",
+    "substitute",
+    "expression_size",
+    "iter_subexpressions",
+]
+
+
+class Expr:
+    """Base class of NRC expressions."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["Expr", ...]:
+        """The direct subexpressions."""
+        return ()
+
+    def __repr__(self) -> str:
+        return str(self)
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot)
+            for slot in self.__slots__  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (type(self),)
+            + tuple(
+                value if not isinstance(value, dict) else tuple(sorted(value.items()))
+                for value in (getattr(self, slot) for slot in self.__slots__)  # type: ignore[attr-defined]
+            )
+        )
+
+
+class LabelLit(Expr):
+    """A label constant."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str):
+        self.label = label
+
+    def __str__(self) -> str:
+        return repr(self.label)
+
+
+class Var(Expr):
+    """A variable reference."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class EmptySet(Expr):
+    """The empty K-collection ``{}``."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "{}"
+
+
+class Singleton(Expr):
+    """The singleton collection ``{e}`` (annotation 1)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr):
+        self.expr = expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return f"{{{self.expr}}}"
+
+
+class Union(Expr):
+    """The collection union ``e1 U e2`` (pointwise annotation addition)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} U {self.right})"
+
+
+class Scale(Expr):
+    """Scalar multiplication ``k e`` of a collection by a semiring element."""
+
+    __slots__ = ("scalar", "expr")
+
+    def __init__(self, scalar: Any, expr: Expr):
+        self.scalar = scalar
+        self.expr = expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return f"({self.scalar!r} * {self.expr})"
+
+
+class BigUnion(Expr):
+    """The big-union operator ``U(x in source) body``."""
+
+    __slots__ = ("var", "source", "body")
+
+    def __init__(self, var: str, source: Expr, body: Expr):
+        self.var = var
+        self.source = source
+        self.body = body
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.source, self.body)
+
+    def __str__(self) -> str:
+        return f"U({self.var} in {self.source}) {self.body}"
+
+
+class IfEq(Expr):
+    """Conditional on label equality: ``if e1 = e2 then e3 else e4``.
+
+    The positivity restriction of the calculus: only *labels* may be compared.
+    """
+
+    __slots__ = ("left", "right", "then", "orelse")
+
+    def __init__(self, left: Expr, right: Expr, then: Expr, orelse: Expr):
+        self.left = left
+        self.right = right
+        self.then = then
+        self.orelse = orelse
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right, self.then, self.orelse)
+
+    def __str__(self) -> str:
+        return f"if {self.left} = {self.right} then {self.then} else {self.orelse}"
+
+
+class PairExpr(Expr):
+    """Pair construction ``(e1, e2)``."""
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first: Expr, second: Expr):
+        self.first = first
+        self.second = second
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.first, self.second)
+
+    def __str__(self) -> str:
+        return f"({self.first}, {self.second})"
+
+
+class Proj(Expr):
+    """Projection ``pi_1(e)`` / ``pi_2(e)`` (index is 1 or 2)."""
+
+    __slots__ = ("index", "expr")
+
+    def __init__(self, index: int, expr: Expr):
+        if index not in (1, 2):
+            raise ValueError("projection index must be 1 or 2")
+        self.index = index
+        self.expr = expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return f"pi_{self.index}({self.expr})"
+
+
+class TreeExpr(Expr):
+    """Tree construction ``Tree(label_expr, children_expr)``."""
+
+    __slots__ = ("label", "kids")
+
+    def __init__(self, label: Expr, kids: Expr):
+        self.label = label
+        self.kids = kids
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.label, self.kids)
+
+    def __str__(self) -> str:
+        return f"Tree({self.label}, {self.kids})"
+
+
+class Tag(Expr):
+    """The root label of a tree."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr):
+        self.expr = expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return f"tag({self.expr})"
+
+
+class Kids(Expr):
+    """The K-set of immediate subtrees of a tree."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr):
+        self.expr = expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return f"kids({self.expr})"
+
+
+class Srt(Expr):
+    """Structural recursion on trees: ``(srt(label_var, acc_var). body) target``.
+
+    Semantics (Equation 1): applied to ``Tree(l, C)`` the body is evaluated
+    with ``label_var := l`` and ``acc_var`` bound to the K-collection obtained
+    by recursively applying the operator to every child of ``C`` (keeping the
+    children's annotations).
+    """
+
+    __slots__ = ("label_var", "acc_var", "body", "target")
+
+    def __init__(self, label_var: str, acc_var: str, body: Expr, target: Expr):
+        self.label_var = label_var
+        self.acc_var = acc_var
+        self.body = body
+        self.target = target
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.body, self.target)
+
+    def __str__(self) -> str:
+        return f"(srt({self.label_var}, {self.acc_var}). {self.body}) {self.target}"
+
+
+class Let(Expr):
+    """Non-recursive let binding ``let x := e1 in e2`` (a convenience form)."""
+
+    __slots__ = ("var", "value", "body")
+
+    def __init__(self, var: str, value: Expr, body: Expr):
+        self.var = var
+        self.value = value
+        self.body = body
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.value, self.body)
+
+    def __str__(self) -> str:
+        return f"let {self.var} := {self.value} in {self.body}"
+
+
+# ---------------------------------------------------------------------------
+# Generic traversals
+# ---------------------------------------------------------------------------
+def iter_subexpressions(expr: Expr) -> Iterator[Expr]:
+    """Pre-order iteration over ``expr`` and all of its subexpressions."""
+    yield expr
+    for child in expr.children():
+        yield from iter_subexpressions(child)
+
+
+def expression_size(expr: Expr) -> int:
+    """The number of AST nodes (the ``|p|`` of Proposition 2)."""
+    return sum(1 for _ in iter_subexpressions(expr))
+
+
+def free_variables(expr: Expr) -> frozenset[str]:
+    """The free variables of an expression."""
+    if isinstance(expr, Var):
+        return frozenset({expr.name})
+    if isinstance(expr, BigUnion):
+        return free_variables(expr.source) | (free_variables(expr.body) - {expr.var})
+    if isinstance(expr, Let):
+        return free_variables(expr.value) | (free_variables(expr.body) - {expr.var})
+    if isinstance(expr, Srt):
+        body_free = free_variables(expr.body) - {expr.label_var, expr.acc_var}
+        return body_free | free_variables(expr.target)
+    result: frozenset[str] = frozenset()
+    for child in expr.children():
+        result |= free_variables(child)
+    return result
+
+
+_FRESH_COUNTER = [0]
+
+
+def _fresh_name(base: str) -> str:
+    _FRESH_COUNTER[0] += 1
+    return f"{base}#{_FRESH_COUNTER[0]}"
+
+
+def substitute(expr: Expr, var: str, replacement: Expr) -> Expr:
+    """Capture-avoiding substitution ``expr[var := replacement]``."""
+    if isinstance(expr, Var):
+        return replacement if expr.name == var else expr
+    if isinstance(expr, LabelLit) or isinstance(expr, EmptySet):
+        return expr
+    if isinstance(expr, Singleton):
+        return Singleton(substitute(expr.expr, var, replacement))
+    if isinstance(expr, Union):
+        return Union(substitute(expr.left, var, replacement), substitute(expr.right, var, replacement))
+    if isinstance(expr, Scale):
+        return Scale(expr.scalar, substitute(expr.expr, var, replacement))
+    if isinstance(expr, IfEq):
+        return IfEq(
+            substitute(expr.left, var, replacement),
+            substitute(expr.right, var, replacement),
+            substitute(expr.then, var, replacement),
+            substitute(expr.orelse, var, replacement),
+        )
+    if isinstance(expr, PairExpr):
+        return PairExpr(substitute(expr.first, var, replacement), substitute(expr.second, var, replacement))
+    if isinstance(expr, Proj):
+        return Proj(expr.index, substitute(expr.expr, var, replacement))
+    if isinstance(expr, TreeExpr):
+        return TreeExpr(substitute(expr.label, var, replacement), substitute(expr.kids, var, replacement))
+    if isinstance(expr, Tag):
+        return Tag(substitute(expr.expr, var, replacement))
+    if isinstance(expr, Kids):
+        return Kids(substitute(expr.expr, var, replacement))
+    if isinstance(expr, BigUnion):
+        source = substitute(expr.source, var, replacement)
+        if expr.var == var:
+            return BigUnion(expr.var, source, expr.body)
+        if expr.var in free_variables(replacement):
+            fresh = _fresh_name(expr.var)
+            renamed_body = substitute(expr.body, expr.var, Var(fresh))
+            return BigUnion(fresh, source, substitute(renamed_body, var, replacement))
+        return BigUnion(expr.var, source, substitute(expr.body, var, replacement))
+    if isinstance(expr, Let):
+        value = substitute(expr.value, var, replacement)
+        if expr.var == var:
+            return Let(expr.var, value, expr.body)
+        if expr.var in free_variables(replacement):
+            fresh = _fresh_name(expr.var)
+            renamed_body = substitute(expr.body, expr.var, Var(fresh))
+            return Let(fresh, value, substitute(renamed_body, var, replacement))
+        return Let(expr.var, value, substitute(expr.body, var, replacement))
+    if isinstance(expr, Srt):
+        target = substitute(expr.target, var, replacement)
+        if var in (expr.label_var, expr.acc_var):
+            return Srt(expr.label_var, expr.acc_var, expr.body, target)
+        bound = {expr.label_var, expr.acc_var}
+        if bound & free_variables(replacement):
+            fresh_label = _fresh_name(expr.label_var)
+            fresh_acc = _fresh_name(expr.acc_var)
+            body = substitute(expr.body, expr.label_var, Var(fresh_label))
+            body = substitute(body, expr.acc_var, Var(fresh_acc))
+            return Srt(fresh_label, fresh_acc, substitute(body, var, replacement), target)
+        return Srt(expr.label_var, expr.acc_var, substitute(expr.body, var, replacement), target)
+    raise TypeError(f"unknown expression node {expr!r}")

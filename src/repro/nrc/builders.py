@@ -1,0 +1,199 @@
+"""Convenience combinators for building NRC_K + srt expressions.
+
+Besides small helpers (``flatten``, cartesian product, n-ary unions) this
+module contains the "usual encoding" of the positive relational algebra in NRC
+referred to by Proposition 4: K-relations are represented as K-collections of
+right-nested pairs of labels, and selection / projection / product / union are
+expressed with the NRC constructs.  The test-suite and the Proposition 4
+benchmark check that evaluating these encodings agrees with the direct
+K-relational algebra of :mod:`repro.relational.algebra`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import NRCEvalError
+from repro.kcollections.kset import KSet
+from repro.nrc.ast import (
+    BigUnion,
+    EmptySet,
+    Expr,
+    IfEq,
+    LabelLit,
+    PairExpr,
+    Proj,
+    Singleton,
+    Union,
+    Var,
+)
+from repro.nrc.values import Pair
+from repro.semirings.base import Semiring
+
+__all__ = [
+    "union_all",
+    "flatten_expr",
+    "cartesian_product_expr",
+    "filter_expr",
+    "tuple_to_value",
+    "value_to_tuple",
+    "relation_to_kset",
+    "kset_to_relation_rows",
+    "project_expr",
+    "select_eq_expr",
+    "join_expr",
+    "nested_pair_expr",
+    "nested_pair_projection",
+]
+
+_FRESH = [0]
+
+
+def _fresh(base: str) -> str:
+    _FRESH[0] += 1
+    return f"{base}_{_FRESH[0]}"
+
+
+# ---------------------------------------------------------------------------
+# Generic combinators
+# ---------------------------------------------------------------------------
+def union_all(exprs: Sequence[Expr]) -> Expr:
+    """The n-ary union ``e1 U e2 U ... U en`` (the empty union is ``{}``)."""
+    if not exprs:
+        return EmptySet()
+    result = exprs[0]
+    for expr in exprs[1:]:
+        result = Union(result, expr)
+    return result
+
+
+def flatten_expr(expr: Expr) -> Expr:
+    """``flatten W = U(w in W) w`` — flatten a collection of collections."""
+    var = _fresh("w")
+    return BigUnion(var, expr, Var(var))
+
+
+def cartesian_product_expr(left: Expr, right: Expr) -> Expr:
+    """``R x S = U(x in R) U(y in S) {(x, y)}`` — the annotated product."""
+    x, y = _fresh("x"), _fresh("y")
+    return BigUnion(x, left, BigUnion(y, right, Singleton(PairExpr(Var(x), Var(y)))))
+
+
+def filter_expr(source: Expr, var: str, condition_left: Expr, condition_right: Expr) -> Expr:
+    """``U(var in source) if l = r then {var} else {}`` — a positive selection."""
+    return BigUnion(
+        var, source, IfEq(condition_left, condition_right, Singleton(Var(var)), EmptySet())
+    )
+
+
+# ---------------------------------------------------------------------------
+# The NRC(RA+) encoding of Proposition 4
+# ---------------------------------------------------------------------------
+def tuple_to_value(values: Sequence[str]) -> Any:
+    """Encode a relational tuple of labels as a right-nested pair value.
+
+    The empty tuple is the label ``"()"``; a single field is the label itself;
+    longer tuples nest to the right: ``(a, (b, c))``.
+    """
+    if not values:
+        return "()"
+    if len(values) == 1:
+        return values[0]
+    return Pair(values[0], tuple_to_value(values[1:]))
+
+
+def value_to_tuple(value: Any, arity: int) -> tuple[str, ...]:
+    """Decode a right-nested pair value back into a tuple of labels."""
+    if arity == 0:
+        return ()
+    if arity == 1:
+        if not isinstance(value, str):
+            raise NRCEvalError(f"expected a label, got {value!r}")
+        return (value,)
+    if not isinstance(value, Pair):
+        raise NRCEvalError(f"expected a pair, got {value!r}")
+    first = value.first
+    if not isinstance(first, str):
+        raise NRCEvalError(f"expected a label in the first component, got {first!r}")
+    return (first,) + value_to_tuple(value.second, arity - 1)
+
+
+def relation_to_kset(semiring: Semiring, rows: Iterable[tuple[Sequence[str], Any]]) -> KSet:
+    """Encode an annotated relation (``(tuple, annotation)`` rows) as a K-collection."""
+    return KSet(semiring, [(tuple_to_value(tuple(row)), annotation) for row, annotation in rows])
+
+
+def kset_to_relation_rows(collection: KSet, arity: int) -> list[tuple[tuple[str, ...], Any]]:
+    """Decode a K-collection of nested pairs back into annotated relational rows."""
+    return sorted(
+        ((value_to_tuple(value, arity), annotation) for value, annotation in collection.items()),
+        key=lambda item: item[0],
+    )
+
+
+def nested_pair_projection(var: str, arity: int, index: int) -> Expr:
+    """The expression projecting field ``index`` (0-based) out of an encoded tuple."""
+    if index < 0 or index >= arity:
+        raise NRCEvalError(f"field index {index} out of range for arity {arity}")
+    expr: Expr = Var(var)
+    remaining = arity
+    position = index
+    while remaining > 1 and position > 0:
+        expr = Proj(2, expr)
+        remaining -= 1
+        position -= 1
+    if remaining > 1:
+        expr = Proj(1, expr)
+    return expr
+
+
+def nested_pair_expr(fields: Sequence[Expr]) -> Expr:
+    """Build the right-nested pair expression for the given field expressions."""
+    if not fields:
+        return LabelLit("()")
+    if len(fields) == 1:
+        return fields[0]
+    return PairExpr(fields[0], nested_pair_expr(fields[1:]))
+
+
+def project_expr(source: Expr, arity: int, indices: Sequence[int]) -> Expr:
+    """Relational projection ``pi_indices`` on an encoded relation."""
+    var = _fresh("t")
+    fields = [nested_pair_projection(var, arity, index) for index in indices]
+    return BigUnion(var, source, Singleton(nested_pair_expr(fields)))
+
+
+def select_eq_expr(source: Expr, arity: int, index: int, label: str) -> Expr:
+    """Relational selection ``sigma_{field = label}`` on an encoded relation."""
+    var = _fresh("t")
+    field = nested_pair_projection(var, arity, index)
+    return BigUnion(var, source, IfEq(field, LabelLit(label), Singleton(Var(var)), EmptySet()))
+
+
+def join_expr(
+    left: Expr,
+    left_arity: int,
+    right: Expr,
+    right_arity: int,
+    left_index: int,
+    right_index: int,
+    output_indices: Sequence[tuple[str, int]],
+) -> Expr:
+    """An equi-join of two encoded relations.
+
+    ``output_indices`` lists the output fields as ``(side, index)`` pairs with
+    ``side`` being ``"left"`` or ``"right"``.
+    """
+    x, y = _fresh("x"), _fresh("y")
+    left_field = nested_pair_projection(x, left_arity, left_index)
+    right_field = nested_pair_projection(y, right_arity, right_index)
+    fields = []
+    for side, index in output_indices:
+        if side == "left":
+            fields.append(nested_pair_projection(x, left_arity, index))
+        elif side == "right":
+            fields.append(nested_pair_projection(y, right_arity, index))
+        else:
+            raise NRCEvalError(f"join output side must be 'left' or 'right', got {side!r}")
+    body = IfEq(left_field, right_field, Singleton(nested_pair_expr(fields)), EmptySet())
+    return BigUnion(x, left, BigUnion(y, right, body))

@@ -1,0 +1,159 @@
+"""Evaluation of NRC_K + srt expressions on K-complex values (Figure 8).
+
+The evaluator implements exactly the semantic equations of Figure 8 of the
+paper, with the structural-recursion operator ``srt`` evaluated according to
+Equation (1): applied to ``Tree(l, C)``, the accumulator variable is bound to
+the K-collection obtained by applying the operator recursively to every child
+(keeping each child's membership annotation; results of distinct children that
+coincide have their annotations added, as dictated by the big-union reading
+``U(z in C) {(srt ...) z}``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import NRCEvalError
+from repro.kcollections.kset import KSet
+from repro.nrc.ast import (
+    BigUnion,
+    EmptySet,
+    Expr,
+    IfEq,
+    Kids,
+    LabelLit,
+    Let,
+    PairExpr,
+    Proj,
+    Scale,
+    Singleton,
+    Srt,
+    Tag,
+    TreeExpr,
+    Union,
+    Var,
+)
+from repro.nrc.values import Pair
+from repro.semirings.base import Semiring
+from repro.uxml.tree import UTree
+
+__all__ = ["evaluate", "Environment"]
+
+Environment = Mapping[str, Any]
+
+
+def evaluate(expr: Expr, semiring: Semiring, env: Environment | None = None) -> Any:
+    """Evaluate ``expr`` over the semiring ``semiring`` in environment ``env``."""
+    return _evaluate(expr, semiring, dict(env) if env else {})
+
+
+def _evaluate(expr: Expr, semiring: Semiring, env: dict[str, Any]) -> Any:
+    if isinstance(expr, LabelLit):
+        return expr.label
+
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise NRCEvalError(f"unbound variable {expr.name!r}") from None
+
+    if isinstance(expr, EmptySet):
+        return KSet.empty(semiring)
+
+    if isinstance(expr, Singleton):
+        return KSet.singleton(semiring, _evaluate(expr.expr, semiring, env))
+
+    if isinstance(expr, Union):
+        left = _expect_kset(_evaluate(expr.left, semiring, env), "union")
+        right = _expect_kset(_evaluate(expr.right, semiring, env), "union")
+        return left.union(right)
+
+    if isinstance(expr, Scale):
+        collection = _expect_kset(_evaluate(expr.expr, semiring, env), "scalar multiplication")
+        return collection.scale(expr.scalar)
+
+    if isinstance(expr, BigUnion):
+        source = _expect_kset(_evaluate(expr.source, semiring, env), "big union")
+
+        def body(value: Any) -> KSet:
+            inner_env = dict(env)
+            inner_env[expr.var] = value
+            return _expect_kset(_evaluate(expr.body, semiring, inner_env), "big union body")
+
+        return source.bind(body)
+
+    if isinstance(expr, IfEq):
+        left = _evaluate(expr.left, semiring, env)
+        right = _evaluate(expr.right, semiring, env)
+        if not isinstance(left, str) or not isinstance(right, str):
+            raise NRCEvalError(
+                "the positive calculus only compares labels; "
+                f"got {type(left).__name__} and {type(right).__name__}"
+            )
+        if left == right:
+            return _evaluate(expr.then, semiring, env)
+        return _evaluate(expr.orelse, semiring, env)
+
+    if isinstance(expr, PairExpr):
+        return Pair(
+            _evaluate(expr.first, semiring, env), _evaluate(expr.second, semiring, env)
+        )
+
+    if isinstance(expr, Proj):
+        value = _evaluate(expr.expr, semiring, env)
+        if not isinstance(value, Pair):
+            raise NRCEvalError(f"projection applied to a non-pair value {value!r}")
+        return value.project(expr.index)
+
+    if isinstance(expr, TreeExpr):
+        label = _evaluate(expr.label, semiring, env)
+        if not isinstance(label, str):
+            raise NRCEvalError(f"tree labels must be labels, got {label!r}")
+        kids = _expect_kset(_evaluate(expr.kids, semiring, env), "tree children")
+        for child in kids:
+            if not isinstance(child, UTree):
+                raise NRCEvalError(f"tree children must be trees, got {child!r}")
+        return UTree(label, kids)
+
+    if isinstance(expr, Tag):
+        tree = _expect_tree(_evaluate(expr.expr, semiring, env), "tag")
+        return tree.label
+
+    if isinstance(expr, Kids):
+        tree = _expect_tree(_evaluate(expr.expr, semiring, env), "kids")
+        return tree.children
+
+    if isinstance(expr, Let):
+        value = _evaluate(expr.value, semiring, env)
+        inner_env = dict(env)
+        inner_env[expr.var] = value
+        return _evaluate(expr.body, semiring, inner_env)
+
+    if isinstance(expr, Srt):
+        tree = _expect_tree(_evaluate(expr.target, semiring, env), "structural recursion")
+        return _evaluate_srt(expr, tree, semiring, env)
+
+    raise NRCEvalError(f"unknown expression node {expr!r}")
+
+
+def _evaluate_srt(expr: Srt, tree: UTree, semiring: Semiring, env: dict[str, Any]) -> Any:
+    """Equation (1): unfold structural recursion over a concrete tree."""
+    accumulator = tree.children.map(
+        lambda child: _evaluate_srt(expr, child, semiring, env)
+    )
+    inner_env = dict(env)
+    inner_env[expr.label_var] = tree.label
+    inner_env[expr.acc_var] = accumulator
+    return _evaluate(expr.body, semiring, inner_env)
+
+
+def _expect_kset(value: Any, context: str) -> KSet:
+    if not isinstance(value, KSet):
+        raise NRCEvalError(f"{context}: expected a K-collection, got {value!r}")
+    return value
+
+
+def _expect_tree(value: Any, context: str) -> UTree:
+    if not isinstance(value, UTree):
+        raise NRCEvalError(f"{context}: expected a tree, got {value!r}")
+    return value

@@ -1,0 +1,202 @@
+"""Equational rewriting for NRC_K (Proposition 5 / Appendix A).
+
+The paper gives an equational axiomatization of NRC_K — the semimodule laws
+for ``U`` / ``{}`` / scalar multiplication and the (bi)linearity and
+monad laws of the big-union operator — and notes that these axioms "form a
+foundation for query optimization".  This module implements a small
+rewriting-based simplifier whose rules are instances of those axioms, each of
+which is therefore semantics-preserving:
+
+* ``U(x in {}) e            ->  {}``                       (left annihilation)
+* ``U(x in {e}) S           ->  S[x := e]``                (left unit)
+* ``U(x in S) {x}           ->  S``                        (right unit)
+* ``U(x in U(y in R) S) T   ->  U(y in R) U(x in S) T``    (associativity)
+* ``e U {}                  ->  e``                        (monoid unit)
+* ``1 e                     ->  e`` and ``0 e -> {}``      (semimodule laws)
+* ``pi_i((e1, e2))          ->  e_i``
+* ``tag(Tree(l, c)) -> l``, ``kids(Tree(l, c)) -> c``
+* ``if l = l then e1 else e2 -> e1`` (syntactically equal label expressions)
+* ``let x := e1 in e2       ->  e2[x := e1]``              (let inlining)
+
+The property-based tests check both that each rule preserves semantics on
+random inputs and that the full simplifier does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nrc.ast import (
+    BigUnion,
+    EmptySet,
+    Expr,
+    IfEq,
+    Kids,
+    LabelLit,
+    Let,
+    PairExpr,
+    Proj,
+    Scale,
+    Singleton,
+    Srt,
+    Tag,
+    TreeExpr,
+    Union,
+    Var,
+    free_variables,
+    substitute,
+)
+from repro.semirings.base import Semiring
+
+__all__ = ["simplify", "rewrite_once", "map_scalars", "count_nodes"]
+
+
+def map_scalars(expr: Expr, fn: Callable[[object], object]) -> Expr:
+    """Replace every scalar ``k`` occurring in the expression by ``fn(k)``.
+
+    This is the lifting ``H`` of a semiring homomorphism to expressions used
+    in Theorem 1: ``H(e)`` is ``e`` with each scalar replaced by its image.
+    """
+    if isinstance(expr, Scale):
+        return Scale(fn(expr.scalar), map_scalars(expr.expr, fn))
+    if isinstance(expr, (LabelLit, Var, EmptySet)):
+        return expr
+    if isinstance(expr, Singleton):
+        return Singleton(map_scalars(expr.expr, fn))
+    if isinstance(expr, Union):
+        return Union(map_scalars(expr.left, fn), map_scalars(expr.right, fn))
+    if isinstance(expr, BigUnion):
+        return BigUnion(expr.var, map_scalars(expr.source, fn), map_scalars(expr.body, fn))
+    if isinstance(expr, IfEq):
+        return IfEq(
+            map_scalars(expr.left, fn),
+            map_scalars(expr.right, fn),
+            map_scalars(expr.then, fn),
+            map_scalars(expr.orelse, fn),
+        )
+    if isinstance(expr, PairExpr):
+        return PairExpr(map_scalars(expr.first, fn), map_scalars(expr.second, fn))
+    if isinstance(expr, Proj):
+        return Proj(expr.index, map_scalars(expr.expr, fn))
+    if isinstance(expr, TreeExpr):
+        return TreeExpr(map_scalars(expr.label, fn), map_scalars(expr.kids, fn))
+    if isinstance(expr, Tag):
+        return Tag(map_scalars(expr.expr, fn))
+    if isinstance(expr, Kids):
+        return Kids(map_scalars(expr.expr, fn))
+    if isinstance(expr, Let):
+        return Let(expr.var, map_scalars(expr.value, fn), map_scalars(expr.body, fn))
+    if isinstance(expr, Srt):
+        return Srt(
+            expr.label_var, expr.acc_var, map_scalars(expr.body, fn), map_scalars(expr.target, fn)
+        )
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def count_nodes(expr: Expr) -> int:
+    """Number of AST nodes (used to show the simplifier makes progress)."""
+    return 1 + sum(count_nodes(child) for child in expr.children())
+
+
+def rewrite_once(expr: Expr, semiring: Semiring | None = None) -> Expr:
+    """Apply the axiom-based rules at the root of ``expr`` (one step, no recursion)."""
+    # -- big-union laws ------------------------------------------------------
+    if isinstance(expr, BigUnion):
+        if isinstance(expr.source, EmptySet):
+            return EmptySet()
+        if isinstance(expr.source, Singleton):
+            return substitute(expr.body, expr.var, expr.source.expr)
+        if isinstance(expr.body, Singleton) and isinstance(expr.body.expr, Var) and expr.body.expr.name == expr.var:
+            return expr.source
+        if isinstance(expr.source, BigUnion):
+            inner = expr.source
+            if inner.var != expr.var and inner.var not in free_variables(expr.body):
+                return BigUnion(inner.var, inner.source, BigUnion(expr.var, inner.body, expr.body))
+
+    # -- monoid / semimodule laws -------------------------------------------
+    if isinstance(expr, Union):
+        if isinstance(expr.left, EmptySet):
+            return expr.right
+        if isinstance(expr.right, EmptySet):
+            return expr.left
+    if isinstance(expr, Scale) and semiring is not None:
+        if semiring.is_one(expr.scalar):
+            return expr.expr
+        if semiring.is_zero(expr.scalar):
+            return EmptySet()
+        if isinstance(expr.expr, EmptySet):
+            return EmptySet()
+        if isinstance(expr.expr, Scale):
+            return Scale(semiring.mul(expr.scalar, expr.expr.scalar), expr.expr.expr)
+
+    # -- projections / tree accessors ----------------------------------------
+    if isinstance(expr, Proj) and isinstance(expr.expr, PairExpr):
+        return expr.expr.first if expr.index == 1 else expr.expr.second
+    if isinstance(expr, Tag) and isinstance(expr.expr, TreeExpr):
+        return expr.expr.label
+    if isinstance(expr, Kids) and isinstance(expr.expr, TreeExpr):
+        return expr.expr.kids
+
+    # -- conditionals ---------------------------------------------------------
+    if isinstance(expr, IfEq):
+        if isinstance(expr.left, LabelLit) and isinstance(expr.right, LabelLit):
+            return expr.then if expr.left.label == expr.right.label else expr.orelse
+        if expr.left == expr.right:
+            return expr.then
+
+    # -- let inlining ---------------------------------------------------------
+    if isinstance(expr, Let):
+        return substitute(expr.body, expr.var, expr.value)
+
+    return expr
+
+
+def _rewrite_children(expr: Expr, semiring: Semiring | None) -> Expr:
+    if isinstance(expr, (LabelLit, Var, EmptySet)):
+        return expr
+    if isinstance(expr, Singleton):
+        return Singleton(simplify(expr.expr, semiring))
+    if isinstance(expr, Union):
+        return Union(simplify(expr.left, semiring), simplify(expr.right, semiring))
+    if isinstance(expr, Scale):
+        return Scale(expr.scalar, simplify(expr.expr, semiring))
+    if isinstance(expr, BigUnion):
+        return BigUnion(expr.var, simplify(expr.source, semiring), simplify(expr.body, semiring))
+    if isinstance(expr, IfEq):
+        return IfEq(
+            simplify(expr.left, semiring),
+            simplify(expr.right, semiring),
+            simplify(expr.then, semiring),
+            simplify(expr.orelse, semiring),
+        )
+    if isinstance(expr, PairExpr):
+        return PairExpr(simplify(expr.first, semiring), simplify(expr.second, semiring))
+    if isinstance(expr, Proj):
+        return Proj(expr.index, simplify(expr.expr, semiring))
+    if isinstance(expr, TreeExpr):
+        return TreeExpr(simplify(expr.label, semiring), simplify(expr.kids, semiring))
+    if isinstance(expr, Tag):
+        return Tag(simplify(expr.expr, semiring))
+    if isinstance(expr, Kids):
+        return Kids(simplify(expr.expr, semiring))
+    if isinstance(expr, Let):
+        return Let(expr.var, simplify(expr.value, semiring), simplify(expr.body, semiring))
+    if isinstance(expr, Srt):
+        return Srt(
+            expr.label_var,
+            expr.acc_var,
+            simplify(expr.body, semiring),
+            simplify(expr.target, semiring),
+        )
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def simplify(expr: Expr, semiring: Semiring | None = None, max_rounds: int = 50) -> Expr:
+    """Bottom-up, fixpoint application of the axiom-based rewrite rules."""
+    current = expr
+    for _ in range(max_rounds):
+        candidate = rewrite_once(_rewrite_children(current, semiring), semiring)
+        if candidate == current:
+            return current
+        current = candidate
+    return current

@@ -1,0 +1,174 @@
+"""Type checking for NRC_K + srt (Sections 6.1-6.2).
+
+The typing rules follow the paper.  The positivity restriction is enforced
+here: the conditional compares *labels only* — equality tests on collections
+would allow non-monotonic operations (difference, membership, ...) that the
+semiring semantics cannot support.
+
+The empty collection is polymorphic; its element type is the internal
+:class:`~repro.nrc.types.UnknownType` and is unified with the surrounding
+context where possible.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import NRCTypeError
+from repro.nrc.ast import (
+    BigUnion,
+    EmptySet,
+    Expr,
+    IfEq,
+    Kids,
+    LabelLit,
+    Let,
+    PairExpr,
+    Proj,
+    Scale,
+    Singleton,
+    Srt,
+    Tag,
+    TreeExpr,
+    Union,
+    Var,
+)
+from repro.nrc.types import (
+    LABEL,
+    TREE,
+    UNKNOWN,
+    LabelType,
+    ProductType,
+    SetType,
+    TreeType,
+    Type,
+    UnknownType,
+    unify,
+)
+from repro.semirings.base import Semiring
+
+__all__ = ["typecheck"]
+
+
+def typecheck(expr: Expr, env: Mapping[str, Type] | None = None, semiring: Semiring | None = None) -> Type:
+    """Infer the type of ``expr`` under the typing environment ``env``.
+
+    ``semiring`` is only needed to validate the scalars appearing in ``annot``
+    / :class:`~repro.nrc.ast.Scale` nodes; pass ``None`` to skip that check.
+    """
+    environment = dict(env) if env else {}
+    return _typecheck(expr, environment, semiring)
+
+
+def _typecheck(expr: Expr, env: dict[str, Type], semiring: Semiring | None) -> Type:
+    if isinstance(expr, LabelLit):
+        return LABEL
+
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise NRCTypeError(f"unbound variable {expr.name!r}") from None
+
+    if isinstance(expr, EmptySet):
+        return SetType(UNKNOWN)
+
+    if isinstance(expr, Singleton):
+        return SetType(_typecheck(expr.expr, env, semiring))
+
+    if isinstance(expr, Union):
+        left = _typecheck(expr.left, env, semiring)
+        right = _typecheck(expr.right, env, semiring)
+        left_elem = _element_type(left, "union")
+        right_elem = _element_type(right, "union")
+        return SetType(unify(left_elem, right_elem, "union"))
+
+    if isinstance(expr, Scale):
+        if semiring is not None and not semiring.is_valid(expr.scalar):
+            raise NRCTypeError(
+                f"scalar {expr.scalar!r} is not an element of the semiring {semiring.name}"
+            )
+        inner = _typecheck(expr.expr, env, semiring)
+        return SetType(_element_type(inner, "scalar multiplication"))
+
+    if isinstance(expr, BigUnion):
+        source = _typecheck(expr.source, env, semiring)
+        element = _element_type(source, "big union source")
+        inner_env = dict(env)
+        inner_env[expr.var] = element
+        body = _typecheck(expr.body, inner_env, semiring)
+        return SetType(_element_type(body, "big union body"))
+
+    if isinstance(expr, IfEq):
+        left = _typecheck(expr.left, env, semiring)
+        right = _typecheck(expr.right, env, semiring)
+        if not isinstance(unify(left, LABEL, "conditional"), LabelType):
+            raise NRCTypeError(f"conditional compares non-labels: {left}")
+        if not isinstance(unify(right, LABEL, "conditional"), LabelType):
+            raise NRCTypeError(f"conditional compares non-labels: {right}")
+        then = _typecheck(expr.then, env, semiring)
+        orelse = _typecheck(expr.orelse, env, semiring)
+        return unify(then, orelse, "conditional branches")
+
+    if isinstance(expr, PairExpr):
+        return ProductType(
+            _typecheck(expr.first, env, semiring), _typecheck(expr.second, env, semiring)
+        )
+
+    if isinstance(expr, Proj):
+        inner = _typecheck(expr.expr, env, semiring)
+        if isinstance(inner, UnknownType):
+            return UNKNOWN
+        if not isinstance(inner, ProductType):
+            raise NRCTypeError(f"projection applied to non-pair type {inner}")
+        return inner.first if expr.index == 1 else inner.second
+
+    if isinstance(expr, TreeExpr):
+        label = _typecheck(expr.label, env, semiring)
+        unify(label, LABEL, "tree label")
+        kids = _typecheck(expr.kids, env, semiring)
+        kids_elem = _element_type(kids, "tree children")
+        unify(kids_elem, TREE, "tree children")
+        return TREE
+
+    if isinstance(expr, Tag):
+        inner = _typecheck(expr.expr, env, semiring)
+        unify(inner, TREE, "tag")
+        return LABEL
+
+    if isinstance(expr, Kids):
+        inner = _typecheck(expr.expr, env, semiring)
+        unify(inner, TREE, "kids")
+        return SetType(TREE)
+
+    if isinstance(expr, Let):
+        value = _typecheck(expr.value, env, semiring)
+        inner_env = dict(env)
+        inner_env[expr.var] = value
+        return _typecheck(expr.body, inner_env, semiring)
+
+    if isinstance(expr, Srt):
+        target = _typecheck(expr.target, env, semiring)
+        unify(target, TREE, "structural recursion target")
+        # First pass: the accumulator's element type is unknown.
+        first_env = dict(env)
+        first_env[expr.label_var] = LABEL
+        first_env[expr.acc_var] = SetType(UNKNOWN)
+        body_type = _typecheck(expr.body, first_env, semiring)
+        # Second pass: the accumulator holds collections of the body's type;
+        # the result must be stable under this refinement (the recursive type).
+        second_env = dict(env)
+        second_env[expr.label_var] = LABEL
+        second_env[expr.acc_var] = SetType(body_type)
+        refined = _typecheck(expr.body, second_env, semiring)
+        return unify(body_type, refined, "structural recursion body")
+
+    raise NRCTypeError(f"unknown expression node {expr!r}")
+
+
+def _element_type(ty: Type, context: str) -> Type:
+    if isinstance(ty, SetType):
+        return ty.element
+    if isinstance(ty, UnknownType):
+        return UNKNOWN
+    raise NRCTypeError(f"{context}: expected a collection type, got {ty}")

@@ -1,0 +1,168 @@
+"""Types of the NRC_K + srt calculus (Section 6.1).
+
+The type language is::
+
+    t ::= label | t x t | {t} | tree
+
+``label`` is the type of labels (atomic values), ``t1 x t2`` of pairs, ``{t}``
+of K-collections over ``t`` and ``tree`` the recursive type of K-UXML trees
+(isomorphic to ``label x {tree}``).
+
+An extra :class:`UnknownType` is used internally by the typechecker as the
+element type of the empty collection and is unified away wherever possible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import NRCTypeError
+
+__all__ = [
+    "Type",
+    "LabelType",
+    "TreeType",
+    "ProductType",
+    "SetType",
+    "UnknownType",
+    "LABEL",
+    "TREE",
+    "UNKNOWN",
+    "unify",
+]
+
+
+class Type:
+    """Base class of NRC types; instances are immutable and hashable."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == getattr(other, "__dict__", {})
+
+    def __hash__(self) -> int:
+        return hash((type(self), tuple(sorted(self.__dict__.items()))))
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class LabelType(Type):
+    """The type of labels (atomic values)."""
+
+    def __str__(self) -> str:
+        return "label"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LabelType)
+
+    def __hash__(self) -> int:
+        return hash("label")
+
+
+class TreeType(Type):
+    """The recursive type of K-UXML trees."""
+
+    def __str__(self) -> str:
+        return "tree"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TreeType)
+
+    def __hash__(self) -> int:
+        return hash("tree")
+
+
+class UnknownType(Type):
+    """A type variable standing for "not yet determined" (empty collections)."""
+
+    def __str__(self) -> str:
+        return "?"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UnknownType)
+
+    def __hash__(self) -> int:
+        return hash("?")
+
+
+class ProductType(Type):
+    """The pair type ``t1 x t2``."""
+
+    def __init__(self, first: Type, second: Type):
+        self.first = first
+        self.second = second
+
+    def __str__(self) -> str:
+        return f"({self.first} x {self.second})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ProductType) and self.first == other.first and self.second == other.second
+
+    def __hash__(self) -> int:
+        return hash(("product", self.first, self.second))
+
+
+class SetType(Type):
+    """The K-collection type ``{t}``."""
+
+    def __init__(self, element: Type):
+        self.element = element
+
+    def __str__(self) -> str:
+        return f"{{{self.element}}}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetType) and self.element == other.element
+
+    def __hash__(self) -> int:
+        return hash(("set", self.element))
+
+
+#: Shared singletons for the atomic types.
+LABEL = LabelType()
+TREE = TreeType()
+UNKNOWN = UnknownType()
+
+
+def unify(left: Type, right: Type, context: str = "") -> Type:
+    """The most specific common type of ``left`` and ``right``.
+
+    :class:`UnknownType` unifies with anything; structural types unify
+    component-wise.  Raises :class:`NRCTypeError` if the types are
+    incompatible.
+    """
+    if isinstance(left, UnknownType):
+        return right
+    if isinstance(right, UnknownType):
+        return left
+    if isinstance(left, LabelType) and isinstance(right, LabelType):
+        return LABEL
+    if isinstance(left, TreeType) and isinstance(right, TreeType):
+        return TREE
+    if isinstance(left, ProductType) and isinstance(right, ProductType):
+        return ProductType(
+            unify(left.first, right.first, context), unify(left.second, right.second, context)
+        )
+    if isinstance(left, SetType) and isinstance(right, SetType):
+        return SetType(unify(left.element, right.element, context))
+    suffix = f" in {context}" if context else ""
+    raise NRCTypeError(f"cannot unify types {left} and {right}{suffix}")
+
+
+def contains_unknown(ty: Type) -> bool:
+    """True if the type still contains an unresolved :class:`UnknownType`."""
+    if isinstance(ty, UnknownType):
+        return True
+    if isinstance(ty, ProductType):
+        return contains_unknown(ty.first) or contains_unknown(ty.second)
+    if isinstance(ty, SetType):
+        return contains_unknown(ty.element)
+    return False
+
+
+def require_set(ty: Type, context: str) -> Optional[Type]:
+    """Check that ``ty`` is a collection type and return its element type."""
+    if isinstance(ty, SetType):
+        return ty.element
+    if isinstance(ty, UnknownType):
+        return UNKNOWN
+    raise NRCTypeError(f"{context}: expected a collection type, got {ty}")

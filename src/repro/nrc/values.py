@@ -1,0 +1,164 @@
+"""K-complex values: the value domain of NRC_K + srt (Section 6.2).
+
+K-complex values are built by arbitrarily nesting:
+
+* labels (plain Python strings),
+* pairs (:class:`Pair`),
+* K-collections (:class:`~repro.kcollections.kset.KSet`),
+* trees (:class:`~repro.uxml.tree.UTree`).
+
+This module also provides the deep lifting of semiring homomorphisms to
+complex values — the transformation ``H`` of Theorem 1 — and a best-effort
+type inference used by tests and by the builders.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import NRCEvalError
+from repro.kcollections.kset import KSet
+from repro.nrc.types import LABEL, TREE, UNKNOWN, ProductType, SetType, Type
+from repro.semirings.base import Semiring
+from repro.semirings.homomorphism import SemiringHomomorphism
+from repro.uxml.tree import UTree
+
+__all__ = [
+    "Pair",
+    "is_complex_value",
+    "infer_type",
+    "map_value_annotations",
+    "value_to_str",
+]
+
+
+class Pair:
+    """An ordered pair of K-complex values."""
+
+    __slots__ = ("_first", "_second", "_hash")
+
+    def __init__(self, first: Any, second: Any):
+        object.__setattr__(self, "_first", first)
+        object.__setattr__(self, "_second", second)
+        object.__setattr__(self, "_hash", None)
+
+    @property
+    def first(self) -> Any:
+        return self._first
+
+    @property
+    def second(self) -> Any:
+        return self._second
+
+    def project(self, index: int) -> Any:
+        """Projection ``pi_1`` / ``pi_2`` (1-based, as in the paper)."""
+        if index == 1:
+            return self._first
+        if index == 2:
+            return self._second
+        raise NRCEvalError(f"pair projection index must be 1 or 2, got {index}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pair):
+            return NotImplemented
+        return self._first == other._first and self._second == other._second
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash((self._first, self._second))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        return f"Pair({self._first!r}, {self._second!r})"
+
+    def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover - safety
+        raise AttributeError("Pair instances are immutable")
+
+
+def is_complex_value(value: Any) -> bool:
+    """True if ``value`` is a K-complex value (label, pair, K-set or tree)."""
+    if isinstance(value, (str, Pair, KSet, UTree)):
+        return True
+    return False
+
+
+def infer_type(value: Any) -> Type:
+    """Best-effort type of a complex value (UNKNOWN for empty collections)."""
+    if isinstance(value, str):
+        return LABEL
+    if isinstance(value, UTree):
+        return TREE
+    if isinstance(value, Pair):
+        return ProductType(infer_type(value.first), infer_type(value.second))
+    if isinstance(value, KSet):
+        element: Type = UNKNOWN
+        for member in value:
+            element = infer_type(member)
+            break
+        return SetType(element)
+    raise NRCEvalError(f"{value!r} is not a K-complex value")
+
+
+def map_value_annotations(
+    value: Any,
+    fn: Callable[[Any], Any] | SemiringHomomorphism,
+    target: Semiring | None = None,
+) -> Any:
+    """Apply a homomorphism (or plain function) to every annotation inside a value.
+
+    This is the lifting ``H`` of Theorem 1 on the value side: labels are
+    unchanged, pairs are mapped component-wise, trees and K-collections have
+    every membership annotation replaced by its image (recursively).
+    """
+    if isinstance(fn, SemiringHomomorphism):
+        target_semiring: Semiring | None = fn.target
+        mapping: Callable[[Any], Any] = fn
+    else:
+        target_semiring = target
+        mapping = fn
+
+    def recurse(inner: Any) -> Any:
+        return map_value_annotations(inner, mapping, target_semiring)
+
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Pair):
+        return Pair(recurse(value.first), recurse(value.second))
+    if isinstance(value, UTree):
+        semiring = target_semiring if target_semiring is not None else value.semiring
+        children = KSet(
+            semiring,
+            [(recurse(child), mapping(annotation)) for child, annotation in value.children.items()],
+        )
+        return UTree(value.label, children)
+    if isinstance(value, KSet):
+        semiring = target_semiring if target_semiring is not None else value.semiring
+        return KSet(
+            semiring,
+            [(recurse(member), mapping(annotation)) for member, annotation in value.items()],
+        )
+    raise NRCEvalError(f"{value!r} is not a K-complex value")
+
+
+def value_to_str(value: Any) -> str:
+    """A deterministic, human-readable rendering of a complex value."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Pair):
+        return f"({value_to_str(value.first)}, {value_to_str(value.second)})"
+    if isinstance(value, UTree):
+        from repro.uxml.serializer import to_paper_notation
+
+        return to_paper_notation(value)
+    if isinstance(value, KSet):
+        semiring = value.semiring
+        parts = []
+        for member, annotation in value.items():
+            rendered = value_to_str(member)
+            if not semiring.is_one(annotation):
+                rendered += f"^{{{semiring.repr_element(annotation)}}}"
+            parts.append(rendered)
+        return "{" + ", ".join(sorted(parts)) + "}"
+    raise NRCEvalError(f"{value!r} is not a K-complex value")

@@ -1,0 +1,312 @@
+"""The exact data, queries and expected answers of the paper's figures.
+
+Every worked example in the paper (Figures 1, 4, 5, 6, 7 and the Section 5
+possible-worlds examples) is transcribed here once and shared by the
+integration tests, the benchmarks and the runnable examples.  Expected
+annotations are written as the paper prints them and parsed into canonical
+provenance polynomials, so a comparison against computed answers is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.kcollections.kset import KSet
+from repro.relational.algebra import AlgebraExpr, figure5_algebra_query
+from repro.relational.krelation import KRelation
+from repro.semirings.polynomial import PROVENANCE, Polynomial
+from repro.uxml.builder import TreeBuilder
+from repro.uxml.tree import UTree
+
+__all__ = [
+    "figure1_source",
+    "figure1_query",
+    "figure1_expected_children",
+    "figure4_source",
+    "figure4_query",
+    "figure4_expected_children",
+    "figure5_relations",
+    "figure5_schemas",
+    "figure5_algebra",
+    "figure5_expected_q",
+    "figure5_source_uxml",
+    "figure5_uxquery",
+    "figure6_source_uxml",
+    "figure6_expected_tuples",
+    "figure7_valuation",
+    "figure7_expected_clearances",
+    "section5_representation",
+    "section5_query",
+]
+
+_POLY = Polynomial.parse
+
+
+def _builder() -> TreeBuilder:
+    return TreeBuilder(PROVENANCE)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: the simple "for" (grandchildren) example
+# ---------------------------------------------------------------------------
+def figure1_source() -> KSet:
+    """The source K-set ``( a^z [ b^x1 [ d^y1 ]  c^x2 [ d^y2  e^y3 ] ] )``."""
+    b = _builder()
+    return b.forest(
+        b.tree(
+            "a",
+            b.tree("b", b.leaf("d") @ "y1") @ "x1",
+            b.tree("c", b.leaf("d") @ "y2", b.leaf("e") @ "y3") @ "x2",
+        )
+        @ "z"
+    )
+
+
+def figure1_query() -> str:
+    """The iteration query of Figure 1 (equivalent to the XPath ``$S/*/*``)."""
+    return (
+        "element p { for $t in $S return "
+        "for $x in ($t)/* return ($x)/* }"
+    )
+
+
+def figure1_expected_children() -> Mapping[UTree, Polynomial]:
+    """The expected children of the answer: ``d^(z*x1*y1 + z*x2*y2)`` and ``e^(z*x2*y3)``."""
+    b = _builder()
+    return {
+        b.leaf("d"): _POLY("x1*y1*z + x2*y2*z"),
+        b.leaf("e"): _POLY("x2*y3*z"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: the XPath descendant example
+# ---------------------------------------------------------------------------
+def figure4_source(x1: str | None = "x1", x2: str | None = "x2") -> KSet:
+    """The source of Figure 4.
+
+    The ``x1`` / ``x2`` arguments allow the Section 5 variant (both set to
+    ``None``, i.e. annotation 1) and the Section 7 variant (``x1`` set to the
+    zero polynomial) to reuse the same construction.
+    """
+    b = _builder()
+
+    def annot(token: str | None) -> Polynomial:
+        if token is None:
+            return PROVENANCE.one
+        if token == "0":
+            return PROVENANCE.zero
+        return Polynomial.variable(token)
+
+    inner_c = b.tree(
+        "c",
+        b.tree("d", b.tree("a", b.leaf("c") @ "y2", b.leaf("b") @ annot(x2))),
+    )
+    return b.forest(
+        b.tree(
+            "a",
+            (b.tree("b", b.tree("a", b.leaf("c") @ "y3", b.leaf("d"))), annot(x1)),
+            (inner_c, Polynomial.variable("y1")),
+        )
+    )
+
+
+def figure4_query() -> str:
+    """The descendant query ``element r { $T//c }``."""
+    return "element r { $T//c }"
+
+
+def figure4_expected_children() -> Mapping[UTree, Polynomial]:
+    """Expected children of the answer ``r``: the two ``c`` subtrees with q1, y1."""
+    b = _builder()
+    leaf_c = b.leaf("c")
+    big_c = b.tree(
+        "c",
+        b.tree("d", b.tree("a", b.leaf("c") @ "y2", b.leaf("b") @ "x2")),
+    )
+    return {
+        leaf_c: _POLY("x1*y3 + y1*y2"),
+        big_c: _POLY("y1"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: the relational (encoded) example
+# ---------------------------------------------------------------------------
+def figure5_relations() -> dict[str, KRelation]:
+    """The K-relations R(A, B, C) and S(B, C) with token annotations x1..x5."""
+    R = KRelation(
+        PROVENANCE,
+        ("A", "B", "C"),
+        [
+            (("a", "b", "c"), Polynomial.variable("x1")),
+            (("d", "b", "e"), Polynomial.variable("x2")),
+            (("f", "g", "e"), Polynomial.variable("x3")),
+        ],
+    )
+    S = KRelation(
+        PROVENANCE,
+        ("B", "C"),
+        [
+            (("b", "c"), Polynomial.variable("x4")),
+            (("g", "c"), Polynomial.variable("x5")),
+        ],
+    )
+    return {"R": R, "S": S}
+
+
+def figure5_schemas() -> dict[str, tuple[str, ...]]:
+    return {"R": ("A", "B", "C"), "S": ("B", "C")}
+
+
+def figure5_algebra() -> AlgebraExpr:
+    """``Q = pi_AC(pi_AB(R) |><| (pi_BC(R) U S))``."""
+    return figure5_algebra_query()
+
+
+def figure5_expected_q() -> KRelation:
+    """The expected K-relation ``Q(A, C)`` of Figure 5."""
+    return KRelation(
+        PROVENANCE,
+        ("A", "C"),
+        [
+            (("a", "c"), _POLY("x1^2 + x1*x4")),
+            (("a", "e"), _POLY("x1*x2")),
+            (("d", "c"), _POLY("x1*x2 + x2*x4")),
+            (("d", "e"), _POLY("x2^2")),
+            (("f", "c"), _POLY("x3*x5")),
+            (("f", "e"), _POLY("x3^2")),
+        ],
+    )
+
+
+def figure5_source_uxml() -> KSet:
+    """The Figure 5 UXML encoding of the database (only tuples annotated)."""
+    from repro.relational.encoding import database_to_uxml
+
+    return database_to_uxml(PROVENANCE, figure5_relations())
+
+
+def figure5_uxquery() -> str:
+    """The K-UXQuery translation of the view definition, as printed in Figure 5."""
+    return """
+        let $r := $d/R/*,
+            $rAB := for $t in $r return <t> { $t/A, $t/B } </>,
+            $rBC := for $t in $r return <t> { $t/B, $t/C } </>,
+            $s := $d/S/*
+        return
+          <Q> { for $x in $rAB, $y in ($rBC, $s)
+                where $x/B = $y/B
+                return <t> { $x/A, $y/C } </> } </Q>
+    """
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: the same query over a source with extended annotations
+# ---------------------------------------------------------------------------
+def figure6_source_uxml() -> KSet:
+    """The Figure 6 source: annotations on the relation, attributes and values too."""
+    b = _builder()
+
+    def r_tuple(token: str, a_value: str, b_value: str, b_token: str, c_value: str, c_token: str | None):
+        c_leaf = b.leaf(c_value) if c_token is None else (b.leaf(c_value) @ c_token)
+        return (
+            b.tree(
+                "t",
+                b.tree("A", b.leaf(a_value)) @ "y1",
+                b.tree("B", b.leaf(b_value) @ b_token) @ "y2",
+                b.tree("C", c_leaf) @ "y3",
+            )
+            @ token
+        )
+
+    def s_tuple(token: str, b_value: str, b_token: str, c_value: str):
+        return (
+            b.tree(
+                "t",
+                b.tree("B", b.leaf(b_value) @ b_token) @ "y5",
+                b.tree("C", b.leaf(c_value)) @ "y6",
+            )
+            @ token
+        )
+
+    root = b.tree(
+        "D",
+        b.tree(
+            "R",
+            r_tuple("x1", "a", "b", "z1", "c", None),
+            r_tuple("x2", "d", "b", "z2", "e", "z3"),
+            r_tuple("x3", "f", "g", "z4", "e", "z5"),
+        )
+        @ "w1",
+        b.tree(
+            "S",
+            s_tuple("x4", "b", "z6", "c"),
+            s_tuple("x5", "g", "z7", "c"),
+        ),
+    )
+    return b.forest(root)
+
+
+def figure6_expected_tuples() -> Mapping[UTree, Polynomial]:
+    """The eight answer tuples of Figure 6 with their annotations q1..q8."""
+    b = _builder()
+
+    def tup(a_value: str, c_annot: str, c_value: str, c_token: str | None) -> UTree:
+        c_leaf = b.leaf(c_value) if c_token is None else (b.leaf(c_value) @ c_token)
+        return b.tree(
+            "t",
+            b.tree("A", b.leaf(a_value)) @ "y1",
+            b.tree("C", c_leaf) @ c_annot,
+        )
+
+    return {
+        tup("a", "y6", "c", None): _POLY("w1*x1*x4*y2*y5*z1*z6"),
+        tup("a", "y3", "c", None): _POLY("w1^2*x1^2*y2^2*z1^2"),
+        tup("a", "y3", "e", "z3"): _POLY("w1^2*x1*x2*y2^2*z1*z2"),
+        tup("d", "y6", "c", None): _POLY("w1*x2*x4*y2*y5*z2*z6"),
+        tup("d", "y3", "c", None): _POLY("w1^2*x1*x2*y2^2*z1*z2"),
+        tup("d", "y3", "e", "z3"): _POLY("w1^2*x2^2*y2^2*z2^2"),
+        tup("f", "y6", "c", None): _POLY("w1*x3*x5*y2*y5*z4*z7"),
+        tup("f", "y3", "e", "z5"): _POLY("w1^2*x3^2*y2^2*z4^2"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: the security clearance example
+# ---------------------------------------------------------------------------
+def figure7_valuation() -> dict[str, str]:
+    """The clearance valuation of Section 4: ``w1 := C``, ``x2 := S``, ``y5 := T``.
+
+    All other provenance tokens are public (``P``, the semiring one).
+    """
+    return {"w1": "C", "x2": "S", "y5": "T"}
+
+
+def figure7_expected_clearances() -> dict[tuple[str, str], str]:
+    """The expected clearance of each (A, C) tuple of the view (Figure 7)."""
+    return {
+        ("a", "c"): "C",
+        ("a", "e"): "S",
+        ("d", "c"): "S",
+        ("d", "e"): "S",
+        ("f", "c"): "T",
+        ("f", "e"): "C",
+    }
+
+
+# ---------------------------------------------------------------------------
+# Section 5: the incomplete-data example
+# ---------------------------------------------------------------------------
+def section5_representation() -> KSet:
+    """The Section 5 representation: Figure 4's source with ``x1 = x2 = 1``.
+
+    Only the ``y1, y2, y3`` annotations on the ``c`` subtrees remain; its
+    Boolean possible worlds are the six trees displayed in Section 5.
+    """
+    return figure4_source(x1=None, x2=None)
+
+
+def section5_query() -> str:
+    """The query used in the Section 5 example (the Figure 4 query, root label Q)."""
+    return "element Q { $T//c }"

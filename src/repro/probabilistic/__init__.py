@@ -1,0 +1,15 @@
+"""Probabilistic K-UXML (Section 5): independent events over annotated documents."""
+
+from repro.probabilistic.model import (
+    ProbabilisticUXML,
+    bernoulli_distributions,
+    geometric_distributions,
+    probability_of_event,
+)
+
+__all__ = [
+    "ProbabilisticUXML",
+    "bernoulli_distributions",
+    "geometric_distributions",
+    "probability_of_event",
+]

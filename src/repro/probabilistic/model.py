@@ -1,0 +1,209 @@
+"""Probabilistic K-UXML (Section 5).
+
+The paper models probabilistic data with the same machinery as incomplete
+data: an ``N[X]``-annotated representation plus a probability distribution for
+each token, interpreted as *independent* events.  A valuation then has a
+probability (the product of its per-token probabilities) and every possible
+world inherits the total probability of the valuations that produce it.
+
+For ``K = B`` and Bernoulli events this specializes to the probabilistic-XML
+model of Senellart & Abiteboul: the probability that an answer item exists is
+the probability that its PosBool event expression is true under the
+independent events — which :func:`probability_of_event` computes exactly by
+enumerating the (few) variables the expression mentions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Mapping
+
+from repro.errors import PossibleWorldsError
+from repro.incomplete.possible_worlds import apply_valuation, representation_tokens
+from repro.kcollections.kset import KSet
+from repro.semirings.base import Semiring
+from repro.semirings.boolean import BOOLEAN
+from repro.semirings.natural import NATURAL
+from repro.semirings.polynomial import PROVENANCE, Polynomial
+from repro.semirings.posbool import BoolExpr
+from repro.semirings.homomorphism import polynomial_to_posbool
+from repro.uxml.tree import UTree
+from repro.uxquery.engine import evaluate_query
+
+__all__ = [
+    "probability_of_event",
+    "bernoulli_distributions",
+    "geometric_distributions",
+    "ProbabilisticUXML",
+]
+
+
+def probability_of_event(expr: BoolExpr, probabilities: Mapping[str, float]) -> float:
+    """Exact probability that a positive Boolean event expression is true.
+
+    Events are independent Bernoulli variables with the given marginal
+    probabilities.  The computation enumerates the truth assignments of the
+    variables occurring in the expression (exponential in that number, which
+    is small for the per-item event expressions produced by queries).
+    """
+    variables = sorted(expr.variables)
+    if not variables:
+        return 1.0 if expr.is_true() else 0.0
+    total = 0.0
+    for values in itertools.product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if expr.evaluate(assignment):
+            weight = 1.0
+            for name, value in assignment.items():
+                p = probabilities.get(name)
+                if p is None:
+                    raise PossibleWorldsError(f"no probability given for event {name!r}")
+                weight *= p if value else (1.0 - p)
+            total += weight
+    return total
+
+
+def bernoulli_distributions(probabilities: Mapping[str, float]) -> dict[str, dict[bool, float]]:
+    """Per-token distributions over ``B`` from marginal truth probabilities."""
+    distributions: dict[str, dict[bool, float]] = {}
+    for token, p in probabilities.items():
+        if not 0.0 <= p <= 1.0:
+            raise PossibleWorldsError(f"probability for {token!r} must lie in [0, 1], got {p}")
+        distributions[token] = {True: p, False: 1.0 - p}
+    return distributions
+
+
+def geometric_distributions(
+    tokens: Mapping[str, None] | list[str] | frozenset[str], max_value: int = 6
+) -> dict[str, dict[int, float]]:
+    """The paper's example distribution over ``N``: ``Pr[f(x) = n] = 1/2^n`` for n > 0.
+
+    The distribution is truncated at ``max_value`` and the (tiny) residual mass
+    is assigned to ``max_value`` so that the truncated distribution still sums
+    to one.
+    """
+    distribution: dict[int, float] = {0: 0.0}
+    for n in range(1, max_value):
+        distribution[n] = 1.0 / (2**n)
+    distribution[max_value] = 1.0 - sum(distribution.values())
+    return {token: dict(distribution) for token in tokens}
+
+
+class ProbabilisticUXML:
+    """An ``N[X]``-annotated document with independent per-token distributions."""
+
+    def __init__(
+        self,
+        representation: KSet,
+        distributions: Mapping[str, Mapping[Any, float]],
+        target: Semiring = BOOLEAN,
+    ):
+        if representation.semiring != PROVENANCE:
+            raise PossibleWorldsError(
+                "probabilistic representations must carry N[X] annotations"
+            )
+        self.representation = representation
+        self.target = target
+        self.distributions = {token: dict(dist) for token, dist in distributions.items()}
+        missing = representation_tokens(representation) - set(self.distributions)
+        if missing:
+            raise PossibleWorldsError(f"no distribution given for tokens {sorted(missing)}")
+        for token, dist in self.distributions.items():
+            total = sum(dist.values())
+            if abs(total - 1.0) > 1e-9:
+                raise PossibleWorldsError(
+                    f"distribution for {token!r} sums to {total}, expected 1"
+                )
+            for value in dist:
+                if not target.is_valid(value):
+                    raise PossibleWorldsError(
+                        f"value {value!r} for token {token!r} is not in the semiring {target.name}"
+                    )
+
+    # -------------------------------------------------------------- factories
+    @classmethod
+    def bernoulli(cls, representation: KSet, probabilities: Mapping[str, float]) -> "ProbabilisticUXML":
+        """Boolean worlds with independent Bernoulli events (hidden-web style data)."""
+        return cls(representation, bernoulli_distributions(probabilities), BOOLEAN)
+
+    @classmethod
+    def with_repetitions(
+        cls, representation: KSet, max_value: int = 6
+    ) -> "ProbabilisticUXML":
+        """Bag-valued worlds with the paper's ``1/2^n`` multiplicity distribution."""
+        tokens = representation_tokens(representation)
+        return cls(representation, geometric_distributions(sorted(tokens), max_value), NATURAL)
+
+    # -------------------------------------------------------------- valuations
+    def valuations(self) -> Iterator[tuple[dict[str, Any], float]]:
+        """All valuations with their probabilities (independent tokens)."""
+        tokens = sorted(self.distributions)
+        spaces = [sorted(self.distributions[token].items(), key=repr) for token in tokens]
+        for combo in itertools.product(*spaces):
+            valuation = {token: value for token, (value, _) in zip(tokens, combo)}
+            probability = 1.0
+            for _, (_, p) in zip(tokens, combo):
+                probability *= p
+            if probability > 0.0:
+                yield valuation, probability
+
+    def world_distribution(self) -> dict[Any, float]:
+        """The induced probability distribution over possible worlds."""
+        distribution: dict[Any, float] = {}
+        for valuation, probability in self.valuations():
+            world = apply_valuation(self.representation, valuation, self.target)
+            distribution[world] = distribution.get(world, 0.0) + probability
+        return distribution
+
+    # ------------------------------------------------------------------ queries
+    def answer_distribution(self, query: str, variable: str, method: str = "nrc") -> dict[Any, float]:
+        """The probability distribution of the query answer over the worlds.
+
+        By the strong-representation property this is computed by querying the
+        representation *once* with ``N[X]`` semantics and specializing the
+        answer per valuation — no per-world query evaluation is needed.
+        """
+        annotated_answer = evaluate_query(
+            query, PROVENANCE, {variable: self.representation}, method=method
+        )
+        from repro.nrc.values import map_value_annotations
+        from repro.semirings.homomorphism import polynomial_valuation
+
+        distribution: dict[Any, float] = {}
+        for valuation, probability in self.valuations():
+            hom = polynomial_valuation(valuation, self.target)
+            world_answer = map_value_annotations(annotated_answer, hom)
+            distribution[world_answer] = distribution.get(world_answer, 0.0) + probability
+        return distribution
+
+    def annotated_answer(self, query: str, variable: str, method: str = "nrc") -> Any:
+        """The query answer over the ``N[X]`` representation (event-annotated)."""
+        return evaluate_query(query, PROVENANCE, {variable: self.representation}, method=method)
+
+    def member_probability(
+        self, query: str, variable: str, member: UTree, method: str = "nrc"
+    ) -> float:
+        """The marginal probability that ``member`` appears in the query answer.
+
+        Only meaningful for Boolean targets; computed exactly from the member's
+        PosBool event expression, without enumerating unrelated tokens.
+        ``member`` must be given as it appears in the annotated answer (i.e. an
+        ``N[X]``-annotated tree, see :meth:`annotated_answer`).
+        """
+        if self.target != BOOLEAN:
+            raise PossibleWorldsError("member probabilities require Boolean worlds")
+        answer = evaluate_query(query, PROVENANCE, {variable: self.representation}, method=method)
+        if isinstance(answer, UTree):
+            # For element-constructor queries the interesting collection is the
+            # answer element's content.
+            answer = answer.children
+        if not isinstance(answer, KSet):
+            raise PossibleWorldsError("member probabilities require a set-valued answer")
+        marginals = {
+            token: dist.get(True, 0.0) for token, dist in self.distributions.items()
+        }
+        annotation = answer.annotation(member)
+        if not isinstance(annotation, Polynomial):
+            return 0.0
+        event = polynomial_to_posbool()(annotation)
+        return probability_of_event(event, marginals)

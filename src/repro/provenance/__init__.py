@@ -1,0 +1,29 @@
+"""Reading and specializing N[X] provenance annotations."""
+
+from repro.provenance.analysis import (
+    event_expression,
+    lineage,
+    max_polynomial_size,
+    minimal_witnesses,
+    polynomial_sizes,
+    proposition2_bound,
+    required_tokens,
+    specialize,
+    specialize_tree,
+    tokens_used,
+    why_provenance,
+)
+
+__all__ = [
+    "specialize",
+    "specialize_tree",
+    "tokens_used",
+    "required_tokens",
+    "minimal_witnesses",
+    "why_provenance",
+    "lineage",
+    "event_expression",
+    "polynomial_sizes",
+    "max_polynomial_size",
+    "proposition2_bound",
+]

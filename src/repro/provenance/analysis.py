@@ -1,0 +1,148 @@
+"""Provenance analysis utilities over ``N[X]``-annotated answers.
+
+Evaluating a query once with provenance-polynomial annotations yields the most
+general description of how every answer item depends on the source.  This
+module offers the standard ways of *reading* those polynomials:
+
+* specialize to any semiring via a token valuation (Corollary 1),
+* extract why-provenance / lineage / PosBool event expressions,
+* find the tokens that are *required* (appear in every derivation),
+* measure polynomial sizes for the Proposition 2 bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.errors import AnnotationError
+from repro.kcollections.kset import KSet
+from repro.semirings.base import Semiring
+from repro.semirings.homomorphism import (
+    polynomial_to_lineage,
+    polynomial_to_posbool,
+    polynomial_to_why,
+    polynomial_valuation,
+)
+from repro.semirings.polynomial import PROVENANCE, Polynomial
+from repro.uxml.tree import UTree, map_forest_annotations, map_tree_annotations
+
+__all__ = [
+    "specialize",
+    "specialize_tree",
+    "tokens_used",
+    "required_tokens",
+    "minimal_witnesses",
+    "why_provenance",
+    "lineage",
+    "event_expression",
+    "polynomial_sizes",
+    "max_polynomial_size",
+    "proposition2_bound",
+]
+
+
+def _require_polynomial(annotation: Any) -> Polynomial:
+    if not isinstance(annotation, Polynomial):
+        raise AnnotationError(
+            f"provenance analysis requires N[X] annotations, got {annotation!r}"
+        )
+    return annotation
+
+
+def specialize(forest: KSet, valuation: Mapping[str, Any], target: Semiring) -> KSet:
+    """Evaluate every provenance polynomial in a forest under a token valuation."""
+    hom = polynomial_valuation(valuation, target)
+    return map_forest_annotations(forest, hom)
+
+
+def specialize_tree(tree: UTree, valuation: Mapping[str, Any], target: Semiring) -> UTree:
+    """Specialize the annotations inside a single tree."""
+    hom = polynomial_valuation(valuation, target)
+    return map_tree_annotations(tree, hom)
+
+
+def tokens_used(value: KSet | UTree | Polynomial) -> frozenset[str]:
+    """Every provenance token occurring in the value's annotations."""
+    if isinstance(value, Polynomial):
+        return value.variables
+    if isinstance(value, UTree):
+        tokens: set[str] = set()
+        for annotation in value.annotations():
+            tokens |= _require_polynomial(annotation).variables
+        return frozenset(tokens)
+    if isinstance(value, KSet):
+        tokens = set()
+        for member, annotation in value.items():
+            tokens |= _require_polynomial(annotation).variables
+            if isinstance(member, UTree):
+                tokens |= tokens_used(member)
+        return frozenset(tokens)
+    raise AnnotationError(f"cannot extract tokens from {value!r}")
+
+
+def required_tokens(annotation: Polynomial) -> frozenset[str]:
+    """Tokens that appear in *every* monomial: needed in every derivation."""
+    polynomial = _require_polynomial(annotation)
+    if polynomial.is_zero():
+        return frozenset()
+    monomials = list(polynomial.monomials())
+    required = set(monomials[0].variables)
+    for monomial in monomials[1:]:
+        required &= monomial.variables
+    return frozenset(required)
+
+
+def minimal_witnesses(annotation: Polynomial) -> frozenset[frozenset[str]]:
+    """The minimal sets of tokens that suffice to produce the item (PosBool view)."""
+    return polynomial_to_posbool()(_require_polynomial(annotation)).implicants
+
+
+def why_provenance(annotation: Polynomial):
+    """The why-provenance (witness sets) of a polynomial annotation."""
+    return polynomial_to_why()(_require_polynomial(annotation))
+
+
+def lineage(annotation: Polynomial):
+    """The lineage (set of all contributing tokens) of a polynomial annotation."""
+    return polynomial_to_lineage()(_require_polynomial(annotation))
+
+
+def event_expression(annotation: Polynomial):
+    """The PosBool event expression under which the item exists (Section 5)."""
+    return polynomial_to_posbool()(_require_polynomial(annotation))
+
+
+# ---------------------------------------------------------------------------
+# Proposition 2: polynomial size bounds
+# ---------------------------------------------------------------------------
+def polynomial_sizes(value: KSet | UTree) -> list[int]:
+    """Sizes of every polynomial annotation occurring in a value (recursively)."""
+    sizes: list[int] = []
+    if isinstance(value, UTree):
+        for annotation in value.annotations():
+            sizes.append(_require_polynomial(annotation).size())
+        return sizes
+    if isinstance(value, KSet):
+        for member, annotation in value.items():
+            sizes.append(_require_polynomial(annotation).size())
+            if isinstance(member, UTree):
+                sizes.extend(polynomial_sizes(member))
+        return sizes
+    raise AnnotationError(f"cannot measure polynomial sizes of {value!r}")
+
+
+def max_polynomial_size(value: KSet | UTree) -> int:
+    """The largest polynomial annotation in a value (0 for unannotated values)."""
+    sizes = polynomial_sizes(value)
+    return max(sizes) if sizes else 0
+
+
+def proposition2_bound(document_size: int, query_size: int, constant: int = 4) -> int:
+    """The ``O(|v|^{|p|})`` bound of Proposition 2 with an explicit constant.
+
+    The paper states that the size of every provenance polynomial in the answer
+    is in ``O(|v|^{|p|})`` where ``|v|`` is the document size and ``|p|`` the
+    query size.  The benchmark uses this helper to compare measured sizes
+    against the bound for a fixed small constant.
+    """
+    return constant * max(document_size, 2) ** max(query_size, 1)

@@ -1,0 +1,254 @@
+"""Positive relational algebra (RA+) on K-relations — the PODS 2007 baseline.
+
+The paper builds on the annotated-relation semantics of "Provenance
+semirings" (Green, Karvounarakis, Tannen, PODS 2007): selection filters
+tuples, projection adds the annotations of collapsing tuples, join multiplies
+annotations, and union adds them.  We provide both a small expression language
+(:class:`AlgebraExpr` and friends) and an evaluator against a named database,
+so that Figure 5's query ``pi_AC(pi_AB(R) |><| (pi_BC(R) U S))`` can be written
+down once, evaluated as in the 2007 paper, translated into K-UXQuery
+(Proposition 1) and encoded into NRC (Proposition 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.errors import RelationalError, SchemaError
+from repro.relational.krelation import KRelation
+from repro.semirings.base import Semiring
+
+__all__ = [
+    "AlgebraExpr",
+    "RelationRef",
+    "Selection",
+    "AttributeSelection",
+    "Projection",
+    "NaturalJoin",
+    "UnionExpr",
+    "RenameExpr",
+    "ProductExpr",
+    "evaluate_algebra",
+    "schema_of",
+    "figure5_algebra_query",
+]
+
+Database = Mapping[str, KRelation]
+
+
+class AlgebraExpr:
+    """Base class for positive relational-algebra expressions."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["AlgebraExpr", ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return str(self)
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot) for slot in self.__slots__  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (type(self),) + tuple(getattr(self, slot) for slot in self.__slots__)  # type: ignore[attr-defined]
+        )
+
+
+class RelationRef(AlgebraExpr):
+    """A reference to a named base relation."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Selection(AlgebraExpr):
+    """Selection ``sigma_{attribute = value}``."""
+
+    __slots__ = ("source", "attribute", "value")
+
+    def __init__(self, source: AlgebraExpr, attribute: str, value: Any):
+        self.source = source
+        self.attribute = attribute
+        self.value = value
+
+    def children(self) -> tuple[AlgebraExpr, ...]:
+        return (self.source,)
+
+    def __str__(self) -> str:
+        return f"sigma[{self.attribute}={self.value}]({self.source})"
+
+
+class AttributeSelection(AlgebraExpr):
+    """Selection ``sigma_{left = right}`` comparing two attributes."""
+
+    __slots__ = ("source", "left", "right")
+
+    def __init__(self, source: AlgebraExpr, left: str, right: str):
+        self.source = source
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[AlgebraExpr, ...]:
+        return (self.source,)
+
+    def __str__(self) -> str:
+        return f"sigma[{self.left}={self.right}]({self.source})"
+
+
+class Projection(AlgebraExpr):
+    """Projection ``pi_{attributes}`` (annotations of collapsing tuples add)."""
+
+    __slots__ = ("source", "attributes")
+
+    def __init__(self, source: AlgebraExpr, attributes: Sequence[str]):
+        self.source = source
+        self.attributes = tuple(attributes)
+
+    def children(self) -> tuple[AlgebraExpr, ...]:
+        return (self.source,)
+
+    def __str__(self) -> str:
+        return f"pi[{','.join(self.attributes)}]({self.source})"
+
+
+class NaturalJoin(AlgebraExpr):
+    """Natural join (annotations multiply)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: AlgebraExpr, right: AlgebraExpr):
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[AlgebraExpr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} |><| {self.right})"
+
+
+class UnionExpr(AlgebraExpr):
+    """Union (annotations add; schemas must match)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: AlgebraExpr, right: AlgebraExpr):
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[AlgebraExpr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} U {self.right})"
+
+
+class RenameExpr(AlgebraExpr):
+    """Attribute renaming."""
+
+    __slots__ = ("source", "mapping")
+
+    def __init__(self, source: AlgebraExpr, mapping: Mapping[str, str]):
+        self.source = source
+        self.mapping = tuple(sorted(mapping.items()))
+
+    def children(self) -> tuple[AlgebraExpr, ...]:
+        return (self.source,)
+
+    def __str__(self) -> str:
+        renames = ", ".join(f"{old}->{new}" for old, new in self.mapping)
+        return f"rho[{renames}]({self.source})"
+
+
+class ProductExpr(AlgebraExpr):
+    """Cartesian product (annotations multiply; schemas must be disjoint)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: AlgebraExpr, right: AlgebraExpr):
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[AlgebraExpr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} x {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# Evaluation and schema inference
+# ---------------------------------------------------------------------------
+def evaluate_algebra(expr: AlgebraExpr, database: Database) -> KRelation:
+    """Evaluate a positive RA expression over a database of K-relations."""
+    if isinstance(expr, RelationRef):
+        try:
+            return database[expr.name]
+        except KeyError:
+            raise RelationalError(f"unknown relation {expr.name!r}") from None
+    if isinstance(expr, Selection):
+        return evaluate_algebra(expr.source, database).select_eq(expr.attribute, expr.value)
+    if isinstance(expr, AttributeSelection):
+        return evaluate_algebra(expr.source, database).select_attr_eq(expr.left, expr.right)
+    if isinstance(expr, Projection):
+        return evaluate_algebra(expr.source, database).project(expr.attributes)
+    if isinstance(expr, NaturalJoin):
+        return evaluate_algebra(expr.left, database).join(evaluate_algebra(expr.right, database))
+    if isinstance(expr, UnionExpr):
+        return evaluate_algebra(expr.left, database).union(evaluate_algebra(expr.right, database))
+    if isinstance(expr, RenameExpr):
+        return evaluate_algebra(expr.source, database).rename(dict(expr.mapping))
+    if isinstance(expr, ProductExpr):
+        return evaluate_algebra(expr.left, database).product(evaluate_algebra(expr.right, database))
+    raise RelationalError(f"unknown algebra node {expr!r}")
+
+
+def schema_of(expr: AlgebraExpr, schemas: Mapping[str, Sequence[str]]) -> tuple[str, ...]:
+    """The output schema of an RA+ expression given the base-relation schemas."""
+    if isinstance(expr, RelationRef):
+        try:
+            return tuple(schemas[expr.name])
+        except KeyError:
+            raise RelationalError(f"unknown relation {expr.name!r}") from None
+    if isinstance(expr, (Selection, AttributeSelection)):
+        return schema_of(expr.source, schemas)
+    if isinstance(expr, Projection):
+        return expr.attributes
+    if isinstance(expr, NaturalJoin):
+        left = schema_of(expr.left, schemas)
+        right = schema_of(expr.right, schemas)
+        return left + tuple(attribute for attribute in right if attribute not in left)
+    if isinstance(expr, UnionExpr):
+        left = schema_of(expr.left, schemas)
+        right = schema_of(expr.right, schemas)
+        if left != right:
+            raise SchemaError(f"union of incompatible schemas {left} and {right}")
+        return left
+    if isinstance(expr, RenameExpr):
+        mapping = dict(expr.mapping)
+        return tuple(mapping.get(attribute, attribute) for attribute in schema_of(expr.source, schemas))
+    if isinstance(expr, ProductExpr):
+        return schema_of(expr.left, schemas) + schema_of(expr.right, schemas)
+    raise RelationalError(f"unknown algebra node {expr!r}")
+
+
+def figure5_algebra_query() -> AlgebraExpr:
+    """The paper's running relational query ``pi_AC(pi_AB(R) |><| (pi_BC(R) U S))``."""
+    return Projection(
+        NaturalJoin(
+            Projection(RelationRef("R"), ("A", "B")),
+            UnionExpr(Projection(RelationRef("R"), ("B", "C")), RelationRef("S")),
+        ),
+        ("A", "C"),
+    )

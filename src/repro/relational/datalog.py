@@ -1,0 +1,377 @@
+"""Datalog with semiring annotations and Skolem functions (Section 7).
+
+The shredding semantics of the paper translates XPath into (recursive) Datalog
+rules whose head atoms may contain Skolem-function terms that *invent* node
+identifiers for the output document.  This module provides:
+
+* the rule language (:class:`Variable`, :class:`Constant`, :class:`SkolemTerm`,
+  :class:`Atom`, :class:`Rule`, :class:`Program`);
+* a bottom-up, naive-iteration evaluator with K-annotation semantics: every
+  derivation of a fact contributes the product of its body annotations, and a
+  fact's annotation is the sum over all derivations.  Iteration proceeds until
+  the annotations reach a fixpoint.
+
+For the programs produced by the XPath translation the data is a tree, so the
+derivations of every fact are finite and the iteration terminates for every
+commutative semiring (including ``N[X]``).  For cyclic data the iteration may
+not converge in non-idempotent semirings; the evaluator then raises
+:class:`~repro.errors.DatalogNonTerminationError` (the paper restricts itself
+to the finite case as well).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence, Tuple
+
+from repro.errors import DatalogError, DatalogNonTerminationError, DatalogSafetyError
+from repro.relational.krelation import KRelation
+from repro.semirings.base import Semiring
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "SkolemTerm",
+    "SkolemValue",
+    "Atom",
+    "Rule",
+    "Program",
+    "evaluate_program",
+    "facts_from_relation",
+    "relation_from_facts",
+]
+
+#: The anonymous variable: matches anything, binds nothing.
+WILDCARD_NAME = "_"
+
+
+class Term:
+    """Base class of Datalog terms."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot) for slot in self.__slots__  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (type(self),) + tuple(getattr(self, slot) for slot in self.__slots__)  # type: ignore[attr-defined]
+        )
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class Variable(Term):
+    """A Datalog variable (``_`` is the anonymous wildcard)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.name == WILDCARD_NAME
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Constant(Term):
+    """A constant value (label, node id, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+class SkolemTerm(Term):
+    """A Skolem-function application ``f(t1, ..., tn)`` (head positions only)."""
+
+    __slots__ = ("function", "args")
+
+    def __init__(self, function: str, args: Sequence[Term]):
+        self.function = function
+        self.args = tuple(args)
+
+    def __str__(self) -> str:
+        return f"{self.function}({', '.join(str(arg) for arg in self.args)})"
+
+
+class SkolemValue:
+    """The value produced by a Skolem term: an injective, structured identifier."""
+
+    __slots__ = ("function", "args", "_hash")
+
+    def __init__(self, function: str, args: Tuple[Any, ...]):
+        object.__setattr__(self, "function", function)
+        object.__setattr__(self, "args", tuple(args))
+        object.__setattr__(self, "_hash", hash((function, tuple(args))))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SkolemValue):
+            return NotImplemented
+        return self.function == other.function and self.args == other.args
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return f"{self.function}({', '.join(str(arg) for arg in self.args)})"
+
+    def __repr__(self) -> str:
+        return str(self)
+
+    def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover - safety
+        raise AttributeError("SkolemValue instances are immutable")
+
+
+class Atom:
+    """A predicate applied to terms, e.g. ``E(p, n, l)``."""
+
+    __slots__ = ("predicate", "args")
+
+    def __init__(self, predicate: str, args: Sequence[Term]):
+        self.predicate = predicate
+        self.args = tuple(args)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return self.predicate == other.predicate and self.args == other.args
+
+    def __hash__(self) -> int:
+        return hash((self.predicate, self.args))
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(str(arg) for arg in self.args)})"
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class Rule:
+    """A Datalog rule ``head :- body1, ..., bodyn``."""
+
+    __slots__ = ("head", "body")
+
+    def __init__(self, head: Atom, body: Sequence[Atom]):
+        self.head = head
+        self.body = tuple(body)
+        self._check_safety()
+
+    def _check_safety(self) -> None:
+        body_vars = {
+            term.name
+            for atom in self.body
+            for term in atom.args
+            if isinstance(term, Variable) and not term.is_wildcard
+        }
+        for term in self.head.args:
+            for name in _term_variables(term):
+                if name not in body_vars:
+                    raise DatalogSafetyError(
+                        f"unsafe rule: head variable {name!r} does not occur in the body "
+                        f"of {self}"
+                    )
+        for atom in self.body:
+            for term in atom.args:
+                if isinstance(term, SkolemTerm):
+                    raise DatalogSafetyError(
+                        f"Skolem terms may only appear in rule heads: {self}"
+                    )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rule):
+            return NotImplemented
+        return self.head == other.head and self.body == other.body
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.body))
+
+    def __str__(self) -> str:
+        return f"{self.head} :- {', '.join(str(atom) for atom in self.body)}"
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class Program:
+    """A set of Datalog rules."""
+
+    __slots__ = ("rules",)
+
+    def __init__(self, rules: Sequence[Rule]):
+        self.rules = tuple(rules)
+
+    def idb_predicates(self) -> frozenset[str]:
+        """Predicates defined by some rule head."""
+        return frozenset(rule.head.predicate for rule in self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+    def __repr__(self) -> str:
+        return f"Program({len(self.rules)} rules)"
+
+
+def _term_variables(term: Term) -> frozenset[str]:
+    if isinstance(term, Variable):
+        return frozenset() if term.is_wildcard else frozenset({term.name})
+    if isinstance(term, SkolemTerm):
+        result: frozenset[str] = frozenset()
+        for arg in term.args:
+            result |= _term_variables(arg)
+        return result
+    return frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+Facts = dict[str, dict[Tuple[Any, ...], Any]]
+
+
+def facts_from_relation(relation: KRelation) -> dict[Tuple[Any, ...], Any]:
+    """The fact table (tuple -> annotation) of a K-relation."""
+    return {row: annotation for row, annotation in relation.items()}
+
+
+def relation_from_facts(
+    semiring: Semiring, attributes: Sequence[str], facts: Mapping[Tuple[Any, ...], Any]
+) -> KRelation:
+    """Package a fact table as a K-relation."""
+    return KRelation(semiring, attributes, dict(facts))
+
+
+def _match_term(term: Term, value: Any, bindings: dict[str, Any]) -> dict[str, Any] | None:
+    if isinstance(term, Constant):
+        return bindings if term.value == value else None
+    if isinstance(term, Variable):
+        if term.is_wildcard:
+            return bindings
+        if term.name in bindings:
+            return bindings if bindings[term.name] == value else None
+        extended = dict(bindings)
+        extended[term.name] = value
+        return extended
+    raise DatalogError(f"cannot match against term {term!r} in a rule body")
+
+
+def _instantiate(term: Term, bindings: Mapping[str, Any]) -> Any:
+    if isinstance(term, Constant):
+        return term.value
+    if isinstance(term, Variable):
+        try:
+            return bindings[term.name]
+        except KeyError:
+            raise DatalogError(f"unbound variable {term.name!r} in rule head") from None
+    if isinstance(term, SkolemTerm):
+        return SkolemValue(term.function, tuple(_instantiate(arg, bindings) for arg in term.args))
+    raise DatalogError(f"cannot instantiate term {term!r}")
+
+
+def _rule_derivations(
+    rule: Rule, facts: Facts, semiring: Semiring
+) -> Iterable[Tuple[Tuple[Any, ...], Any]]:
+    """All derivations of the rule: instantiated head tuples with annotations."""
+
+    def search(index: int, bindings: dict[str, Any], annotation: Any):
+        if index == len(rule.body):
+            head_tuple = tuple(_instantiate(term, bindings) for term in rule.head.args)
+            yield head_tuple, annotation
+            return
+        atom = rule.body[index]
+        table = facts.get(atom.predicate, {})
+        for row, row_annotation in table.items():
+            if len(row) != len(atom.args):
+                raise DatalogError(
+                    f"arity mismatch: {atom} matched against a fact of arity {len(row)}"
+                )
+            bound: dict[str, Any] | None = bindings
+            for term, value in zip(atom.args, row):
+                bound = _match_term(term, value, bound)
+                if bound is None:
+                    break
+            if bound is None:
+                continue
+            yield from search(index + 1, bound, semiring.mul(annotation, row_annotation))
+
+    yield from search(0, {}, semiring.one)
+
+
+def _facts_equal(left: Facts, right: Facts) -> bool:
+    if left.keys() != right.keys():
+        return False
+    return all(left[predicate] == right[predicate] for predicate in left)
+
+
+def evaluate_program(
+    program: Program,
+    edb: Mapping[str, Mapping[Tuple[Any, ...], Any]],
+    semiring: Semiring,
+    max_iterations: int = 1000,
+) -> Facts:
+    """Naive bottom-up evaluation with semiring annotations.
+
+    ``edb`` maps predicate names to fact tables (tuple -> annotation); the
+    result contains the EDB predicates unchanged plus the derived (IDB)
+    predicates.  A fact's final annotation is the sum, over all of its
+    derivation trees, of the product of the leaf (EDB) annotations — the
+    standard semiring-Datalog semantics restricted to finitely many
+    derivations.
+    """
+    base: Facts = {
+        predicate: {
+            row: semiring.normalize(semiring.coerce(annotation))
+            for row, annotation in table.items()
+            if not semiring.is_zero(annotation)
+        }
+        for predicate, table in edb.items()
+    }
+    idb = program.idb_predicates()
+    current: Facts = {predicate: dict(table) for predicate, table in base.items()}
+    for predicate in idb:
+        current.setdefault(predicate, {})
+
+    for _ in range(max_iterations):
+        derived: Facts = {predicate: dict(base.get(predicate, {})) for predicate in current}
+        for rule in program:
+            target = derived.setdefault(rule.head.predicate, {})
+            for head_tuple, annotation in _rule_derivations(rule, current, semiring):
+                if semiring.is_zero(annotation):
+                    continue
+                if head_tuple in target:
+                    target[head_tuple] = semiring.add(target[head_tuple], annotation)
+                else:
+                    target[head_tuple] = annotation
+        derived = {
+            predicate: {
+                row: semiring.normalize(annotation)
+                for row, annotation in table.items()
+                if not semiring.is_zero(annotation)
+            }
+            for predicate, table in derived.items()
+        }
+        if _facts_equal(derived, current):
+            return current
+        current = derived
+
+    raise DatalogNonTerminationError(
+        f"Datalog evaluation did not reach a fixpoint within {max_iterations} iterations "
+        f"(cyclic data over a non-idempotent semiring?)"
+    )

@@ -1,0 +1,279 @@
+"""Encoding K-relations as K-UXML and positive RA as K-UXQuery (Proposition 1).
+
+Figure 5 of the paper encodes a relational database "in the obvious way": a
+root element (``D``) has one child per relation (``R``, ``S``, ...); each
+relation element has one ``t`` child per tuple, carrying the tuple's
+annotation; each tuple element has one child per attribute, wrapping the value
+as a leaf.  Proposition 1 states that translating a positive relational
+algebra query into K-UXQuery and running it over this encoding produces the
+encoding of the K-relational answer.  This module provides both directions of
+the encoding and the (compositional) query translation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import RelationalError
+from repro.kcollections.kset import KSet
+from repro.relational.algebra import (
+    AlgebraExpr,
+    AttributeSelection,
+    NaturalJoin,
+    ProductExpr,
+    Projection,
+    RelationRef,
+    RenameExpr,
+    Selection,
+    UnionExpr,
+    schema_of,
+)
+from repro.relational.krelation import KRelation
+from repro.semirings.base import Semiring
+from repro.uxml.tree import UTree, leaf
+from repro.uxquery.ast import (
+    AndCondition,
+    Condition,
+    ElementExpr,
+    EmptySeq,
+    EqCondition,
+    ForExpr,
+    IfEqExpr,
+    LabelExpr,
+    NameExpr,
+    PathExpr,
+    Query,
+    Sequence as SeqExpr,
+    Step,
+    VarExpr,
+)
+
+__all__ = [
+    "relation_to_tree",
+    "database_to_uxml",
+    "tree_to_relation",
+    "forest_to_relation",
+    "algebra_to_uxquery",
+]
+
+#: The element label used for encoded tuples.
+TUPLE_LABEL = "t"
+
+
+# ---------------------------------------------------------------------------
+# Data encoding
+# ---------------------------------------------------------------------------
+def relation_to_tree(
+    semiring: Semiring,
+    name: str,
+    relation: KRelation,
+    tuple_label: str = TUPLE_LABEL,
+) -> UTree:
+    """Encode one K-relation as an element whose children are annotated tuples."""
+    tuples = []
+    for row, annotation in relation.items():
+        fields = [
+            UTree(attribute, KSet.singleton(semiring, leaf(semiring, str(value))))
+            for attribute, value in zip(relation.attributes, row)
+        ]
+        tuple_tree = UTree(tuple_label, KSet.from_values(semiring, fields))
+        tuples.append((tuple_tree, annotation))
+    return UTree(name, KSet(semiring, tuples))
+
+
+def database_to_uxml(
+    semiring: Semiring,
+    database: Mapping[str, KRelation],
+    root_label: str = "D",
+    tuple_label: str = TUPLE_LABEL,
+) -> KSet:
+    """Encode a database as a singleton K-set containing one root tree."""
+    relations = [
+        relation_to_tree(semiring, name, relation, tuple_label)
+        for name, relation in sorted(database.items())
+    ]
+    root = UTree(root_label, KSet.from_values(semiring, relations))
+    return KSet.singleton(semiring, root)
+
+
+def _field_value(tuple_tree: UTree, attribute: str) -> str:
+    for child in tuple_tree.children:
+        if child.label == attribute:
+            leaves = list(child.children)
+            if len(leaves) != 1:
+                raise RelationalError(
+                    f"attribute element {attribute!r} does not wrap exactly one value"
+                )
+            return leaves[0].label
+    raise RelationalError(f"tuple element has no attribute {attribute!r}")
+
+
+def forest_to_relation(forest: KSet, attributes: Sequence[str]) -> KRelation:
+    """Decode a K-set of encoded tuple elements back into a K-relation."""
+    semiring = forest.semiring
+    rows = []
+    for tuple_tree, annotation in forest.items():
+        if not isinstance(tuple_tree, UTree):
+            raise RelationalError(f"forest member {tuple_tree!r} is not a tree")
+        row = tuple(_field_value(tuple_tree, attribute) for attribute in attributes)
+        rows.append((row, annotation))
+    return KRelation(semiring, tuple(attributes), rows)
+
+
+def tree_to_relation(relation_tree: UTree, attributes: Sequence[str]) -> KRelation:
+    """Decode an encoded relation element (children are tuple elements)."""
+    return forest_to_relation(relation_tree.children, attributes)
+
+
+# ---------------------------------------------------------------------------
+# Query translation (Proposition 1)
+# ---------------------------------------------------------------------------
+_FRESH = [0]
+
+
+def _fresh(base: str) -> str:
+    _FRESH[0] += 1
+    return f"{base}_{_FRESH[0]}"
+
+
+def _tuple_constructor(fields: Sequence[Query], tuple_label: str) -> Query:
+    content: Query
+    if not fields:
+        content = EmptySeq()
+    elif len(fields) == 1:
+        content = fields[0]
+    else:
+        content = SeqExpr(tuple(fields))
+    return ElementExpr(LabelExpr(tuple_label), content)
+
+
+def _attribute_path(var: str, attribute: str) -> Query:
+    return PathExpr(VarExpr(var), (Step("child", attribute),))
+
+
+def _attribute_values_path(var: str, attribute: str) -> Query:
+    return PathExpr(VarExpr(var), (Step("child", attribute), Step("child", "*")))
+
+
+def algebra_to_uxquery(
+    expr: AlgebraExpr,
+    schemas: Mapping[str, Sequence[str]],
+    database_var: str = "d",
+    tuple_label: str = TUPLE_LABEL,
+) -> Query:
+    """Translate a positive RA query into a K-UXQuery over the encoded database.
+
+    The resulting query has a single free variable ``$<database_var>`` bound to
+    the encoded database (a singleton K-set containing the root element) and
+    evaluates to the K-set of encoded answer tuples.
+    """
+    query, _ = _translate(expr, dict(schemas), database_var, tuple_label)
+    return query
+
+
+def _translate(
+    expr: AlgebraExpr,
+    schemas: dict[str, Sequence[str]],
+    database_var: str,
+    tuple_label: str,
+) -> tuple[Query, tuple[str, ...]]:
+    schema = schema_of(expr, schemas)
+
+    if isinstance(expr, RelationRef):
+        query = PathExpr(
+            VarExpr(database_var), (Step("child", expr.name), Step("child", "*"))
+        )
+        return query, schema
+
+    if isinstance(expr, UnionExpr):
+        left, _ = _translate(expr.left, schemas, database_var, tuple_label)
+        right, _ = _translate(expr.right, schemas, database_var, tuple_label)
+        return SeqExpr((left, right)), schema
+
+    if isinstance(expr, Projection):
+        source, _ = _translate(expr.source, schemas, database_var, tuple_label)
+        var = _fresh("t")
+        fields = [_attribute_path(var, attribute) for attribute in expr.attributes]
+        body = _tuple_constructor(fields, tuple_label)
+        return ForExpr(((var, source),), body, None), schema
+
+    if isinstance(expr, Selection):
+        source, _ = _translate(expr.source, schemas, database_var, tuple_label)
+        tuple_var = _fresh("t")
+        value_var = _fresh("v")
+        guard = IfEqExpr(
+            NameExpr(VarExpr(value_var)),
+            LabelExpr(str(expr.value)),
+            SeqExpr((VarExpr(tuple_var),)),
+            EmptySeq(),
+        )
+        inner = ForExpr(
+            ((value_var, _attribute_values_path(tuple_var, expr.attribute)),), guard, None
+        )
+        return ForExpr(((tuple_var, source),), inner, None), schema
+
+    if isinstance(expr, AttributeSelection):
+        source, _ = _translate(expr.source, schemas, database_var, tuple_label)
+        tuple_var = _fresh("t")
+        left_var, right_var = _fresh("u"), _fresh("v")
+        guard = IfEqExpr(
+            NameExpr(VarExpr(left_var)),
+            NameExpr(VarExpr(right_var)),
+            SeqExpr((VarExpr(tuple_var),)),
+            EmptySeq(),
+        )
+        inner = ForExpr(
+            ((right_var, _attribute_values_path(tuple_var, expr.right)),), guard, None
+        )
+        outer = ForExpr(
+            ((left_var, _attribute_values_path(tuple_var, expr.left)),), inner, None
+        )
+        return ForExpr(((tuple_var, source),), outer, None), schema
+
+    if isinstance(expr, NaturalJoin):
+        left, left_schema = _translate(expr.left, schemas, database_var, tuple_label)
+        right, right_schema = _translate(expr.right, schemas, database_var, tuple_label)
+        common = [attribute for attribute in left_schema if attribute in right_schema]
+        left_var, right_var = _fresh("x"), _fresh("y")
+        fields = [_attribute_path(left_var, attribute) for attribute in left_schema]
+        fields += [
+            _attribute_path(right_var, attribute)
+            for attribute in right_schema
+            if attribute not in common
+        ]
+        body = _tuple_constructor(fields, tuple_label)
+        condition: Condition | None = None
+        for attribute in common:
+            equality = EqCondition(
+                _attribute_path(left_var, attribute), _attribute_path(right_var, attribute)
+            )
+            condition = equality if condition is None else AndCondition(condition, equality)
+        return (
+            ForExpr(((left_var, left), (right_var, right)), body, condition),
+            schema,
+        )
+
+    if isinstance(expr, ProductExpr):
+        left, left_schema = _translate(expr.left, schemas, database_var, tuple_label)
+        right, right_schema = _translate(expr.right, schemas, database_var, tuple_label)
+        left_var, right_var = _fresh("x"), _fresh("y")
+        fields = [_attribute_path(left_var, attribute) for attribute in left_schema]
+        fields += [_attribute_path(right_var, attribute) for attribute in right_schema]
+        body = _tuple_constructor(fields, tuple_label)
+        return ForExpr(((left_var, left), (right_var, right)), body, None), schema
+
+    if isinstance(expr, RenameExpr):
+        source, source_schema = _translate(expr.source, schemas, database_var, tuple_label)
+        mapping = dict(expr.mapping)
+        var = _fresh("t")
+        fields = [
+            ElementExpr(
+                LabelExpr(mapping.get(attribute, attribute)),
+                _attribute_values_path(var, attribute),
+            )
+            for attribute in source_schema
+        ]
+        body = _tuple_constructor(fields, tuple_label)
+        return ForExpr(((var, source),), body, None), schema
+
+    raise RelationalError(f"cannot translate algebra node {expr!r}")

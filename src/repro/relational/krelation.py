@@ -1,0 +1,254 @@
+"""K-relations: annotated relations in the sense of Green-Karvounarakis-Tannen.
+
+A K-relation over a schema (a tuple of attribute names) is a finite-support
+function from tuples of labels to a commutative semiring ``K``.  They are the
+relational counterpart of K-sets of trees and are used in three places:
+
+* as the baseline model of the PODS 2007 paper that this paper extends
+  (Propositions 1 and 4 compare K-UXQuery / NRC_K against them);
+* as the fact storage of the Datalog engine used by the shredding semantics
+  of Section 7;
+* as the target of the ``E(pid, nid, label)`` encoding of K-UXML.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.semirings.base import Semiring
+
+__all__ = ["KRelation"]
+
+Row = Tuple[Any, ...]
+
+
+class KRelation:
+    """An immutable annotated relation: a finite map ``tuple -> K``."""
+
+    __slots__ = ("_semiring", "_attributes", "_rows", "_hash")
+
+    def __init__(
+        self,
+        semiring: Semiring,
+        attributes: Sequence[str],
+        rows: Mapping[Row, Any] | Iterable[Tuple[Row, Any]] = (),
+    ):
+        attrs = tuple(attributes)
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"duplicate attribute names in schema {attrs}")
+        collected: dict[Row, Any] = {}
+        pairs = rows.items() if isinstance(rows, Mapping) else rows
+        for row, annotation in pairs:
+            row = tuple(row)
+            if len(row) != len(attrs):
+                raise SchemaError(
+                    f"row {row} has arity {len(row)}, schema {attrs} has arity {len(attrs)}"
+                )
+            annotation = semiring.coerce(annotation)
+            if row in collected:
+                collected[row] = semiring.add(collected[row], annotation)
+            else:
+                collected[row] = annotation
+        cleaned = {
+            row: semiring.normalize(annotation)
+            for row, annotation in collected.items()
+            if not semiring.is_zero(annotation)
+        }
+        object.__setattr__(self, "_semiring", semiring)
+        object.__setattr__(self, "_attributes", attrs)
+        object.__setattr__(self, "_rows", cleaned)
+        object.__setattr__(self, "_hash", None)
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def semiring(self) -> Semiring:
+        return self._semiring
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self._attributes
+
+    @property
+    def arity(self) -> int:
+        return len(self._attributes)
+
+    def annotation(self, row: Sequence[Any]) -> Any:
+        """The annotation of a tuple (the semiring zero if absent)."""
+        return self._rows.get(tuple(row), self._semiring.zero)
+
+    def items(self) -> Iterator[Tuple[Row, Any]]:
+        return iter(self._rows.items())
+
+    def rows(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def support(self) -> frozenset[Row]:
+        return frozenset(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row: Sequence[Any]) -> bool:
+        return tuple(row) in self._rows
+
+    def is_empty(self) -> bool:
+        return not self._rows
+
+    def _index_of(self, attribute: str) -> int:
+        try:
+            return self._attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"attribute {attribute!r} not in schema {self._attributes}"
+            ) from None
+
+    # ---------------------------------------------------- algebra (RA+ of [16])
+    def _require_compatible(self, other: "KRelation") -> None:
+        if self._semiring != other._semiring:
+            raise SchemaError("cannot combine K-relations over different semirings")
+
+    def union(self, other: "KRelation") -> "KRelation":
+        """Union: pointwise annotation addition (requires identical schemas)."""
+        self._require_compatible(other)
+        if self._attributes != other._attributes:
+            raise SchemaError(
+                f"union of incompatible schemas {self._attributes} and {other._attributes}"
+            )
+        merged = dict(self._rows)
+        for row, annotation in other._rows.items():
+            if row in merged:
+                merged[row] = self._semiring.add(merged[row], annotation)
+            else:
+                merged[row] = annotation
+        return KRelation(self._semiring, self._attributes, merged)
+
+    def project(self, attributes: Sequence[str]) -> "KRelation":
+        """Projection: annotations of collapsing tuples are added."""
+        indices = [self._index_of(attribute) for attribute in attributes]
+        projected: list[Tuple[Row, Any]] = []
+        for row, annotation in self._rows.items():
+            projected.append((tuple(row[index] for index in indices), annotation))
+        return KRelation(self._semiring, tuple(attributes), projected)
+
+    def select(self, predicate: Callable[[dict[str, Any]], bool]) -> "KRelation":
+        """Selection by an arbitrary (boolean) predicate on the named fields."""
+        kept = [
+            (row, annotation)
+            for row, annotation in self._rows.items()
+            if predicate(dict(zip(self._attributes, row)))
+        ]
+        return KRelation(self._semiring, self._attributes, kept)
+
+    def select_eq(self, attribute: str, value: Any) -> "KRelation":
+        """Selection ``attribute = value``."""
+        index = self._index_of(attribute)
+        kept = [(row, annotation) for row, annotation in self._rows.items() if row[index] == value]
+        return KRelation(self._semiring, self._attributes, kept)
+
+    def select_attr_eq(self, left: str, right: str) -> "KRelation":
+        """Selection ``left = right`` comparing two attributes."""
+        left_index, right_index = self._index_of(left), self._index_of(right)
+        kept = [
+            (row, annotation)
+            for row, annotation in self._rows.items()
+            if row[left_index] == row[right_index]
+        ]
+        return KRelation(self._semiring, self._attributes, kept)
+
+    def rename(self, mapping: Mapping[str, str]) -> "KRelation":
+        """Rename attributes according to ``mapping`` (missing names unchanged)."""
+        renamed = tuple(mapping.get(attribute, attribute) for attribute in self._attributes)
+        return KRelation(self._semiring, renamed, dict(self._rows))
+
+    def product(self, other: "KRelation") -> "KRelation":
+        """Cartesian product: annotations multiply (schemas must be disjoint)."""
+        self._require_compatible(other)
+        overlap = set(self._attributes) & set(other._attributes)
+        if overlap:
+            raise SchemaError(f"cartesian product with overlapping attributes {overlap}")
+        semiring = self._semiring
+        combined: list[Tuple[Row, Any]] = []
+        for left_row, left_annotation in self._rows.items():
+            for right_row, right_annotation in other._rows.items():
+                combined.append(
+                    (left_row + right_row, semiring.mul(left_annotation, right_annotation))
+                )
+        return KRelation(semiring, self._attributes + other._attributes, combined)
+
+    def join(self, other: "KRelation") -> "KRelation":
+        """Natural join on the common attributes: annotations multiply."""
+        self._require_compatible(other)
+        common = [attribute for attribute in self._attributes if attribute in other._attributes]
+        other_only = [attribute for attribute in other._attributes if attribute not in common]
+        result_attrs = self._attributes + tuple(other_only)
+        left_common = [self._index_of(attribute) for attribute in common]
+        right_common = [other._index_of(attribute) for attribute in common]
+        right_only_indices = [other._index_of(attribute) for attribute in other_only]
+        semiring = self._semiring
+
+        # Hash join on the common-attribute key.
+        index: dict[Row, list[Tuple[Row, Any]]] = {}
+        for right_row, right_annotation in other._rows.items():
+            key = tuple(right_row[position] for position in right_common)
+            index.setdefault(key, []).append((right_row, right_annotation))
+
+        joined: list[Tuple[Row, Any]] = []
+        for left_row, left_annotation in self._rows.items():
+            key = tuple(left_row[position] for position in left_common)
+            for right_row, right_annotation in index.get(key, ()):
+                extension = tuple(right_row[position] for position in right_only_indices)
+                joined.append(
+                    (left_row + extension, semiring.mul(left_annotation, right_annotation))
+                )
+        return KRelation(semiring, result_attrs, joined)
+
+    # --------------------------------------------------- annotation rewriting
+    def map_annotations(self, fn: Callable[[Any], Any], target: Semiring | None = None) -> "KRelation":
+        """Apply a homomorphism / function to every annotation (Corollary 1 lifting)."""
+        semiring = target if target is not None else self._semiring
+        return KRelation(
+            semiring,
+            self._attributes,
+            [(row, fn(annotation)) for row, annotation in self._rows.items()],
+        )
+
+    # ------------------------------------------------------------- comparison
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KRelation):
+            return NotImplemented
+        return (
+            self._semiring == other._semiring
+            and self._attributes == other._attributes
+            and self._rows == other._rows
+        )
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash((self._semiring, self._attributes, frozenset(self._rows.items())))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    # ---------------------------------------------------------------- display
+    def __repr__(self) -> str:
+        header = ", ".join(self._attributes)
+        rows = "; ".join(
+            f"{row} -> {self._semiring.repr_element(annotation)}"
+            for row, annotation in sorted(self._rows.items(), key=lambda kv: repr(kv[0]))
+        )
+        return f"KRelation[{header}]{{{rows}}}"
+
+    def to_table(self) -> str:
+        """A plain-text table rendering (used by examples and benchmark output)."""
+        header = list(self._attributes) + ["annotation"]
+        lines = [" | ".join(header)]
+        lines.append("-+-".join("-" * len(column) for column in header))
+        for row, annotation in sorted(self._rows.items(), key=lambda kv: repr(kv[0])):
+            lines.append(
+                " | ".join([str(field) for field in row] + [self._semiring.repr_element(annotation)])
+            )
+        return "\n".join(lines)
+
+    def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover - safety
+        raise AttributeError("KRelation instances are immutable")

@@ -1,0 +1,5 @@
+"""Security application (Section 4): clearance semirings and access control."""
+
+from repro.security.policy import AccessControl, clearance_view, clearance_view_via_provenance
+
+__all__ = ["AccessControl", "clearance_view", "clearance_view_via_provenance"]

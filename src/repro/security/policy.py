@@ -1,0 +1,134 @@
+"""The security application of Section 4: clearance propagation through views.
+
+An XML database is manually annotated with clearance levels specifying what
+clearance a user needs to see each subtree.  When a K-UXQuery view is
+computed, the clearance semiring propagates the levels automatically: among
+*alternative* derivations the minimum clearance suffices, while *joint* use of
+data requires the maximum clearance.
+
+Two equivalent ways of computing view clearances are provided (they agree by
+Corollary 1, which the tests check):
+
+* evaluate the view directly over the clearance semiring
+  (:func:`clearance_view`);
+* evaluate once over the provenance polynomials and specialize afterwards via
+  the homomorphism induced by a token-to-clearance valuation
+  (:func:`clearance_view_via_provenance`) — useful when the same annotated
+  source also serves other purposes.
+
+:class:`AccessControl` answers the operational questions: which members of a
+view a user with a given clearance may see, and what a view looks like after
+redacting everything above the user's clearance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import AnnotationError
+from repro.kcollections.kset import KSet
+from repro.semirings.homomorphism import polynomial_valuation
+from repro.semirings.polynomial import PROVENANCE
+from repro.semirings.security import CLEARANCE, ClearanceSemiring
+from repro.uxml.tree import UTree, map_forest_annotations
+from repro.uxquery.ast import Query
+from repro.uxquery.engine import evaluate_query
+
+__all__ = [
+    "clearance_view",
+    "clearance_view_via_provenance",
+    "AccessControl",
+]
+
+
+def clearance_view(
+    query: str | Query,
+    env: Mapping[str, Any],
+    semiring: ClearanceSemiring = CLEARANCE,
+    method: str = "nrc",
+) -> Any:
+    """Evaluate a view over clearance-annotated sources, propagating clearances."""
+    return evaluate_query(query, semiring, env, method=method)
+
+
+def clearance_view_via_provenance(
+    query: str | Query,
+    env: Mapping[str, Any],
+    valuation: Mapping[str, str],
+    semiring: ClearanceSemiring = CLEARANCE,
+    method: str = "nrc",
+) -> Any:
+    """Evaluate the view over ``N[X]`` and specialize the provenance to clearances.
+
+    ``env`` binds the query's free variables to provenance-polynomial-annotated
+    sources; ``valuation`` maps each provenance token to a clearance level
+    (tokens not listed default to the most public level, the semiring's one).
+    """
+    answer = evaluate_query(query, PROVENANCE, env, method=method)
+    tokens: set[str] = set()
+    if isinstance(answer, KSet):
+        for _, annotation in answer.items():
+            tokens |= annotation.variables
+        for tree in answer:
+            if isinstance(tree, UTree):
+                for annotation in tree.annotations():
+                    tokens |= annotation.variables
+    elif isinstance(answer, UTree):
+        for annotation in answer.annotations():
+            tokens |= annotation.variables
+    complete_valuation = {token: semiring.one for token in tokens}
+    for token, level in valuation.items():
+        complete_valuation[token] = semiring.coerce(level)
+    hom = polynomial_valuation(complete_valuation, semiring)
+    if isinstance(answer, KSet):
+        return map_forest_annotations(answer, hom)
+    if isinstance(answer, UTree):
+        from repro.uxml.tree import map_tree_annotations
+
+        return map_tree_annotations(answer, hom)
+    return answer
+
+
+class AccessControl:
+    """Answer access-control questions about a clearance-annotated view."""
+
+    def __init__(self, semiring: ClearanceSemiring = CLEARANCE):
+        self.semiring = semiring
+
+    def can_see(self, data_level: str, user_level: str) -> bool:
+        """True if a user with ``user_level`` clearance may see ``data_level`` data."""
+        return self.semiring.accessible(data_level, user_level)
+
+    def visible_members(self, view: KSet, user_level: str) -> KSet:
+        """The members of a view K-set whose clearance the user satisfies."""
+        if not isinstance(self.semiring, ClearanceSemiring):  # pragma: no cover - defensive
+            raise AnnotationError("visible_members requires a clearance semiring")
+        return view.filter(
+            lambda member: self.can_see(view.annotation(member), user_level)
+        )
+
+    def redact_tree(self, tree: UTree, user_level: str) -> UTree:
+        """Remove every subtree whose clearance the user does not satisfy."""
+        members = []
+        for child, annotation in tree.children.items():
+            if self.can_see(annotation, user_level):
+                members.append((self.redact_tree(child, user_level), annotation))
+        return UTree(tree.label, KSet(self.semiring, members))
+
+    def redact(self, view: KSet, user_level: str) -> KSet:
+        """Redact a whole view: drop invisible members and prune their subtrees."""
+        members = []
+        for tree, annotation in view.items():
+            if self.can_see(annotation, user_level):
+                members.append((self.redact_tree(tree, user_level), annotation))
+        return KSet(self.semiring, members)
+
+    def clearance_report(self, view: KSet) -> dict[str, list[str]]:
+        """Group a view's members by the minimum clearance required to see them."""
+        from repro.uxml.serializer import to_paper_notation
+
+        report: dict[str, list[str]] = {level: [] for level in self.semiring.levels}
+        report[self.semiring.absent] = []
+        for tree, annotation in view.items():
+            report.setdefault(annotation, []).append(to_paper_notation(tree))
+        return {level: sorted(items) for level, items in report.items()}

@@ -1,0 +1,60 @@
+"""The Boolean semiring ``(B, or, and, False, True)``.
+
+B-annotated data is ordinary set-based data: an annotation of ``True`` means
+the item is present, ``False`` means it is absent.  B-UXML is exactly
+(unannotated) unordered XML, which the paper simply calls UXML.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.semirings.base import Semiring
+
+__all__ = ["BooleanSemiring", "BOOLEAN"]
+
+
+class BooleanSemiring(Semiring):
+    """``(B, ∨, ∧, false, true)`` — plain set semantics."""
+
+    name = "boolean"
+    idempotent_add = True
+    idempotent_mul = True
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def add(self, a: bool, b: bool) -> bool:
+        return bool(a) or bool(b)
+
+    def mul(self, a: bool, b: bool) -> bool:
+        return bool(a) and bool(b)
+
+    def is_valid(self, a: Any) -> bool:
+        return isinstance(a, bool)
+
+    def normalize(self, a: Any) -> bool:
+        return bool(a)
+
+    def parse_element(self, text: str) -> bool:
+        text = text.strip().lower()
+        if text in ("true", "1", "t"):
+            return True
+        if text in ("false", "0", "f"):
+            return False
+        raise ValueError(f"not a boolean annotation: {text!r}")
+
+    def repr_element(self, a: bool) -> str:
+        return "true" if a else "false"
+
+    def sample_elements(self) -> Sequence[bool]:
+        return [False, True]
+
+
+#: Shared singleton instance of the Boolean semiring.
+BOOLEAN = BooleanSemiring()

@@ -1,0 +1,205 @@
+"""Semiring homomorphisms and the standard specializations of ``N[X]``.
+
+A semiring homomorphism ``h : K1 -> K2`` maps ``0`` to ``0``, ``1`` to ``1``
+and commutes with both operations.  Theorem 1 / Corollary 1 of the paper state
+that query evaluation commutes with (the lifting of) such homomorphisms; this
+module provides the homomorphisms themselves, while the lifting to K-sets,
+trees, NRC values and UXML lives next to those data structures
+(:func:`repro.kcollections.kset.map_annotations`, :func:`repro.uxml.tree.map_tree_annotations`).
+
+The most important homomorphisms are the *valuations* out of the universal
+semiring ``N[X]``: any function ``X -> K`` extends uniquely to a homomorphism
+``N[X] -> K`` (polynomial evaluation).  We also provide the coarser provenance
+specializations (PosBool, why-provenance, lineage) and the duplicate
+elimination homomorphism ``N -> B`` mentioned in Section 6.4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import HomomorphismError
+from repro.semirings.base import Semiring
+from repro.semirings.boolean import BOOLEAN
+from repro.semirings.natural import NATURAL
+from repro.semirings.polynomial import PROVENANCE, Polynomial
+from repro.semirings.posbool import POSBOOL, BoolExpr
+from repro.semirings.whyprov import LINEAGE, WHY, Lineage, WhyProvenance
+
+__all__ = [
+    "SemiringHomomorphism",
+    "polynomial_valuation",
+    "posbool_valuation",
+    "polynomial_to_posbool",
+    "polynomial_to_why",
+    "polynomial_to_lineage",
+    "why_to_posbool",
+    "duplicate_elimination",
+    "natural_embedding",
+    "check_homomorphism",
+]
+
+
+class SemiringHomomorphism:
+    """A function between semirings that preserves ``0``, ``1``, ``+`` and ``*``."""
+
+    def __init__(
+        self,
+        source: Semiring,
+        target: Semiring,
+        fn: Callable[[Any], Any],
+        name: str = "hom",
+    ):
+        self.source = source
+        self.target = target
+        self._fn = fn
+        self.name = name
+
+    def __call__(self, element: Any) -> Any:
+        """Apply the homomorphism to a single annotation."""
+        return self.target.normalize(self._fn(element))
+
+    def apply(self, element: Any) -> Any:
+        """Alias for :meth:`__call__`."""
+        return self(element)
+
+    def compose(self, other: "SemiringHomomorphism") -> "SemiringHomomorphism":
+        """``self . other`` — apply ``other`` first, then ``self``."""
+        if other.target != self.source:
+            raise HomomorphismError(
+                f"cannot compose {self.name}: expects source {self.source.name}, "
+                f"got {other.target.name}"
+            )
+        return SemiringHomomorphism(
+            other.source,
+            self.target,
+            lambda element: self(other(element)),
+            name=f"{self.name}.{other.name}",
+        )
+
+    def violations(self, samples: Iterable[Any] | None = None) -> list[str]:
+        """Check the homomorphism laws on a finite sample of source elements."""
+        elements = list(samples) if samples is not None else list(self.source.sample_elements())
+        return check_homomorphism(self, elements)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Hom {self.name}: {self.source.name} -> {self.target.name}>"
+
+
+def check_homomorphism(hom: SemiringHomomorphism, elements: Sequence[Any]) -> list[str]:
+    """Return a list of violations of the homomorphism laws on ``elements``."""
+    failures: list[str] = []
+    source, target = hom.source, hom.target
+    if not target.eq(hom(source.zero), target.zero):
+        failures.append("h(0) != 0")
+    if not target.eq(hom(source.one), target.one):
+        failures.append("h(1) != 1")
+    for a in elements:
+        for b in elements:
+            if not target.eq(hom(source.add(a, b)), target.add(hom(a), hom(b))):
+                failures.append(f"h(a+b) != h(a)+h(b) for a={a!r}, b={b!r}")
+            if not target.eq(hom(source.mul(a, b)), target.mul(hom(a), hom(b))):
+                failures.append(f"h(a*b) != h(a)*h(b) for a={a!r}, b={b!r}")
+    return failures
+
+
+# --------------------------------------------------------------------------
+# Valuations out of the universal semiring N[X]
+# --------------------------------------------------------------------------
+def polynomial_valuation(
+    valuation: Mapping[str, Any], target: Semiring, name: str | None = None
+) -> SemiringHomomorphism:
+    """The unique homomorphism ``N[X] -> K`` extending ``valuation : X -> K``.
+
+    This is the universality property of provenance polynomials (Section 2):
+    evaluating the polynomial with token values drawn from ``target``.
+    """
+    coerced = {token: target.coerce(value) for token, value in valuation.items()}
+
+    def evaluate(poly: Polynomial) -> Any:
+        return poly.evaluate(coerced, target)
+
+    return SemiringHomomorphism(
+        PROVENANCE, target, evaluate, name=name or f"valuation->{target.name}"
+    )
+
+
+def posbool_valuation(
+    assignment: Mapping[str, bool], name: str | None = None
+) -> SemiringHomomorphism:
+    """The homomorphism ``PosBool(B) -> B`` induced by a truth assignment."""
+
+    def evaluate(expr: BoolExpr) -> bool:
+        return expr.evaluate(assignment)
+
+    return SemiringHomomorphism(POSBOOL, BOOLEAN, evaluate, name=name or "posbool-valuation")
+
+
+# --------------------------------------------------------------------------
+# The provenance hierarchy: N[X] -> PosBool(X) -> Why(X) -> Lineage(X)
+# --------------------------------------------------------------------------
+def polynomial_to_posbool() -> SemiringHomomorphism:
+    """Drop coefficients and exponents: ``N[X] -> PosBool(X)``."""
+
+    def convert(poly: Polynomial) -> BoolExpr:
+        return BoolExpr([sorted(monomial.variables) for monomial in poly.monomials()])
+
+    return SemiringHomomorphism(PROVENANCE, POSBOOL, convert, name="drop-coefficients")
+
+
+def polynomial_to_why() -> SemiringHomomorphism:
+    """Keep one witness set per monomial: ``N[X] -> Why(X)``."""
+
+    def convert(poly: Polynomial) -> WhyProvenance:
+        return WhyProvenance(monomial.variables for monomial in poly.monomials())
+
+    return SemiringHomomorphism(PROVENANCE, WHY, convert, name="why-of")
+
+
+def polynomial_to_lineage() -> SemiringHomomorphism:
+    """Collapse to the set of all contributing tokens: ``N[X] -> Lin(X)``."""
+
+    def convert(poly: Polynomial) -> Lineage:
+        if poly.is_zero():
+            return Lineage.absent()
+        return Lineage(poly.variables)
+
+    return SemiringHomomorphism(PROVENANCE, LINEAGE, convert, name="lineage-of")
+
+
+def why_to_posbool() -> SemiringHomomorphism:
+    """Absorb non-minimal witnesses: ``Why(X) -> PosBool(X)``.
+
+    In the provenance hierarchy PosBool sits *below* Why: interpreting each
+    witness set as a conjunction of events and minimizing yields a positive
+    Boolean expression, and this map is a surjective homomorphism.
+    """
+
+    def convert(why: WhyProvenance) -> BoolExpr:
+        return BoolExpr(why.witnesses)
+
+    return SemiringHomomorphism(WHY, POSBOOL, convert, name="why-to-posbool")
+
+
+# --------------------------------------------------------------------------
+# Other standard homomorphisms
+# --------------------------------------------------------------------------
+def duplicate_elimination() -> SemiringHomomorphism:
+    """The duplicate-elimination homomorphism ``dagger : N -> B`` of Section 6.4.
+
+    ``dagger(0) = false`` and ``dagger(n + 1) = true``: evaluation on ordinary
+    (set-based) data can be factored through bag evaluation followed by a
+    final duplicate-elimination step.
+    """
+    return SemiringHomomorphism(NATURAL, BOOLEAN, lambda n: n > 0, name="duplicate-elimination")
+
+
+def natural_embedding(target: Semiring) -> SemiringHomomorphism:
+    """The canonical map ``N -> K`` sending ``n`` to the n-fold sum of ``1``.
+
+    This is a homomorphism for every commutative semiring ``K`` (it is the
+    valuation of the empty token set).
+    """
+    return SemiringHomomorphism(
+        NATURAL, target, target.from_int, name=f"embed-N-into-{target.name}"
+    )

@@ -1,0 +1,54 @@
+"""The natural-number semiring ``(N, +, *, 0, 1)``.
+
+N-annotated data is bag (multiset) data: the annotation of an item is its
+multiplicity.  The paper uses this semiring to model "XML with repetitions".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.semirings.base import Semiring
+
+__all__ = ["NaturalSemiring", "NATURAL"]
+
+
+class NaturalSemiring(Semiring):
+    """``(N, +, *, 0, 1)`` — bag (multiplicity) semantics."""
+
+    name = "natural"
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def add(self, a: int, b: int) -> int:
+        return a + b
+
+    def mul(self, a: int, b: int) -> int:
+        return a * b
+
+    def is_valid(self, a: Any) -> bool:
+        return isinstance(a, int) and not isinstance(a, bool) and a >= 0
+
+    def parse_element(self, text: str) -> int:
+        value = int(text.strip())
+        if value < 0:
+            raise ValueError(f"natural-number annotation must be >= 0, got {value}")
+        return value
+
+    def from_int(self, n: int) -> int:
+        if n < 0:
+            raise ValueError("natural numbers are non-negative")
+        return n
+
+    def sample_elements(self) -> Sequence[int]:
+        return [0, 1, 2, 3, 5]
+
+
+#: Shared singleton instance of the natural-number semiring.
+NATURAL = NaturalSemiring()

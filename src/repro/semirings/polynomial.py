@@ -1,0 +1,450 @@
+"""Provenance polynomials: the universal semiring ``N[X]`` (Section 2).
+
+Elements of ``N[X]`` are multivariate polynomials with natural-number
+coefficients over a set of indeterminates ("provenance tokens") ``X``.
+The paper uses them as the canonical, most-informative provenance annotation:
+any valuation ``f : X -> K`` into an arbitrary commutative semiring extends
+uniquely to a semiring homomorphism ``f* : N[X] -> K`` (universality), and by
+the commutation-with-homomorphisms theorem a query evaluated once with
+``N[X]`` annotations can be specialized afterwards to any concrete semiring.
+
+The implementation keeps polynomials in a canonical form:
+
+* a :class:`Monomial` is a finite map ``variable -> positive exponent``;
+* a :class:`Polynomial` is a finite map ``Monomial -> positive coefficient``.
+
+Both classes are immutable and hashable so they can be used directly as
+annotations inside K-sets and as dictionary keys.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SemiringError
+from repro.semirings.base import Semiring
+
+__all__ = [
+    "Monomial",
+    "Polynomial",
+    "ProvenancePolynomialSemiring",
+    "PROVENANCE",
+    "variables",
+    "variable",
+]
+
+
+class Monomial:
+    """A product of variables with positive integer exponents, e.g. ``x1*y2^2``.
+
+    The empty monomial is the multiplicative unit ``1``.
+    """
+
+    __slots__ = ("_powers", "_hash")
+
+    def __init__(self, powers: Mapping[str, int] | Iterable[tuple[str, int]] = ()):
+        items = dict(powers)
+        for var, exp in items.items():
+            if not isinstance(var, str) or not var:
+                raise ValueError(f"monomial variables must be non-empty strings, got {var!r}")
+            if not isinstance(exp, int) or exp < 0:
+                raise ValueError(f"monomial exponents must be non-negative ints, got {exp!r}")
+        cleaned = tuple(sorted((v, e) for v, e in items.items() if e > 0))
+        object.__setattr__(self, "_powers", cleaned)
+        object.__setattr__(self, "_hash", hash(cleaned))
+
+    # ------------------------------------------------------------ properties
+    @property
+    def powers(self) -> dict[str, int]:
+        """Mapping from variable name to exponent (copies; the monomial is immutable)."""
+        return dict(self._powers)
+
+    @property
+    def degree(self) -> int:
+        """Total degree (sum of exponents)."""
+        return sum(exp for _, exp in self._powers)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """The set of variables occurring with a positive exponent."""
+        return frozenset(var for var, _ in self._powers)
+
+    def is_unit(self) -> bool:
+        """True for the empty monomial ``1``."""
+        return not self._powers
+
+    def exponent(self, var: str) -> int:
+        """The exponent of ``var`` (0 if absent)."""
+        for name, exp in self._powers:
+            if name == var:
+                return exp
+        return 0
+
+    # ------------------------------------------------------------ operations
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        if not isinstance(other, Monomial):
+            return NotImplemented
+        merged = dict(self._powers)
+        for var, exp in other._powers:
+            merged[var] = merged.get(var, 0) + exp
+        return Monomial(merged)
+
+    def __pow__(self, n: int) -> "Monomial":
+        if not isinstance(n, int) or n < 0:
+            raise ValueError("monomial exponents must be non-negative integers")
+        return Monomial({var: exp * n for var, exp in self._powers})
+
+    def evaluate(self, valuation: Mapping[str, Any], semiring: Semiring) -> Any:
+        """Evaluate under ``valuation`` in an arbitrary semiring."""
+        result = semiring.one
+        for var, exp in self._powers:
+            if var not in valuation:
+                raise SemiringError(f"valuation does not bind provenance token {var!r}")
+            result = semiring.mul(result, semiring.power(valuation[var], exp))
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "Monomial":
+        """Rename variables according to ``mapping`` (missing names unchanged)."""
+        renamed: dict[str, int] = {}
+        for var, exp in self._powers:
+            new = mapping.get(var, var)
+            renamed[new] = renamed.get(new, 0) + exp
+        return Monomial(renamed)
+
+    # ------------------------------------------------------------ comparison
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Monomial) and self._powers == other._powers
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Monomial") -> bool:
+        """Graded-lexicographic order, used only for deterministic printing."""
+        if not isinstance(other, Monomial):
+            return NotImplemented
+        return (-self.degree, self._powers) > (-other.degree, other._powers)
+
+    def sort_key(self) -> tuple:
+        """Deterministic sort key (graded, then lexicographic)."""
+        return (-self.degree, self._powers)
+
+    # --------------------------------------------------------------- display
+    def __str__(self) -> str:
+        if not self._powers:
+            return "1"
+        parts = []
+        for var, exp in self._powers:
+            parts.append(var if exp == 1 else f"{var}^{exp}")
+        return "*".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Monomial({dict(self._powers)!r})"
+
+
+_UNIT_MONOMIAL = Monomial()
+
+
+class Polynomial:
+    """A multivariate polynomial with coefficients in ``N`` — an element of ``N[X]``."""
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Mapping[Monomial, int] | Iterable[tuple[Monomial, int]] = ()):
+        collected: dict[Monomial, int] = {}
+        for monomial, coeff in dict(terms).items():
+            if not isinstance(monomial, Monomial):
+                raise ValueError(f"polynomial terms must be keyed by Monomial, got {monomial!r}")
+            if not isinstance(coeff, int) or coeff < 0:
+                raise ValueError(f"polynomial coefficients must be naturals, got {coeff!r}")
+            if coeff:
+                collected[monomial] = collected.get(monomial, 0) + coeff
+        frozen = tuple(sorted(collected.items(), key=lambda kv: kv[0].sort_key()))
+        object.__setattr__(self, "_terms", frozen)
+        object.__setattr__(self, "_hash", hash(frozen))
+
+    # -------------------------------------------------------------- builders
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        """The zero polynomial."""
+        return _ZERO
+
+    @classmethod
+    def one(cls) -> "Polynomial":
+        """The unit polynomial ``1``."""
+        return _ONE
+
+    @classmethod
+    def constant(cls, n: int) -> "Polynomial":
+        """The constant polynomial ``n``."""
+        if not isinstance(n, int) or n < 0:
+            raise ValueError("constants in N[X] must be natural numbers")
+        if n == 0:
+            return _ZERO
+        return cls({_UNIT_MONOMIAL: n})
+
+    @classmethod
+    def variable(cls, name: str) -> "Polynomial":
+        """The polynomial consisting of the single provenance token ``name``."""
+        return cls({Monomial({name: 1}): 1})
+
+    @classmethod
+    def from_monomial(cls, monomial: Monomial, coeff: int = 1) -> "Polynomial":
+        """A single-term polynomial ``coeff * monomial``."""
+        return cls({monomial: coeff})
+
+    # ------------------------------------------------------------ properties
+    @property
+    def terms(self) -> dict[Monomial, int]:
+        """Mapping from monomial to coefficient (a copy)."""
+        return dict(self._terms)
+
+    def monomials(self) -> Iterator[Monomial]:
+        """Iterate over the monomials with non-zero coefficient."""
+        return (monomial for monomial, _ in self._terms)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """All provenance tokens occurring in the polynomial."""
+        result: set[str] = set()
+        for monomial, _ in self._terms:
+            result |= monomial.variables
+        return frozenset(result)
+
+    @property
+    def degree(self) -> int:
+        """Total degree (0 for constants; 0 for the zero polynomial)."""
+        return max((monomial.degree for monomial, _ in self._terms), default=0)
+
+    @property
+    def num_terms(self) -> int:
+        """Number of distinct monomials."""
+        return len(self._terms)
+
+    def coefficient(self, monomial: Monomial) -> int:
+        """The coefficient of ``monomial`` (0 if absent)."""
+        for mono, coeff in self._terms:
+            if mono == monomial:
+                return coeff
+        return 0
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def is_one(self) -> bool:
+        return self._terms == ((_UNIT_MONOMIAL, 1),)
+
+    def size(self) -> int:
+        """Symbolic size used for the Proposition 2 bound.
+
+        Counted as the number of symbols in the fully written-out canonical
+        form: one symbol per coefficient plus one per variable occurrence
+        (exponents expanded), plus one ``+`` between consecutive terms.
+        """
+        if not self._terms:
+            return 1
+        total = 0
+        for monomial, _ in self._terms:
+            total += 1 + monomial.degree
+        return total + (len(self._terms) - 1)
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        merged = dict(self._terms)
+        for monomial, coeff in other._terms:
+            merged[monomial] = merged.get(monomial, 0) + coeff
+        return Polynomial(merged)
+
+    def __mul__(self, other: "Polynomial | int") -> "Polynomial":
+        if isinstance(other, int):
+            return self.scale(other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        product: dict[Monomial, int] = {}
+        for mono_a, coeff_a in self._terms:
+            for mono_b, coeff_b in other._terms:
+                combined = mono_a * mono_b
+                product[combined] = product.get(combined, 0) + coeff_a * coeff_b
+        return Polynomial(product)
+
+    def __rmul__(self, other: int) -> "Polynomial":
+        if isinstance(other, int):
+            return self.scale(other)
+        return NotImplemented
+
+    def __pow__(self, n: int) -> "Polynomial":
+        if not isinstance(n, int) or n < 0:
+            raise ValueError("polynomial powers must be non-negative integers")
+        result = _ONE
+        for _ in range(n):
+            result = result * self
+        return result
+
+    def scale(self, n: int) -> "Polynomial":
+        """Multiply every coefficient by the natural number ``n``."""
+        if not isinstance(n, int) or n < 0:
+            raise ValueError("scalars in N[X] must be natural numbers")
+        if n == 0:
+            return _ZERO
+        return Polynomial({monomial: coeff * n for monomial, coeff in self._terms})
+
+    # -------------------------------------------------- valuation / analysis
+    def evaluate(self, valuation: Mapping[str, Any], semiring: Semiring) -> Any:
+        """Evaluate under ``valuation : X -> K`` — the universal homomorphism ``f*``."""
+        result = semiring.zero
+        for monomial, coeff in self._terms:
+            term = semiring.mul(semiring.from_int(coeff), monomial.evaluate(valuation, semiring))
+            result = semiring.add(result, term)
+        return result
+
+    def evaluate_int(self, valuation: Mapping[str, int]) -> int:
+        """Evaluate with natural-number values for every token (N-specialization)."""
+        total = 0
+        for monomial, coeff in self._terms:
+            term = coeff
+            for var, exp in monomial.powers.items():
+                term *= valuation[var] ** exp
+            total += term
+        return total
+
+    def rename(self, mapping: Mapping[str, str]) -> "Polynomial":
+        """Rename provenance tokens according to ``mapping``."""
+        renamed: dict[Monomial, int] = {}
+        for monomial, coeff in self._terms:
+            new = monomial.rename(mapping)
+            renamed[new] = renamed.get(new, 0) + coeff
+        return Polynomial(renamed)
+
+    # ------------------------------------------------------------ comparison
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Polynomial) and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # --------------------------------------------------------------- display
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        rendered = []
+        for monomial, coeff in self._terms:
+            if monomial.is_unit():
+                rendered.append(str(coeff))
+            elif coeff == 1:
+                rendered.append(str(monomial))
+            else:
+                rendered.append(f"{coeff}*{monomial}")
+        return " + ".join(rendered)
+
+    def __repr__(self) -> str:
+        return f"Polynomial({str(self)!r})"
+
+    # ----------------------------------------------------------------- parse
+    _TOKEN_RE = re.compile(r"\s*(\d+|[A-Za-z_][A-Za-z_0-9]*|\^|\*|\+)")
+
+    @classmethod
+    def parse(cls, text: str) -> "Polynomial":
+        """Parse a polynomial written as ``"x1*y1 + 2*x2^2 + 3"``.
+
+        Only ``+``, ``*``, ``^`` and natural-number literals are supported —
+        exactly the canonical textual form produced by :meth:`__str__`.
+        """
+        tokens: list[str] = []
+        position = 0
+        stripped = text.strip()
+        if not stripped:
+            raise ValueError("empty polynomial text")
+        while position < len(stripped):
+            match = cls._TOKEN_RE.match(stripped, position)
+            if not match:
+                raise ValueError(f"cannot tokenize polynomial at ...{stripped[position:]!r}")
+            tokens.append(match.group(1))
+            position = match.end()
+
+        def parse_factor(index: int) -> tuple["Polynomial", int]:
+            token = tokens[index]
+            index += 1
+            if token.isdigit():
+                base = cls.constant(int(token))
+            elif token in ("+", "*", "^"):
+                raise ValueError(f"unexpected operator {token!r} in polynomial {text!r}")
+            else:
+                base = cls.variable(token)
+            if index < len(tokens) and tokens[index] == "^":
+                exponent_token = tokens[index + 1]
+                if not exponent_token.isdigit():
+                    raise ValueError(f"bad exponent {exponent_token!r} in polynomial {text!r}")
+                base = base ** int(exponent_token)
+                index += 2
+            return base, index
+
+        def parse_term(index: int) -> tuple["Polynomial", int]:
+            factor, index = parse_factor(index)
+            while index < len(tokens) and tokens[index] == "*":
+                nxt, index = parse_factor(index + 1)
+                factor = factor * nxt
+            return factor, index
+
+        result, index = parse_term(0)
+        while index < len(tokens):
+            if tokens[index] != "+":
+                raise ValueError(f"expected '+' in polynomial {text!r}")
+            term, index = parse_term(index + 1)
+            result = result + term
+        return result
+
+
+_ZERO = Polynomial()
+_ONE = Polynomial({_UNIT_MONOMIAL: 1})
+
+
+def variable(name: str) -> Polynomial:
+    """Shorthand for :meth:`Polynomial.variable`."""
+    return Polynomial.variable(name)
+
+
+def variables(*names: str) -> tuple[Polynomial, ...]:
+    """Create several provenance tokens at once: ``x, y = variables("x", "y")``."""
+    return tuple(Polynomial.variable(name) for name in names)
+
+
+class ProvenancePolynomialSemiring(Semiring):
+    """The universal provenance semiring ``(N[X], +, *, 0, 1)``."""
+
+    name = "provenance-polynomials"
+
+    @property
+    def zero(self) -> Polynomial:
+        return _ZERO
+
+    @property
+    def one(self) -> Polynomial:
+        return _ONE
+
+    def add(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return a + b
+
+    def mul(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return a * b
+
+    def is_valid(self, a: Any) -> bool:
+        return isinstance(a, Polynomial)
+
+    def from_int(self, n: int) -> Polynomial:
+        return Polynomial.constant(n)
+
+    def parse_element(self, text: str) -> Polynomial:
+        return Polynomial.parse(text)
+
+    def repr_element(self, a: Polynomial) -> str:
+        return str(a)
+
+    def sample_elements(self) -> Sequence[Polynomial]:
+        x, y, z = variables("x", "y", "z")
+        return [_ZERO, _ONE, x, y, x + y, x * y, x * x + Polynomial.constant(2) * z]
+
+
+#: Shared singleton instance of the N[X] provenance-polynomial semiring.
+PROVENANCE = ProvenancePolynomialSemiring()

@@ -1,0 +1,188 @@
+"""Positive Boolean expressions ``PosBool(B)`` (Section 5).
+
+``PosBool(B)`` is the semiring of Boolean expressions over a set of event
+variables ``B`` built from variables, conjunction, disjunction, ``true`` and
+``false``, identified up to logical equivalence.  It is the XML analogue of the
+Boolean c-tables of Imielinski & Lipski and is the natural annotation domain
+for incomplete and probabilistic (unordered) XML: each variable is an
+independent event, and the annotation of an item is the event expression under
+which the item exists.
+
+Canonical form
+--------------
+A monotone Boolean function is determined by its set of *minimal implicants*
+(an antichain of variable sets).  :class:`BoolExpr` stores exactly that
+antichain, which makes semantic equality a simple structural comparison:
+
+* ``false``  -> the empty antichain,
+* ``true``   -> the antichain containing only the empty implicant,
+* ``x``      -> ``{{x}}``,
+* ``or``     -> union of antichains followed by removal of supersets,
+* ``and``    -> pairwise unions followed by removal of supersets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Mapping, Sequence
+
+from repro.semirings.base import Semiring
+
+__all__ = ["BoolExpr", "PosBoolSemiring", "POSBOOL"]
+
+Implicant = FrozenSet[str]
+
+
+def _minimize(implicants: Iterable[Implicant]) -> frozenset[Implicant]:
+    """Drop every implicant that is a strict superset of another one."""
+    materialized = set(implicants)
+    minimal = {
+        candidate
+        for candidate in materialized
+        if not any(other < candidate for other in materialized)
+    }
+    return frozenset(minimal)
+
+
+class BoolExpr:
+    """A positive Boolean expression in canonical monotone-DNF form."""
+
+    __slots__ = ("_implicants", "_hash")
+
+    def __init__(self, implicants: Iterable[Iterable[str]] = ()):
+        frozen = _minimize(frozenset(group) for group in implicants)
+        object.__setattr__(self, "_implicants", frozen)
+        object.__setattr__(self, "_hash", hash(frozen))
+
+    # -------------------------------------------------------------- builders
+    @classmethod
+    def false(cls) -> "BoolExpr":
+        return _FALSE
+
+    @classmethod
+    def true(cls) -> "BoolExpr":
+        return _TRUE
+
+    @classmethod
+    def variable(cls, name: str) -> "BoolExpr":
+        return cls([[name]])
+
+    @classmethod
+    def conjunction_of(cls, names: Iterable[str]) -> "BoolExpr":
+        """The conjunction ``x1 and x2 and ...`` of the given variables."""
+        return cls([list(names)])
+
+    # ------------------------------------------------------------ properties
+    @property
+    def implicants(self) -> frozenset[Implicant]:
+        """The antichain of minimal implicants."""
+        return self._implicants
+
+    @property
+    def variables(self) -> frozenset[str]:
+        result: set[str] = set()
+        for implicant in self._implicants:
+            result |= implicant
+        return frozenset(result)
+
+    def is_false(self) -> bool:
+        return not self._implicants
+
+    def is_true(self) -> bool:
+        return self._implicants == frozenset({frozenset()})
+
+    # ------------------------------------------------------------ operations
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        if not isinstance(other, BoolExpr):
+            return NotImplemented
+        return BoolExpr(self._implicants | other._implicants)
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        if not isinstance(other, BoolExpr):
+            return NotImplemented
+        combined = [a | b for a in self._implicants for b in other._implicants]
+        return BoolExpr(combined)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Truth value under a (total on :attr:`variables`) assignment."""
+        return any(
+            all(assignment.get(var, False) for var in implicant)
+            for implicant in self._implicants
+        )
+
+    # ------------------------------------------------------------ comparison
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoolExpr) and self._implicants == other._implicants
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # --------------------------------------------------------------- display
+    def __str__(self) -> str:
+        if self.is_false():
+            return "false"
+        if self.is_true():
+            return "true"
+        rendered = []
+        for implicant in sorted(self._implicants, key=lambda s: (len(s), sorted(s))):
+            rendered.append("*".join(sorted(implicant)) if implicant else "true")
+        return " + ".join(rendered)
+
+    def __repr__(self) -> str:
+        return f"BoolExpr({str(self)!r})"
+
+
+_FALSE = BoolExpr()
+_TRUE = BoolExpr([[]])
+
+
+class PosBoolSemiring(Semiring):
+    """``(PosBool(B), or, and, false, true)`` — Boolean event expressions."""
+
+    name = "posbool"
+    idempotent_add = True
+    idempotent_mul = True
+
+    @property
+    def zero(self) -> BoolExpr:
+        return _FALSE
+
+    @property
+    def one(self) -> BoolExpr:
+        return _TRUE
+
+    def add(self, a: BoolExpr, b: BoolExpr) -> BoolExpr:
+        return a | b
+
+    def mul(self, a: BoolExpr, b: BoolExpr) -> BoolExpr:
+        return a & b
+
+    def is_valid(self, a: Any) -> bool:
+        return isinstance(a, BoolExpr)
+
+    def parse_element(self, text: str) -> BoolExpr:
+        """Parse expressions of the form ``"x1*y1 + y2"`` / ``"true"`` / ``"false"``."""
+        stripped = text.strip().lower()
+        if stripped == "false":
+            return _FALSE
+        if stripped == "true":
+            return _TRUE
+        implicants = []
+        for clause in text.split("+"):
+            names = [name.strip() for name in clause.split("*") if name.strip()]
+            if not names:
+                raise ValueError(f"empty conjunct in PosBool expression {text!r}")
+            implicants.append(names)
+        return BoolExpr(implicants)
+
+    def repr_element(self, a: BoolExpr) -> str:
+        return str(a)
+
+    def sample_elements(self) -> Sequence[BoolExpr]:
+        x = BoolExpr.variable("x")
+        y = BoolExpr.variable("y")
+        z = BoolExpr.variable("z")
+        return [_FALSE, _TRUE, x, y, x | y, x & y, (x & y) | z]
+
+
+#: Shared singleton instance of the PosBool semiring.
+POSBOOL = PosBoolSemiring()

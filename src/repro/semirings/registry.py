@@ -1,0 +1,84 @@
+"""A small registry of the semirings shipped with the library.
+
+The registry lets command-line tools, benchmarks and the workload generators
+refer to semirings by name (``"boolean"``, ``"natural"``, ``"provenance-polynomials"``,
+...) without importing every module, and lets users register their own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import SemiringError
+from repro.semirings.base import Semiring
+from repro.semirings.boolean import BOOLEAN
+from repro.semirings.lattice import DivisorLatticeSemiring, SubsetLatticeSemiring
+from repro.semirings.natural import NATURAL
+from repro.semirings.polynomial import PROVENANCE
+from repro.semirings.posbool import POSBOOL
+from repro.semirings.security import CLEARANCE
+from repro.semirings.tropical import FUZZY, TROPICAL, VITERBI
+from repro.semirings.whyprov import LINEAGE, WHY
+
+__all__ = ["register_semiring", "get_semiring", "available_semirings", "standard_semirings"]
+
+_FACTORIES: dict[str, Callable[[], Semiring]] = {
+    BOOLEAN.name: lambda: BOOLEAN,
+    NATURAL.name: lambda: NATURAL,
+    PROVENANCE.name: lambda: PROVENANCE,
+    POSBOOL.name: lambda: POSBOOL,
+    CLEARANCE.name: lambda: CLEARANCE,
+    TROPICAL.name: lambda: TROPICAL,
+    VITERBI.name: lambda: VITERBI,
+    FUZZY.name: lambda: FUZZY,
+    WHY.name: lambda: WHY,
+    LINEAGE.name: lambda: LINEAGE,
+    "subset-lattice": lambda: SubsetLatticeSemiring({"r1", "r2", "r3"}),
+    "divisor-lattice": lambda: DivisorLatticeSemiring(30),
+}
+
+#: Aliases accepted by :func:`get_semiring` in addition to the canonical names.
+_ALIASES = {
+    "B": BOOLEAN.name,
+    "bool": BOOLEAN.name,
+    "N": NATURAL.name,
+    "nat": NATURAL.name,
+    "bag": NATURAL.name,
+    "N[X]": PROVENANCE.name,
+    "polynomials": PROVENANCE.name,
+    "provenance": PROVENANCE.name,
+    "posbool": POSBOOL.name,
+    "clearance": CLEARANCE.name,
+    "security": CLEARANCE.name,
+    "why": WHY.name,
+    "lineage": LINEAGE.name,
+}
+
+
+def register_semiring(name: str, factory: Callable[[], Semiring]) -> None:
+    """Register a user-defined semiring factory under ``name``."""
+    if name in _FACTORIES:
+        raise SemiringError(f"a semiring named {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def get_semiring(name: str) -> Semiring:
+    """Look up a semiring by canonical name or alias."""
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _FACTORIES[canonical]()
+    except KeyError:
+        raise SemiringError(
+            f"unknown semiring {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+
+
+def available_semirings() -> list[str]:
+    """The canonical names of all registered semirings."""
+    return sorted(_FACTORIES)
+
+
+def standard_semirings() -> Iterator[Semiring]:
+    """Iterate over one instance of every registered semiring."""
+    for name in available_semirings():
+        yield get_semiring(name)

@@ -1,0 +1,154 @@
+"""The security / confidentiality-clearance semiring (Section 4).
+
+The paper organizes clearance levels as a commutative semiring.  For the total
+order ``P < C < S < T < 0`` (public, confidential, secret, top-secret, plus a
+special most-restricted element ``0``) the structure ``(C, min, max, 0, P)``
+is a commutative semiring:
+
+* ``min`` (addition) — among *alternative* ways of obtaining a view item, the
+  minimum clearance suffices;
+* ``max`` (multiplication) — when data is used *jointly*, the maximum
+  clearance among the inputs is needed;
+* ``0`` — "so secret it isn't even there": the absent element;
+* ``P`` — public, the neutral annotation.
+
+Elements are plain strings (the level names) so that they are hashable and can
+be read directly from ``annot="S"`` attributes in documents.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import AnnotationError
+from repro.semirings.base import Semiring
+
+__all__ = [
+    "ClearanceSemiring",
+    "CLEARANCE",
+    "PUBLIC",
+    "CONFIDENTIAL",
+    "SECRET",
+    "TOP_SECRET",
+    "ABSENT",
+]
+
+#: The clearance levels of the paper's running example (most public first).
+PUBLIC = "P"
+CONFIDENTIAL = "C"
+SECRET = "S"
+TOP_SECRET = "T"
+#: The special additive identity: more restricted than every real level.
+ABSENT = "0"
+
+
+class ClearanceSemiring(Semiring):
+    """A total order of clearance levels viewed as a commutative semiring.
+
+    ``levels`` lists the real clearance levels from most public (the
+    multiplicative identity) to most secret; an extra ``absent`` element is
+    appended as the additive identity.
+
+    >>> C = ClearanceSemiring()
+    >>> C.add("C", "T")     # either input suffices -> the more public one
+    'C'
+    >>> C.mul("C", "T")     # both inputs needed -> the more secret one
+    'T'
+    """
+
+    idempotent_add = True
+    idempotent_mul = True
+
+    def __init__(
+        self,
+        levels: Sequence[str] = (PUBLIC, CONFIDENTIAL, SECRET, TOP_SECRET),
+        absent: str = ABSENT,
+        name: str = "clearance",
+    ):
+        if not levels:
+            raise AnnotationError("a clearance semiring needs at least one level")
+        if absent in levels:
+            raise AnnotationError("the absent element must be distinct from the levels")
+        if len(set(levels)) != len(levels):
+            raise AnnotationError("clearance levels must be distinct")
+        self.name = name
+        self._levels = tuple(levels)
+        self._absent = absent
+        self._rank = {level: index for index, level in enumerate(levels)}
+        self._rank[absent] = len(levels)
+
+    # ------------------------------------------------------------ structure
+    @property
+    def levels(self) -> tuple[str, ...]:
+        """The real clearance levels, most public first."""
+        return self._levels
+
+    @property
+    def absent(self) -> str:
+        """The special additive identity ('so secret it isn't even there')."""
+        return self._absent
+
+    def rank(self, level: str) -> int:
+        """Position of a level in the order (0 = most public)."""
+        try:
+            return self._rank[level]
+        except KeyError:
+            raise AnnotationError(f"unknown clearance level {level!r}") from None
+
+    def more_public(self, a: str, b: str) -> str:
+        """The more public (lower) of two levels."""
+        return a if self.rank(a) <= self.rank(b) else b
+
+    def more_secret(self, a: str, b: str) -> str:
+        """The more secret (higher) of two levels."""
+        return a if self.rank(a) >= self.rank(b) else b
+
+    def accessible(self, data_level: str, user_level: str) -> bool:
+        """True if a user holding ``user_level`` clearance may see ``data_level`` data.
+
+        The absent element is never accessible.
+        """
+        if data_level == self._absent:
+            return False
+        return self.rank(user_level) >= self.rank(data_level)
+
+    # -------------------------------------------------------------- semiring
+    @property
+    def zero(self) -> str:
+        return self._absent
+
+    @property
+    def one(self) -> str:
+        return self._levels[0]
+
+    def add(self, a: str, b: str) -> str:
+        return self.more_public(a, b)
+
+    def mul(self, a: str, b: str) -> str:
+        return self.more_secret(a, b)
+
+    def is_valid(self, a: Any) -> bool:
+        return isinstance(a, str) and a in self._rank
+
+    def parse_element(self, text: str) -> str:
+        level = text.strip()
+        if level not in self._rank:
+            raise ValueError(f"unknown clearance level {level!r}")
+        return level
+
+    def sample_elements(self) -> Sequence[str]:
+        return list(self._levels) + [self._absent]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ClearanceSemiring)
+            and self._levels == other._levels
+            and self._absent == other._absent
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self), self._levels, self._absent))
+
+
+#: The paper's clearance semiring: P < C < S < T < 0.
+CLEARANCE = ClearanceSemiring()

@@ -1,0 +1,157 @@
+"""Numeric semirings used as additional annotation domains.
+
+The paper develops its theory for *arbitrary* commutative semirings; besides
+the semirings it names explicitly (B, N, PosBool, clearances, N[X]) we ship a
+few classical ones that are useful for cost, confidence and fuzzy-trust style
+annotations and that exercise different algebraic behaviour in the test-suite
+(idempotence, absorption, floating point carriers):
+
+* the tropical (min-plus) semiring — shortest-path / minimal-cost provenance,
+* the Viterbi semiring ``([0, 1], max, *, 0, 1)`` — most-likely-derivation
+  confidence scores,
+* the fuzzy semiring ``([0, 1], max, min, 0, 1)`` — fuzzy trust levels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from repro.semirings.base import Semiring
+
+__all__ = [
+    "TropicalSemiring",
+    "ViterbiSemiring",
+    "FuzzySemiring",
+    "TROPICAL",
+    "VITERBI",
+    "FUZZY",
+]
+
+#: Value used as the additive identity of the tropical semiring.
+_INFINITY = math.inf
+
+
+class TropicalSemiring(Semiring):
+    """The tropical semiring ``(R>=0 U {inf}, min, +, inf, 0)``.
+
+    Annotating data with costs and evaluating a query computes, for every
+    output item, the minimal total cost over all ways of deriving it.
+    """
+
+    name = "tropical"
+    idempotent_add = True
+
+    @property
+    def zero(self) -> float:
+        return _INFINITY
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def add(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def mul(self, a: float, b: float) -> float:
+        return a + b
+
+    def is_valid(self, a: Any) -> bool:
+        return isinstance(a, (int, float)) and not isinstance(a, bool) and (a >= 0 or a == _INFINITY)
+
+    def normalize(self, a: Any) -> float:
+        return float(a)
+
+    def parse_element(self, text: str) -> float:
+        text = text.strip().lower()
+        if text in ("inf", "infinity", "oo"):
+            return _INFINITY
+        return float(text)
+
+    def repr_element(self, a: float) -> str:
+        if a == _INFINITY:
+            return "inf"
+        if float(a).is_integer():
+            return str(int(a))
+        return str(a)
+
+    def sample_elements(self) -> Sequence[float]:
+        return [_INFINITY, 0.0, 1.0, 2.5, 7.0]
+
+
+class ViterbiSemiring(Semiring):
+    """The Viterbi (best-confidence) semiring ``([0, 1], max, *, 0, 1)``."""
+
+    name = "viterbi"
+    idempotent_add = True
+
+    @property
+    def zero(self) -> float:
+        return 0.0
+
+    @property
+    def one(self) -> float:
+        return 1.0
+
+    def add(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def mul(self, a: float, b: float) -> float:
+        return a * b
+
+    def is_valid(self, a: Any) -> bool:
+        return isinstance(a, (int, float)) and not isinstance(a, bool) and 0.0 <= a <= 1.0
+
+    def normalize(self, a: Any) -> float:
+        return float(a)
+
+    def parse_element(self, text: str) -> float:
+        value = float(text.strip())
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"Viterbi annotation must lie in [0, 1], got {value}")
+        return value
+
+    def sample_elements(self) -> Sequence[float]:
+        return [0.0, 0.25, 0.5, 1.0]
+
+
+class FuzzySemiring(Semiring):
+    """The fuzzy semiring ``([0, 1], max, min, 0, 1)`` — a distributive lattice."""
+
+    name = "fuzzy"
+    idempotent_add = True
+    idempotent_mul = True
+
+    @property
+    def zero(self) -> float:
+        return 0.0
+
+    @property
+    def one(self) -> float:
+        return 1.0
+
+    def add(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def mul(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def is_valid(self, a: Any) -> bool:
+        return isinstance(a, (int, float)) and not isinstance(a, bool) and 0.0 <= a <= 1.0
+
+    def normalize(self, a: Any) -> float:
+        return float(a)
+
+    def parse_element(self, text: str) -> float:
+        value = float(text.strip())
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"fuzzy annotation must lie in [0, 1], got {value}")
+        return value
+
+    def sample_elements(self) -> Sequence[float]:
+        return [0.0, 0.3, 0.6, 1.0]
+
+
+TROPICAL = TropicalSemiring()
+VITERBI = ViterbiSemiring()
+FUZZY = FuzzySemiring()

@@ -1,0 +1,237 @@
+"""Why-provenance and lineage semirings.
+
+Section 2 of the paper notes that lineage and why-provenance "turn out to be
+different and correspond to different semirings" (citing Buneman et al.).
+Both are coarser views of the full ``N[X]`` provenance polynomials and are
+obtained from them by (surjective) semiring homomorphisms — see
+:mod:`repro.semirings.homomorphism`.
+
+* **Why-provenance** ``Why(X)``: a set of *witness sets*; addition is set
+  union, multiplication combines witnesses pairwise.  Dropping coefficients
+  and exponents from a polynomial gives its why-provenance.
+* **Lineage** ``Lin(X)``: a single set of contributing tokens (plus a bottom
+  element for "absent"); both operations union the token sets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Sequence
+
+from repro.semirings.base import Semiring
+
+__all__ = [
+    "WhyProvenance",
+    "WhySemiring",
+    "Lineage",
+    "LineageSemiring",
+    "WHY",
+    "LINEAGE",
+]
+
+Witness = FrozenSet[str]
+
+
+class WhyProvenance:
+    """A set of witness sets (each witness is a set of provenance tokens)."""
+
+    __slots__ = ("_witnesses", "_hash")
+
+    def __init__(self, witnesses: Iterable[Iterable[str]] = ()):
+        frozen = frozenset(frozenset(group) for group in witnesses)
+        object.__setattr__(self, "_witnesses", frozen)
+        object.__setattr__(self, "_hash", hash(frozen))
+
+    @classmethod
+    def absent(cls) -> "WhyProvenance":
+        """The zero element: no witnesses at all."""
+        return _WHY_ZERO
+
+    @classmethod
+    def unconditional(cls) -> "WhyProvenance":
+        """The one element: a single empty witness."""
+        return _WHY_ONE
+
+    @classmethod
+    def token(cls, name: str) -> "WhyProvenance":
+        return cls([[name]])
+
+    @property
+    def witnesses(self) -> frozenset[Witness]:
+        return self._witnesses
+
+    @property
+    def tokens(self) -> frozenset[str]:
+        result: set[str] = set()
+        for witness in self._witnesses:
+            result |= witness
+        return frozenset(result)
+
+    def __or__(self, other: "WhyProvenance") -> "WhyProvenance":
+        if not isinstance(other, WhyProvenance):
+            return NotImplemented
+        return WhyProvenance(self._witnesses | other._witnesses)
+
+    def __and__(self, other: "WhyProvenance") -> "WhyProvenance":
+        if not isinstance(other, WhyProvenance):
+            return NotImplemented
+        return WhyProvenance(a | b for a in self._witnesses for b in other._witnesses)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, WhyProvenance) and self._witnesses == other._witnesses
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        if not self._witnesses:
+            return "{}"
+        parts = []
+        for witness in sorted(self._witnesses, key=lambda s: (len(s), sorted(s))):
+            parts.append("{" + ",".join(sorted(witness)) + "}")
+        return "{" + ", ".join(parts) + "}"
+
+    def __repr__(self) -> str:
+        return f"WhyProvenance({str(self)})"
+
+
+_WHY_ZERO = WhyProvenance()
+_WHY_ONE = WhyProvenance([[]])
+
+
+class WhySemiring(Semiring):
+    """``(Why(X), union, pairwise-union, {}, {{}})`` — witness-set provenance."""
+
+    name = "why-provenance"
+    idempotent_add = True
+
+    @property
+    def zero(self) -> WhyProvenance:
+        return _WHY_ZERO
+
+    @property
+    def one(self) -> WhyProvenance:
+        return _WHY_ONE
+
+    def add(self, a: WhyProvenance, b: WhyProvenance) -> WhyProvenance:
+        return a | b
+
+    def mul(self, a: WhyProvenance, b: WhyProvenance) -> WhyProvenance:
+        return a & b
+
+    def is_valid(self, a: Any) -> bool:
+        return isinstance(a, WhyProvenance)
+
+    def repr_element(self, a: WhyProvenance) -> str:
+        return str(a)
+
+    def sample_elements(self) -> Sequence[WhyProvenance]:
+        x = WhyProvenance.token("x")
+        y = WhyProvenance.token("y")
+        return [_WHY_ZERO, _WHY_ONE, x, y, x | y, x & y]
+
+
+class Lineage:
+    """A lineage annotation: either *absent* or a set of contributing tokens."""
+
+    __slots__ = ("_tokens", "_absent", "_hash")
+
+    def __init__(self, tokens: Iterable[str] = (), absent: bool = False):
+        frozen = frozenset() if absent else frozenset(tokens)
+        object.__setattr__(self, "_tokens", frozen)
+        object.__setattr__(self, "_absent", bool(absent))
+        object.__setattr__(self, "_hash", hash((frozen, bool(absent))))
+
+    @classmethod
+    def absent(cls) -> "Lineage":
+        """The zero element of the lineage semiring."""
+        return _LIN_ZERO
+
+    @classmethod
+    def empty(cls) -> "Lineage":
+        """The one element: present, with no contributing tokens."""
+        return _LIN_ONE
+
+    @classmethod
+    def token(cls, name: str) -> "Lineage":
+        return cls([name])
+
+    @property
+    def is_absent(self) -> bool:
+        return self._absent
+
+    @property
+    def tokens(self) -> frozenset[str]:
+        return self._tokens
+
+    def combine(self, other: "Lineage") -> "Lineage":
+        """Union of token sets; absorbing on the absent element."""
+        if self._absent or other._absent:
+            return _LIN_ZERO
+        return Lineage(self._tokens | other._tokens)
+
+    def merge(self, other: "Lineage") -> "Lineage":
+        """Lineage addition: union of token sets, identity on absent."""
+        if self._absent:
+            return other
+        if other._absent:
+            return self
+        return Lineage(self._tokens | other._tokens)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Lineage)
+            and self._absent == other._absent
+            and self._tokens == other._tokens
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        if self._absent:
+            return "absent"
+        return "{" + ",".join(sorted(self._tokens)) + "}"
+
+    def __repr__(self) -> str:
+        return f"Lineage({str(self)})"
+
+
+_LIN_ZERO = Lineage(absent=True)
+_LIN_ONE = Lineage()
+
+
+class LineageSemiring(Semiring):
+    """The lineage semiring: token sets with union for both operations."""
+
+    name = "lineage"
+    idempotent_add = True
+    idempotent_mul = True
+
+    @property
+    def zero(self) -> Lineage:
+        return _LIN_ZERO
+
+    @property
+    def one(self) -> Lineage:
+        return _LIN_ONE
+
+    def add(self, a: Lineage, b: Lineage) -> Lineage:
+        return a.merge(b)
+
+    def mul(self, a: Lineage, b: Lineage) -> Lineage:
+        return a.combine(b)
+
+    def is_valid(self, a: Any) -> bool:
+        return isinstance(a, Lineage)
+
+    def repr_element(self, a: Lineage) -> str:
+        return str(a)
+
+    def sample_elements(self) -> Sequence[Lineage]:
+        x = Lineage.token("x")
+        y = Lineage.token("y")
+        return [_LIN_ZERO, _LIN_ONE, x, y, x.merge(y)]
+
+
+WHY = WhySemiring()
+LINEAGE = LineageSemiring()

@@ -1,0 +1,31 @@
+"""The relational (shredding) semantics of Section 7."""
+
+from repro.shredding.shred import (
+    EDGE_ATTRIBUTES,
+    ROOT_PID,
+    edge_relation,
+    reachable_facts,
+    shred_forest,
+    shred_tree,
+    unshred,
+)
+from repro.shredding.xpath_to_datalog import (
+    apply_step_datalog,
+    evaluate_xpath_via_datalog,
+    path_programs,
+    step_program,
+)
+
+__all__ = [
+    "ROOT_PID",
+    "EDGE_ATTRIBUTES",
+    "shred_forest",
+    "shred_tree",
+    "unshred",
+    "reachable_facts",
+    "edge_relation",
+    "step_program",
+    "path_programs",
+    "apply_step_datalog",
+    "evaluate_xpath_via_datalog",
+]

@@ -1,0 +1,147 @@
+"""Shredding K-UXML into the K-relation ``E(pid, nid, label)`` (Section 7).
+
+Each K-UXML node becomes one tuple of ``E`` carrying the node's membership
+annotation; ``pid`` is the parent's node identifier, ``nid`` the node's own
+identifier, and the reserved parent identifier ``0`` marks the (top-level)
+roots of the encoded K-set of trees.
+
+Going back (:func:`unshred`) rebuilds the K-set of trees from the tuples
+reachable from the roots; unreachable "garbage" tuples — which the Datalog
+translation of XPath naturally produces — are ignored (the paper notes the
+same clean-up step).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Tuple
+
+from repro.errors import ShreddingError
+from repro.kcollections.kset import KSet
+from repro.relational.krelation import KRelation
+from repro.semirings.base import Semiring
+from repro.uxml.tree import UTree
+
+__all__ = [
+    "ROOT_PID",
+    "EDGE_ATTRIBUTES",
+    "shred_forest",
+    "shred_tree",
+    "unshred",
+    "reachable_facts",
+    "edge_relation",
+]
+
+#: The reserved parent id of top-level roots.
+ROOT_PID = 0
+
+#: The schema of the edge relation.
+EDGE_ATTRIBUTES = ("pid", "nid", "label")
+
+EdgeFacts = dict[Tuple[Any, Any, str], Any]
+
+
+class _IdAllocator:
+    """Invent node identifiers during translation (1, 2, 3, ...)."""
+
+    def __init__(self, start: int = 1):
+        self._next = start
+
+    def fresh(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+
+def _shred_into(
+    tree: UTree,
+    annotation: Any,
+    parent: Any,
+    allocator: _IdAllocator,
+    facts: EdgeFacts,
+    semiring: Semiring,
+) -> None:
+    node_id = allocator.fresh()
+    key = (parent, node_id, tree.label)
+    facts[key] = semiring.normalize(annotation)
+    for child, child_annotation in tree.children.items():
+        _shred_into(child, child_annotation, node_id, allocator, facts, semiring)
+
+
+def shred_forest(forest: KSet) -> EdgeFacts:
+    """Shred a K-set of trees into edge facts ``(pid, nid, label) -> annotation``.
+
+    Every node occurrence gets a fresh identifier, so two occurrences of the
+    same subtree value are kept apart (they are merged again, with their
+    annotations added, when the forest is rebuilt).
+    """
+    semiring = forest.semiring
+    allocator = _IdAllocator()
+    facts: EdgeFacts = {}
+    for tree, annotation in sorted(forest.items(), key=lambda item: str(item[0])):
+        if not isinstance(tree, UTree):
+            raise ShreddingError(f"cannot shred non-tree member {tree!r}")
+        _shred_into(tree, annotation, ROOT_PID, allocator, facts, semiring)
+    return facts
+
+
+def shred_tree(tree: UTree, annotation: Any | None = None) -> EdgeFacts:
+    """Shred a single tree (with the given root annotation, default ``1``)."""
+    semiring = tree.semiring
+    root_annotation = semiring.one if annotation is None else annotation
+    return shred_forest(KSet.singleton(semiring, tree, root_annotation))
+
+
+def edge_relation(facts: Mapping[Tuple[Any, Any, str], Any], semiring: Semiring) -> KRelation:
+    """Package edge facts as the K-relation ``E(pid, nid, label)``."""
+    return KRelation(semiring, EDGE_ATTRIBUTES, dict(facts))
+
+
+def reachable_facts(facts: Mapping[Tuple[Any, Any, str], Any], semiring: Semiring) -> EdgeFacts:
+    """Remove garbage: keep only the tuples reachable from the root parent id."""
+    children_of: dict[Any, list[Tuple[Any, Any, str]]] = {}
+    for key in facts:
+        children_of.setdefault(key[0], []).append(key)
+    reachable: EdgeFacts = {}
+    frontier = list(children_of.get(ROOT_PID, []))
+    while frontier:
+        key = frontier.pop()
+        if key in reachable:
+            continue
+        annotation = facts[key]
+        if semiring.is_zero(annotation):
+            continue
+        reachable[key] = annotation
+        frontier.extend(children_of.get(key[1], []))
+    return reachable
+
+
+def unshred(
+    facts: Mapping[Tuple[Any, Any, str], Any] | KRelation,
+    semiring: Semiring,
+) -> KSet:
+    """Rebuild the K-set of trees encoded by edge facts (ignoring garbage).
+
+    Distinct node identifiers that denote equal tree *values* are merged and
+    their annotations added, which is exactly the K-set semantics of the
+    direct data model.
+    """
+    if isinstance(facts, KRelation):
+        table: Mapping[Tuple[Any, Any, str], Any] = {row: ann for row, ann in facts.items()}
+    else:
+        table = facts
+    live = reachable_facts(table, semiring)
+    children_of: dict[Any, list[Tuple[Any, Any, str]]] = {}
+    for key in live:
+        children_of.setdefault(key[0], []).append(key)
+
+    def build(node_id: Any, label: str) -> UTree:
+        members = []
+        for child_pid, child_nid, child_label in children_of.get(node_id, []):
+            child_tree = build(child_nid, child_label)
+            members.append((child_tree, live[(child_pid, child_nid, child_label)]))
+        return UTree(label, KSet(semiring, members))
+
+    roots = []
+    for pid, nid, label in children_of.get(ROOT_PID, []):
+        roots.append((build(nid, label), live[(pid, nid, label)]))
+    return KSet(semiring, roots)

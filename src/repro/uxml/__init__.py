@@ -1,0 +1,52 @@
+"""K-UXML: the annotated, unordered XML data model of Section 3."""
+
+from repro.uxml.builder import Annotated, TreeBuilder
+from repro.uxml.navigation import (
+    AXIS_FUNCTIONS,
+    WILDCARD,
+    apply_axis,
+    axis_child,
+    axis_descendant,
+    axis_descendant_or_self,
+    axis_self,
+    double_slash,
+    matches_nodetest,
+)
+from repro.uxml.parser import parse_document, parse_forest, parse_tree
+from repro.uxml.serializer import forest_to_xml, to_paper_notation, to_xml
+from repro.uxml.tree import (
+    UTree,
+    forest,
+    forest_size,
+    leaf,
+    map_forest_annotations,
+    map_tree_annotations,
+    tree_size,
+)
+
+__all__ = [
+    "UTree",
+    "leaf",
+    "forest",
+    "tree_size",
+    "forest_size",
+    "map_tree_annotations",
+    "map_forest_annotations",
+    "TreeBuilder",
+    "Annotated",
+    "parse_tree",
+    "parse_document",
+    "parse_forest",
+    "to_xml",
+    "forest_to_xml",
+    "to_paper_notation",
+    "WILDCARD",
+    "matches_nodetest",
+    "axis_self",
+    "axis_child",
+    "axis_descendant",
+    "axis_descendant_or_self",
+    "double_slash",
+    "apply_axis",
+    "AXIS_FUNCTIONS",
+]

@@ -1,0 +1,124 @@
+"""Ergonomic construction of K-UXML values.
+
+The raw data model (:class:`~repro.uxml.tree.UTree` over
+:class:`~repro.kcollections.kset.KSet`) is deliberately minimal; this module
+provides a small builder that makes writing documents in code read almost like
+the paper's figures:
+
+>>> from repro.semirings import PROVENANCE, variable
+>>> b = TreeBuilder(PROVENANCE)
+>>> source = b.forest(
+...     (b.tree("a",
+...         (b.tree("b", b.leaf("d") @ "y1") @ "x1"),
+...         (b.tree("c", b.leaf("d") @ "y2", b.leaf("e") @ "y3") @ "x2"),
+...     ) @ "z"),
+... )
+
+``tree @ annotation`` attaches an annotation to a tree *for use as a member of
+the enclosing collection* — matching the paper's convention that annotations
+live on K-set membership, not on trees themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import UXMLError
+from repro.kcollections.kset import KSet
+from repro.semirings.base import Semiring
+from repro.uxml.tree import UTree
+
+__all__ = ["Annotated", "TreeBuilder"]
+
+
+class Annotated:
+    """A tree paired with the annotation it will carry inside a K-set."""
+
+    __slots__ = ("tree", "annotation")
+
+    def __init__(self, tree: UTree, annotation: Any):
+        self.tree = tree
+        self.annotation = annotation
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Annotated({self.tree!r}, {self.annotation!r})"
+
+
+class _BuildableTree(UTree):
+    """A :class:`UTree` that supports ``tree @ annotation`` for builder sugar."""
+
+    __slots__ = ()
+
+    def __matmul__(self, annotation: Any) -> Annotated:
+        return Annotated(self, annotation)
+
+
+class TreeBuilder:
+    """Build K-UXML trees and forests over a fixed semiring."""
+
+    def __init__(self, semiring: Semiring):
+        self.semiring = semiring
+
+    # ------------------------------------------------------------- low level
+    def _coerce_annotation(self, annotation: Any) -> Any:
+        """Accept raw semiring elements or their textual form."""
+        if self.semiring.is_valid(annotation):
+            return annotation
+        if isinstance(annotation, str):
+            try:
+                return self.semiring.parse_element(annotation)
+            except Exception:
+                pass
+        # Convenience for the provenance semiring: bare token names.
+        from repro.semirings.polynomial import Polynomial, ProvenancePolynomialSemiring
+
+        if isinstance(self.semiring, ProvenancePolynomialSemiring) and isinstance(annotation, str):
+            return Polynomial.variable(annotation)
+        raise UXMLError(
+            f"{annotation!r} is not a valid {self.semiring.name} annotation"
+        )
+
+    def _member(self, item: Any) -> tuple[UTree, Any]:
+        if isinstance(item, Annotated):
+            return item.tree, self._coerce_annotation(item.annotation)
+        if isinstance(item, UTree):
+            return item, self.semiring.one
+        if isinstance(item, tuple) and len(item) == 2 and isinstance(item[0], UTree):
+            return item[0], self._coerce_annotation(item[1])
+        if isinstance(item, str):
+            return self.leaf(item), self.semiring.one
+        raise UXMLError(f"cannot interpret {item!r} as a forest member")
+
+    # ------------------------------------------------------------ public API
+    def leaf(self, label: str) -> UTree:
+        """A childless tree with the given label."""
+        return _BuildableTree(label, KSet.empty(self.semiring))
+
+    def tree(self, label: str, *children: Any) -> UTree:
+        """A tree with the given label and children.
+
+        Children may be trees (annotation ``1``), ``tree @ annotation``
+        values, ``(tree, annotation)`` pairs, or bare strings (leaf labels).
+        """
+        members = [self._member(child) for child in children]
+        return _BuildableTree(label, KSet(self.semiring, members))
+
+    def forest(self, *members: Any) -> KSet:
+        """A K-set of trees from the same member formats as :meth:`tree`."""
+        pairs = [self._member(member) for member in members]
+        return KSet(self.semiring, pairs)
+
+    def singleton(self, tree: UTree, annotation: Any | None = None) -> KSet:
+        """A singleton forest containing ``tree`` (default annotation ``1``)."""
+        if annotation is None:
+            annotation = self.semiring.one
+        return KSet.singleton(self.semiring, tree, self._coerce_annotation(annotation))
+
+    def record(self, label: str, fields: Iterable[tuple[str, str]]) -> UTree:
+        """A "tuple" tree: ``<label> <field>value</field> ... </label>``.
+
+        Used by the relational encoding of Figure 5 where each tuple becomes a
+        ``t`` element whose children are attribute elements wrapping values.
+        """
+        children = [self.tree(name, self.leaf(value)) for name, value in fields]
+        return self.tree(label, *children)

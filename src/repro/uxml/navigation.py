@@ -1,0 +1,107 @@
+"""Reference semantics for XPath navigation steps directly on K-UXML.
+
+These functions implement the downward axes (``self``, ``child``,
+``descendant``, ``descendant-or-self``) as operations on K-sets of trees,
+propagating annotations exactly as Section 3 describes: the annotation of each
+answer item is the sum, over all paths from a root of the input collection to
+an occurrence of the item, of the product of the K-set membership annotations
+along that path (including the matched node's own membership annotation).
+
+They serve two purposes:
+
+* the *direct* K-UXQuery interpreter (:mod:`repro.uxquery.direct`) uses them;
+* the test-suite checks that the paper's compilation into NRC_K + srt
+  (Section 6.3) and the shredding-into-Datalog semantics (Section 7) agree
+  with them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UXMLError
+from repro.kcollections.kset import KSet
+from repro.uxml.tree import UTree
+
+__all__ = [
+    "WILDCARD",
+    "matches_nodetest",
+    "axis_self",
+    "axis_child",
+    "axis_descendant",
+    "axis_descendant_or_self",
+    "apply_axis",
+    "double_slash",
+    "AXIS_FUNCTIONS",
+]
+
+#: The wildcard node test ``*`` (matches every label).
+WILDCARD = "*"
+
+
+def matches_nodetest(tree: UTree, nodetest: str) -> bool:
+    """True if the tree's root label matches the node test (label or ``*``)."""
+    return nodetest == WILDCARD or tree.label == nodetest
+
+
+def axis_self(collection: KSet, nodetest: str = WILDCARD) -> KSet:
+    """``self::nt`` — keep the trees whose root label matches."""
+    return collection.bind(
+        lambda tree: KSet.singleton(collection.semiring, tree)
+        if matches_nodetest(tree, nodetest)
+        else KSet.empty(collection.semiring)
+    )
+
+
+def axis_child(collection: KSet, nodetest: str = WILDCARD) -> KSet:
+    """``child::nt`` — the matching children, annotations multiplied along the step."""
+    return collection.bind(
+        lambda tree: tree.children.filter(lambda child: matches_nodetest(child, nodetest))
+    )
+
+
+def _descendant_or_self_of_tree(tree: UTree) -> KSet:
+    """All subtrees of ``tree`` including itself, with path-product annotations."""
+    semiring = tree.semiring
+    self_part = KSet.singleton(semiring, tree)
+    below = tree.children.bind(_descendant_or_self_of_tree)
+    return self_part.union(below)
+
+
+def axis_descendant_or_self(collection: KSet, nodetest: str = WILDCARD) -> KSet:
+    """``descendant-or-self::nt`` — every subtree (including the roots) that matches."""
+    result = collection.bind(_descendant_or_self_of_tree)
+    if nodetest == WILDCARD:
+        return result
+    return result.filter(lambda tree: matches_nodetest(tree, nodetest))
+
+
+def axis_descendant(collection: KSet, nodetest: str = WILDCARD) -> KSet:
+    """``descendant::nt`` — every strict descendant that matches."""
+    result = collection.bind(lambda tree: tree.children.bind(_descendant_or_self_of_tree))
+    if nodetest == WILDCARD:
+        return result
+    return result.filter(lambda tree: matches_nodetest(tree, nodetest))
+
+
+def double_slash(collection: KSet, nodetest: str = WILDCARD) -> KSet:
+    """The XPath abbreviation ``//nt`` = ``descendant-or-self::*/child::nt``."""
+    return axis_child(axis_descendant_or_self(collection, WILDCARD), nodetest)
+
+
+#: Axis name -> implementation, used by the direct interpreter and the tests.
+AXIS_FUNCTIONS = {
+    "self": axis_self,
+    "child": axis_child,
+    "descendant": axis_descendant,
+    "descendant-or-self": axis_descendant_or_self,
+}
+
+
+def apply_axis(collection: KSet, axis: str, nodetest: str = WILDCARD) -> KSet:
+    """Apply a named axis with a node test to a K-set of trees."""
+    try:
+        function = AXIS_FUNCTIONS[axis]
+    except KeyError:
+        raise UXMLError(
+            f"unsupported axis {axis!r}; supported: {sorted(AXIS_FUNCTIONS)}"
+        ) from None
+    return function(collection, nodetest)

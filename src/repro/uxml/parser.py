@@ -1,0 +1,106 @@
+"""Parsing annotated XML documents into K-UXML values.
+
+The concrete syntax is ordinary XML; annotations are carried in an attribute
+(default ``annot``) whose value is parsed by the semiring's
+:meth:`~repro.semirings.base.Semiring.parse_element`.  Element ordering in the
+document is irrelevant — the result is unordered by construction — and text
+content is turned into leaf children (the paper models atomic values as labels
+of childless trees).
+
+Example (the source of Figure 1, over the provenance-polynomial semiring)::
+
+    <a annot="z">
+      <b annot="x1"> <d annot="y1"/> </b>
+      <c annot="x2"> <d annot="y2"/> <e annot="y3"/> </c>
+    </a>
+
+``lxml`` is not required: the standard-library :mod:`xml.etree.ElementTree`
+parser is sufficient because the data model itself (K-sets, unorderedness,
+annotations) is implemented by this library, not inherited from the XML
+parser.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from typing import Any
+
+from repro.errors import UXMLParseError
+from repro.kcollections.kset import KSet
+from repro.semirings.base import Semiring
+from repro.uxml.tree import UTree, leaf
+
+__all__ = ["parse_tree", "parse_forest", "parse_document"]
+
+
+def _parse_annotation(element: ElementTree.Element, semiring: Semiring, annot_attr: str) -> Any:
+    raw = element.attrib.get(annot_attr)
+    if raw is None:
+        return semiring.one
+    try:
+        return semiring.coerce(semiring.parse_element(raw))
+    except Exception as exc:
+        raise UXMLParseError(
+            f"cannot parse annotation {raw!r} on <{element.tag}> as {semiring.name}: {exc}"
+        ) from exc
+
+
+def _text_leaves(text: str | None, semiring: Semiring) -> list[tuple[UTree, Any]]:
+    if not text:
+        return []
+    members = []
+    for token in text.split():
+        members.append((leaf(semiring, token), semiring.one))
+    return members
+
+
+def _convert_element(
+    element: ElementTree.Element, semiring: Semiring, annot_attr: str
+) -> tuple[UTree, Any]:
+    annotation = _parse_annotation(element, semiring, annot_attr)
+    members: list[tuple[UTree, Any]] = []
+    members.extend(_text_leaves(element.text, semiring))
+    for child in element:
+        members.append(_convert_element(child, semiring, annot_attr))
+        members.extend(_text_leaves(child.tail, semiring))
+    tree = UTree(element.tag, KSet(semiring, members))
+    return tree, annotation
+
+
+def parse_tree(text: str, semiring: Semiring, annot_attr: str = "annot") -> tuple[UTree, Any]:
+    """Parse an XML document into ``(tree, root_annotation)``."""
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise UXMLParseError(f"malformed XML: {exc}") from exc
+    return _convert_element(root, semiring, annot_attr)
+
+
+def parse_document(text: str, semiring: Semiring, annot_attr: str = "annot") -> KSet:
+    """Parse an XML document into a singleton K-set containing its root tree.
+
+    The root element's own ``annot`` attribute becomes the tree's annotation
+    in the returned K-set (``1`` if absent).
+    """
+    tree, annotation = parse_tree(text, semiring, annot_attr)
+    return KSet.singleton(semiring, tree, annotation)
+
+
+def parse_forest(
+    text: str, semiring: Semiring, annot_attr: str = "annot", unwrap_root: bool = True
+) -> KSet:
+    """Parse an XML document whose root element is a synthetic forest wrapper.
+
+    With ``unwrap_root=True`` (the default) the children of the root element
+    become the members of the returned K-set — the inverse of
+    :func:`repro.uxml.serializer.forest_to_xml`.  With ``unwrap_root=False``
+    this behaves like :func:`parse_document`.
+    """
+    if not unwrap_root:
+        return parse_document(text, semiring, annot_attr)
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise UXMLParseError(f"malformed XML: {exc}") from exc
+    members = [_convert_element(child, semiring, annot_attr) for child in root]
+    return KSet(semiring, members)

@@ -1,0 +1,78 @@
+"""K-UXQuery: the positive, order-free XQuery fragment of the paper (Section 3).
+
+The public entry points are :func:`evaluate_query` / :func:`prepare_query`;
+the individual pipeline stages (parser, typechecker, normalizer, compiler to
+NRC_K + srt, direct interpreter) are also exported for finer-grained use.
+"""
+
+from repro.uxquery.ast import (
+    AXES,
+    WILDCARD,
+    AndCondition,
+    AnnotExpr,
+    Condition,
+    ElementExpr,
+    EmptySeq,
+    EqCondition,
+    ForExpr,
+    IfEqExpr,
+    LabelExpr,
+    LetExpr,
+    NameExpr,
+    PathExpr,
+    Query,
+    Sequence,
+    Step,
+    VarExpr,
+    iter_query,
+    query_size,
+)
+from repro.uxquery.compile import compile_step, compile_to_nrc, resolve_annotation
+from repro.uxquery.direct import evaluate_direct
+from repro.uxquery.engine import PreparedQuery, env_types_of, evaluate_query, prepare_query
+from repro.uxquery.lexer import tokenize
+from repro.uxquery.normalize import is_core, normalize
+from repro.uxquery.parser import parse_query
+from repro.uxquery.typecheck import FOREST, LABEL, TREE, infer_type
+
+__all__ = [
+    # AST
+    "Query",
+    "LabelExpr",
+    "VarExpr",
+    "EmptySeq",
+    "Sequence",
+    "ForExpr",
+    "LetExpr",
+    "IfEqExpr",
+    "ElementExpr",
+    "NameExpr",
+    "AnnotExpr",
+    "PathExpr",
+    "Step",
+    "Condition",
+    "EqCondition",
+    "AndCondition",
+    "AXES",
+    "WILDCARD",
+    "iter_query",
+    "query_size",
+    # pipeline
+    "tokenize",
+    "parse_query",
+    "infer_type",
+    "LABEL",
+    "TREE",
+    "FOREST",
+    "normalize",
+    "is_core",
+    "compile_to_nrc",
+    "compile_step",
+    "resolve_annotation",
+    "evaluate_direct",
+    # engine
+    "PreparedQuery",
+    "prepare_query",
+    "evaluate_query",
+    "env_types_of",
+]

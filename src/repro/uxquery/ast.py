@@ -1,0 +1,347 @@
+"""Abstract syntax of K-UXQuery (Figure 2), plus the surface sugar.
+
+The core grammar of the paper::
+
+    p ::= l | $x | () | (p) | p,p | for $x in p return p
+        | let $x := p return p | if (p=p) then p else p
+        | element p {p} | name(p) | annot k p | p/s
+    s ::= ax::nt      ax ::= self | child | descendant      nt ::= l | *
+
+The surface language additionally supports (all normalized away by
+:mod:`repro.uxquery.normalize`, exactly as Section 3 describes):
+
+* multiple bindings in ``for`` and ``let`` clauses,
+* ``where`` clauses with conjunctions of path / label equalities,
+* XML element-constructor syntax ``<tag> { ... } </tag>`` (and ``</>``),
+* the ``//`` descendant shorthand and the ``descendant-or-self`` axis.
+
+AST nodes are immutable and hashable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+__all__ = [
+    "Query",
+    "LabelExpr",
+    "VarExpr",
+    "EmptySeq",
+    "Sequence",
+    "ForExpr",
+    "LetExpr",
+    "IfEqExpr",
+    "ElementExpr",
+    "NameExpr",
+    "AnnotExpr",
+    "Step",
+    "PathExpr",
+    "Condition",
+    "EqCondition",
+    "AndCondition",
+    "AXES",
+    "WILDCARD",
+    "iter_query",
+    "query_size",
+]
+
+#: Axes supported by the language (the downward, order-free fragment).
+AXES = ("self", "child", "descendant", "descendant-or-self")
+
+#: The wildcard node test.
+WILDCARD = "*"
+
+
+class Query:
+    """Base class of K-UXQuery AST nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["Query", ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return str(self)
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot) for slot in self.__slots__  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (type(self),) + tuple(getattr(self, slot) for slot in self.__slots__)  # type: ignore[attr-defined]
+        )
+
+
+class LabelExpr(Query):
+    """A label literal ``l``."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str):
+        self.label = label
+
+    def __str__(self) -> str:
+        return self.label
+
+
+class VarExpr(Query):
+    """A variable reference ``$x`` (stored without the dollar sign)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+class EmptySeq(Query):
+    """The empty sequence ``()``."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "()"
+
+
+class Sequence(Query):
+    """A parenthesized sequence ``(p1, p2, ...)`` — the K-set union of its items.
+
+    A single-item sequence ``(p)`` is the explicit "wrap in a set" form used
+    by the paper when ``p`` denotes a tree.
+    """
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Tuple[Query, ...]):
+        self.items = tuple(items)
+
+    def children(self) -> tuple[Query, ...]:
+        return self.items
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(item) for item in self.items) + ")"
+
+
+class ForExpr(Query):
+    """``for $x1 in p1, $x2 in p2, ... [where cond] return body``."""
+
+    __slots__ = ("bindings", "condition", "body")
+
+    def __init__(
+        self,
+        bindings: Tuple[Tuple[str, Query], ...],
+        body: Query,
+        condition: Optional["Condition"] = None,
+    ):
+        self.bindings = tuple((name, expr) for name, expr in bindings)
+        self.condition = condition
+        self.body = body
+
+    def children(self) -> tuple[Query, ...]:
+        result: list[Query] = [expr for _, expr in self.bindings]
+        if self.condition is not None:
+            result.extend(self.condition.operands())
+        result.append(self.body)
+        return tuple(result)
+
+    def __str__(self) -> str:
+        bindings = ", ".join(f"${name} in {expr}" for name, expr in self.bindings)
+        where = f" where {self.condition}" if self.condition is not None else ""
+        return f"for {bindings}{where} return {self.body}"
+
+
+class LetExpr(Query):
+    """``let $x1 := p1, $x2 := p2, ... return body``."""
+
+    __slots__ = ("bindings", "body")
+
+    def __init__(self, bindings: Tuple[Tuple[str, Query], ...], body: Query):
+        self.bindings = tuple((name, expr) for name, expr in bindings)
+        self.body = body
+
+    def children(self) -> tuple[Query, ...]:
+        return tuple(expr for _, expr in self.bindings) + (self.body,)
+
+    def __str__(self) -> str:
+        bindings = ", ".join(f"${name} := {expr}" for name, expr in self.bindings)
+        return f"let {bindings} return {self.body}"
+
+
+class IfEqExpr(Query):
+    """``if (p1 = p2) then p3 else p4`` — label equality only (positivity)."""
+
+    __slots__ = ("left", "right", "then", "orelse")
+
+    def __init__(self, left: Query, right: Query, then: Query, orelse: Query):
+        self.left = left
+        self.right = right
+        self.then = then
+        self.orelse = orelse
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.left, self.right, self.then, self.orelse)
+
+    def __str__(self) -> str:
+        return f"if ({self.left} = {self.right}) then {self.then} else {self.orelse}"
+
+
+class ElementExpr(Query):
+    """``element p1 {p2}`` — construct a tree with computed label and content."""
+
+    __slots__ = ("name", "content")
+
+    def __init__(self, name: Query, content: Query):
+        self.name = name
+        self.content = content
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.name, self.content)
+
+    def __str__(self) -> str:
+        return f"element {self.name} {{{self.content}}}"
+
+
+class NameExpr(Query):
+    """``name(p)`` — the root label of a tree."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Query):
+        self.expr = expr
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return f"name({self.expr})"
+
+
+class AnnotExpr(Query):
+    """``annot k p`` — multiply the annotations of the K-set ``p`` by ``k``.
+
+    ``annotation`` is either an already-parsed semiring element or its textual
+    form (a string), resolved against the semiring at compile time.
+    """
+
+    __slots__ = ("annotation", "expr")
+
+    def __init__(self, annotation: Any, expr: Query):
+        self.annotation = annotation
+        self.expr = expr
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return f"annot {self.annotation!r} {self.expr}"
+
+
+class Step(Query):
+    """A navigation step ``axis::nodetest``."""
+
+    __slots__ = ("axis", "nodetest")
+
+    def __init__(self, axis: str, nodetest: str):
+        if axis not in AXES:
+            raise ValueError(f"unsupported axis {axis!r}; supported: {AXES}")
+        self.axis = axis
+        self.nodetest = nodetest
+
+    def __str__(self) -> str:
+        return f"{self.axis}::{self.nodetest}"
+
+
+class PathExpr(Query):
+    """``p/step1/step2/...`` — apply navigation steps to a K-set of trees."""
+
+    __slots__ = ("source", "steps")
+
+    def __init__(self, source: Query, steps: Tuple[Step, ...]):
+        self.source = source
+        self.steps = tuple(steps)
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.source,) + self.steps
+
+    def __str__(self) -> str:
+        return str(self.source) + "".join(f"/{step}" for step in self.steps)
+
+
+# ---------------------------------------------------------------------------
+# Where-clause conditions (surface syntax only; removed by normalization)
+# ---------------------------------------------------------------------------
+class Condition:
+    """Base class of where-clause conditions."""
+
+    __slots__ = ()
+
+    def operands(self) -> tuple[Query, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return str(self)
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot) for slot in self.__slots__  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (type(self),) + tuple(getattr(self, slot) for slot in self.__slots__)  # type: ignore[attr-defined]
+        )
+
+
+class EqCondition(Condition):
+    """An equality ``p1 = p2`` between two label- or path-valued expressions."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Query, right: Query):
+        self.left = left
+        self.right = right
+
+    def operands(self) -> tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+class AndCondition(Condition):
+    """A conjunction of conditions."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Condition, right: Condition):
+        self.left = left
+        self.right = right
+
+    def operands(self) -> tuple[Query, ...]:
+        return self.left.operands() + self.right.operands()
+
+    def __str__(self) -> str:
+        return f"{self.left} and {self.right}"
+
+
+# ---------------------------------------------------------------------------
+# Traversals
+# ---------------------------------------------------------------------------
+def iter_query(query: Query) -> Iterator[Query]:
+    """Pre-order iteration over a query and its sub-queries."""
+    yield query
+    for child in query.children():
+        yield from iter_query(child)
+
+
+def query_size(query: Query) -> int:
+    """Number of AST nodes (the ``|p|`` used in the Proposition 2 bound)."""
+    return sum(1 for _ in iter_query(query))

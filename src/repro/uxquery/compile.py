@@ -1,0 +1,269 @@
+"""Compilation of core K-UXQuery into NRC_K + srt (Section 6.3).
+
+This is the paper's primary semantics for K-UXQuery: each core construct has a
+direct analogue in the calculus, navigation steps are compiled into iteration
+and filtering, and the ``descendant`` axes use the structural-recursion
+operator ``srt`` exactly as in the paper's compilation rule.
+
+The compilation is type-directed only in one small way: wherever a ``{tree}``
+is expected but the sub-query produces a single ``tree``, a singleton
+constructor is inserted (the coercion the surface syntax leaves implicit).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import UXQueryTypeError
+from repro.nrc.ast import (
+    BigUnion,
+    EmptySet,
+    Expr,
+    IfEq,
+    Kids,
+    LabelLit,
+    Let,
+    PairExpr,
+    Proj,
+    Scale,
+    Singleton,
+    Srt,
+    Tag,
+    TreeExpr,
+    Union,
+    Var,
+)
+from repro.semirings.base import Semiring
+from repro.uxquery.ast import (
+    AnnotExpr,
+    ElementExpr,
+    EmptySeq,
+    ForExpr,
+    IfEqExpr,
+    LabelExpr,
+    LetExpr,
+    NameExpr,
+    PathExpr,
+    Query,
+    Sequence,
+    Step,
+    VarExpr,
+)
+from repro.uxquery.typecheck import FOREST, LABEL, TREE, infer_type
+
+__all__ = ["compile_to_nrc", "resolve_annotation", "compile_step"]
+
+_FRESH = [0]
+
+
+def _fresh(base: str) -> str:
+    _FRESH[0] += 1
+    return f"{base}%{_FRESH[0]}"
+
+
+def resolve_annotation(annotation: Any, semiring: Semiring) -> Any:
+    """Resolve an ``annot`` argument into a semiring element.
+
+    Accepts either an element of the semiring or its textual form (as produced
+    by the parser).
+    """
+    if semiring.is_valid(annotation):
+        return semiring.normalize(annotation)
+    if isinstance(annotation, str):
+        try:
+            return semiring.coerce(semiring.parse_element(annotation))
+        except Exception as exc:
+            raise UXQueryTypeError(
+                f"cannot interpret annotation {annotation!r} as an element of "
+                f"{semiring.name}: {exc}"
+            ) from exc
+    raise UXQueryTypeError(
+        f"annotation {annotation!r} is not an element of the semiring {semiring.name}"
+    )
+
+
+def compile_to_nrc(
+    query: Query, semiring: Semiring, env: Mapping[str, str] | None = None
+) -> Expr:
+    """Compile a *core* K-UXQuery into an NRC_K + srt expression.
+
+    ``env`` assigns K-UXQuery types (``label`` / ``tree`` / ``forest``) to the
+    query's free variables; compiled variables keep their names, so the NRC
+    expression can be evaluated in an environment binding the same names to
+    labels / trees / K-sets.
+    """
+    environment = dict(env) if env else {}
+    expr, _ = _compile(query, semiring, environment)
+    return expr
+
+
+def _compile(query: Query, semiring: Semiring, env: dict[str, str]) -> tuple[Expr, str]:
+    """Compile and return ``(expression, uxquery type)``."""
+    if isinstance(query, LabelExpr):
+        return LabelLit(query.label), LABEL
+
+    if isinstance(query, VarExpr):
+        try:
+            return Var(query.name), env[query.name]
+        except KeyError:
+            raise UXQueryTypeError(f"unbound variable ${query.name}") from None
+
+    if isinstance(query, EmptySeq):
+        return EmptySet(), FOREST
+
+    if isinstance(query, Sequence):
+        compiled = [self_or_singleton(*_compile(item, semiring, env)) for item in query.items]
+        result = compiled[0]
+        for piece in compiled[1:]:
+            result = Union(result, piece)
+        return result, FOREST
+
+    if isinstance(query, ForExpr):
+        if len(query.bindings) != 1 or query.condition is not None:
+            raise UXQueryTypeError(
+                "compile_to_nrc expects a core query; run repro.uxquery.normalize first"
+            )
+        (var, source), = query.bindings
+        source_expr = self_or_singleton(*_compile(source, semiring, env))
+        inner_env = dict(env)
+        inner_env[var] = TREE
+        body_expr = self_or_singleton(*_compile(query.body, semiring, inner_env))
+        return BigUnion(var, source_expr, body_expr), FOREST
+
+    if isinstance(query, LetExpr):
+        if len(query.bindings) != 1:
+            raise UXQueryTypeError(
+                "compile_to_nrc expects a core query; run repro.uxquery.normalize first"
+            )
+        (var, value), = query.bindings
+        value_expr, value_type = _compile(value, semiring, env)
+        inner_env = dict(env)
+        inner_env[var] = value_type
+        body_expr, body_type = _compile(query.body, semiring, inner_env)
+        return Let(var, value_expr, body_expr), body_type
+
+    if isinstance(query, IfEqExpr):
+        left_expr, left_type = _compile(query.left, semiring, env)
+        right_expr, right_type = _compile(query.right, semiring, env)
+        if left_type != LABEL or right_type != LABEL:
+            raise UXQueryTypeError(
+                "conditionals only compare labels (positivity restriction)"
+            )
+        then_expr, then_type = _compile(query.then, semiring, env)
+        else_expr, else_type = _compile(query.orelse, semiring, env)
+        if then_type == else_type:
+            return IfEq(left_expr, right_expr, then_expr, else_expr), then_type
+        then_expr = self_or_singleton(then_expr, then_type)
+        else_expr = self_or_singleton(else_expr, else_type)
+        return IfEq(left_expr, right_expr, then_expr, else_expr), FOREST
+
+    if isinstance(query, ElementExpr):
+        name_expr, name_type = _compile(query.name, semiring, env)
+        if name_type != LABEL:
+            raise UXQueryTypeError(f"element names must be labels, got {name_type}")
+        content_expr = self_or_singleton(*_compile(query.content, semiring, env))
+        return TreeExpr(name_expr, content_expr), TREE
+
+    if isinstance(query, NameExpr):
+        inner_expr, inner_type = _compile(query.expr, semiring, env)
+        if inner_type != TREE:
+            raise UXQueryTypeError(f"name(...) expects a tree, got {inner_type}")
+        return Tag(inner_expr), LABEL
+
+    if isinstance(query, AnnotExpr):
+        scalar = resolve_annotation(query.annotation, semiring)
+        inner = self_or_singleton(*_compile(query.expr, semiring, env))
+        return Scale(scalar, inner), FOREST
+
+    if isinstance(query, PathExpr):
+        current = self_or_singleton(*_compile(query.source, semiring, env))
+        for step in query.steps:
+            current = compile_step(current, step)
+        return current, FOREST
+
+    raise UXQueryTypeError(f"cannot compile query node {query!r}")
+
+
+def self_or_singleton(expr: Expr, uxtype: str) -> Expr:
+    """Coerce a compiled expression to the collection type ``{tree}``."""
+    if uxtype == FOREST:
+        return expr
+    if uxtype == TREE:
+        return Singleton(expr)
+    raise UXQueryTypeError(f"expected a tree or a set of trees, got a {uxtype}")
+
+
+# ---------------------------------------------------------------------------
+# Navigation steps (Section 6.3)
+# ---------------------------------------------------------------------------
+def compile_step(source: Expr, step: Step) -> Expr:
+    """Compile one navigation step applied to a compiled ``{tree}`` expression."""
+    if step.axis == "self":
+        return _filter_by_nodetest(source, step.nodetest)
+    if step.axis == "child":
+        return _compile_child(source, step.nodetest)
+    if step.axis == "descendant-or-self":
+        return _filter_by_nodetest(_descendant_or_self(source), step.nodetest)
+    if step.axis == "descendant":
+        return _filter_by_nodetest(_descendant_or_self(_compile_child(source, "*")), step.nodetest)
+    raise UXQueryTypeError(f"unsupported axis {step.axis!r}")
+
+
+def _filter_by_nodetest(source: Expr, nodetest: str) -> Expr:
+    """``U(x in source) if tag(x) = nt then {x} else {}`` (identity for ``*``)."""
+    var = _fresh("x")
+    if nodetest == "*":
+        return BigUnion(var, source, Singleton(Var(var)))
+    return BigUnion(
+        var,
+        source,
+        IfEq(Tag(Var(var)), LabelLit(nodetest), Singleton(Var(var)), EmptySet()),
+    )
+
+
+def _compile_child(source: Expr, nodetest: str) -> Expr:
+    """``U(x in source) U(y in kids(x)) if tag(y) = nt then {y} else {}``."""
+    outer, inner = _fresh("x"), _fresh("y")
+    if nodetest == "*":
+        body: Expr = Singleton(Var(inner))
+    else:
+        body = IfEq(Tag(Var(inner)), LabelLit(nodetest), Singleton(Var(inner)), EmptySet())
+    return BigUnion(outer, source, BigUnion(inner, Kids(Var(outer)), body))
+
+
+def _descendant_or_self(source: Expr) -> Expr:
+    """The paper's structural-recursion compilation of the descendant step.
+
+    For every member ``x`` of the source collection, ``srt`` walks the tree
+    bottom-up building pairs ``(descendants-or-self, rebuilt tree)``; the
+    answer projects out the first component::
+
+        U(x in e) pi_1((srt(b, s). f) x)
+        f = let self    = Tree(b, U(z in s) {pi_2(z)}) in
+            let matches = U(z in s) pi_1(z) in
+            (matches U {self}, self)
+    """
+    outer = _fresh("x")
+    label_var = _fresh("b")
+    acc_var = _fresh("s")
+    self_var = _fresh("self")
+    matches_var = _fresh("matches")
+    rebuild_var = _fresh("z")
+    collect_var = _fresh("z")
+
+    rebuild_children = BigUnion(rebuild_var, Var(acc_var), Singleton(Proj(2, Var(rebuild_var))))
+    collect_matches = BigUnion(collect_var, Var(acc_var), Proj(1, Var(collect_var)))
+    body = Let(
+        self_var,
+        TreeExpr(Var(label_var), rebuild_children),
+        Let(
+            matches_var,
+            collect_matches,
+            PairExpr(
+                Union(Var(matches_var), Singleton(Var(self_var))),
+                Var(self_var),
+            ),
+        ),
+    )
+    recursion = Srt(label_var, acc_var, body, Var(outer))
+    return BigUnion(outer, source, Proj(1, recursion))

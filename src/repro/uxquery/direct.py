@@ -1,0 +1,144 @@
+"""A direct (reference) interpreter for core K-UXQuery on K-UXML values.
+
+The paper defines the semantics of K-UXQuery by compilation into NRC_K + srt
+(Section 6.3).  This module implements the *same* semantics directly on the
+K-UXML data structures, using the K-set algebra and the navigation axes of
+:mod:`repro.uxml.navigation`.  It exists purely as an independent
+implementation: the test-suite and the E13 ablation benchmark check that it
+agrees with the compiled semantics on every paper figure and on randomized
+workloads, which is strong evidence that the compilation is faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import UXQueryEvalError
+from repro.kcollections.kset import KSet
+from repro.semirings.base import Semiring
+from repro.uxml.navigation import apply_axis
+from repro.uxml.tree import UTree
+from repro.uxquery.ast import (
+    AnnotExpr,
+    ElementExpr,
+    EmptySeq,
+    ForExpr,
+    IfEqExpr,
+    LabelExpr,
+    LetExpr,
+    NameExpr,
+    PathExpr,
+    Query,
+    Sequence,
+    VarExpr,
+)
+from repro.uxquery.compile import resolve_annotation
+
+__all__ = ["evaluate_direct"]
+
+
+def evaluate_direct(
+    query: Query, semiring: Semiring, env: Mapping[str, Any] | None = None
+) -> Any:
+    """Evaluate a core K-UXQuery directly over K-UXML values.
+
+    ``env`` binds free variables to labels (strings), trees
+    (:class:`~repro.uxml.tree.UTree`) or K-sets of trees
+    (:class:`~repro.kcollections.kset.KSet`).
+    """
+    return _evaluate(query, semiring, dict(env) if env else {})
+
+
+def _to_forest(value: Any, semiring: Semiring, context: str) -> KSet:
+    if isinstance(value, KSet):
+        return value
+    if isinstance(value, UTree):
+        return KSet.singleton(semiring, value)
+    raise UXQueryEvalError(f"{context}: expected a tree or a set of trees, got {value!r}")
+
+
+def _evaluate(query: Query, semiring: Semiring, env: dict[str, Any]) -> Any:
+    if isinstance(query, LabelExpr):
+        return query.label
+
+    if isinstance(query, VarExpr):
+        try:
+            return env[query.name]
+        except KeyError:
+            raise UXQueryEvalError(f"unbound variable ${query.name}") from None
+
+    if isinstance(query, EmptySeq):
+        return KSet.empty(semiring)
+
+    if isinstance(query, Sequence):
+        result = KSet.empty(semiring)
+        for item in query.items:
+            result = result.union(
+                _to_forest(_evaluate(item, semiring, env), semiring, "sequence item")
+            )
+        return result
+
+    if isinstance(query, ForExpr):
+        if len(query.bindings) != 1 or query.condition is not None:
+            raise UXQueryEvalError(
+                "the direct interpreter expects core queries; run normalize first"
+            )
+        (var, source), = query.bindings
+        collection = _to_forest(_evaluate(source, semiring, env), semiring, "for source")
+
+        def body(tree: Any) -> KSet:
+            inner_env = dict(env)
+            inner_env[var] = tree
+            return _to_forest(_evaluate(query.body, semiring, inner_env), semiring, "for body")
+
+        return collection.bind(body)
+
+    if isinstance(query, LetExpr):
+        if len(query.bindings) != 1:
+            raise UXQueryEvalError(
+                "the direct interpreter expects core queries; run normalize first"
+            )
+        (var, value), = query.bindings
+        inner_env = dict(env)
+        inner_env[var] = _evaluate(value, semiring, env)
+        return _evaluate(query.body, semiring, inner_env)
+
+    if isinstance(query, IfEqExpr):
+        left = _evaluate(query.left, semiring, env)
+        right = _evaluate(query.right, semiring, env)
+        if not isinstance(left, str) or not isinstance(right, str):
+            raise UXQueryEvalError("conditionals only compare labels")
+        if left == right:
+            return _evaluate(query.then, semiring, env)
+        return _evaluate(query.orelse, semiring, env)
+
+    if isinstance(query, ElementExpr):
+        label = _evaluate(query.name, semiring, env)
+        if not isinstance(label, str):
+            raise UXQueryEvalError(f"element names must be labels, got {label!r}")
+        content = _evaluate(query.content, semiring, env)
+        children = (
+            KSet.empty(semiring)
+            if isinstance(query.content, EmptySeq)
+            else _to_forest(content, semiring, "element content")
+        )
+        return UTree(label, children)
+
+    if isinstance(query, NameExpr):
+        value = _evaluate(query.expr, semiring, env)
+        if not isinstance(value, UTree):
+            raise UXQueryEvalError(f"name(...) expects a tree, got {value!r}")
+        return value.label
+
+    if isinstance(query, AnnotExpr):
+        scalar = resolve_annotation(query.annotation, semiring)
+        collection = _to_forest(_evaluate(query.expr, semiring, env), semiring, "annot")
+        return collection.scale(scalar)
+
+    if isinstance(query, PathExpr):
+        current = _to_forest(_evaluate(query.source, semiring, env), semiring, "path source")
+        for step in query.steps:
+            current = apply_axis(current, step.axis, step.nodetest)
+        return current
+
+    raise UXQueryEvalError(f"cannot evaluate query node {query!r}")

@@ -1,0 +1,131 @@
+"""High-level K-UXQuery engine: parse, normalize, typecheck, compile, evaluate.
+
+This is the main entry point of the library::
+
+    from repro.semirings import PROVENANCE
+    from repro.uxquery import evaluate_query
+
+    answer = evaluate_query("element p { $S/*/* }", PROVENANCE, {"S": source})
+
+Two evaluation methods are available and agree on every query (the test-suite
+checks this):
+
+* ``method="nrc"`` (default) — the paper's semantics: compile into
+  NRC_K + srt (Section 6.3) and evaluate with the Figure 8 equations;
+* ``method="direct"`` — a direct structural interpreter over K-UXML.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import UXQueryEvalError
+from repro.kcollections.kset import KSet
+from repro.nrc.ast import Expr, expression_size
+from repro.nrc.eval import evaluate as evaluate_nrc
+from repro.semirings.base import Semiring
+from repro.uxml.tree import UTree
+from repro.uxquery.ast import Query, query_size
+from repro.uxquery.compile import compile_to_nrc
+from repro.uxquery.direct import evaluate_direct
+from repro.uxquery.normalize import normalize
+from repro.uxquery.parser import parse_query
+from repro.uxquery.typecheck import FOREST, LABEL, TREE, infer_type
+
+__all__ = ["PreparedQuery", "prepare_query", "evaluate_query", "env_types_of"]
+
+
+def env_types_of(env: Mapping[str, Any] | None) -> dict[str, str]:
+    """Infer the K-UXQuery types of environment values.
+
+    Strings are labels, :class:`UTree` values are trees and :class:`KSet`
+    values are sets of trees.
+    """
+    types: dict[str, str] = {}
+    if not env:
+        return types
+    for name, value in env.items():
+        if isinstance(value, str):
+            types[name] = LABEL
+        elif isinstance(value, UTree):
+            types[name] = TREE
+        elif isinstance(value, KSet):
+            types[name] = FOREST
+        else:
+            raise UXQueryEvalError(
+                f"environment value for ${name} must be a label, a tree or a K-set, "
+                f"got {value!r}"
+            )
+    return types
+
+
+class PreparedQuery:
+    """A parsed, normalized, typechecked and compiled K-UXQuery.
+
+    Preparing once and evaluating many times avoids re-parsing and
+    re-compiling, which is what the benchmarks do.
+    """
+
+    def __init__(self, query: Query, semiring: Semiring, env_types: Mapping[str, str]):
+        self.semiring = semiring
+        self.env_types = dict(env_types)
+        self.surface = query
+        self.result_type = infer_type(query, self.env_types)
+        self.core = normalize(query, self.env_types)
+        self.nrc = compile_to_nrc(self.core, semiring, self.env_types)
+
+    # ------------------------------------------------------------ evaluation
+    def evaluate(self, env: Mapping[str, Any] | None = None, method: str = "nrc") -> Any:
+        """Evaluate the prepared query in the given environment."""
+        environment = dict(env) if env else {}
+        if method == "nrc":
+            return evaluate_nrc(self.nrc, self.semiring, environment)
+        if method == "direct":
+            return evaluate_direct(self.core, self.semiring, environment)
+        raise UXQueryEvalError(f"unknown evaluation method {method!r}")
+
+    # --------------------------------------------------------------- metrics
+    @property
+    def surface_size(self) -> int:
+        """Number of surface AST nodes (the ``|p|`` of Proposition 2)."""
+        return query_size(self.surface)
+
+    @property
+    def nrc_size(self) -> int:
+        """Number of NRC AST nodes after compilation."""
+        return expression_size(self.nrc)
+
+    @property
+    def nrc_expression(self) -> Expr:
+        """The compiled NRC_K + srt expression."""
+        return self.nrc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PreparedQuery {str(self.surface)[:60]!r} over {self.semiring.name}>"
+
+
+def prepare_query(
+    query: str | Query,
+    semiring: Semiring,
+    env: Mapping[str, Any] | None = None,
+    env_types: Mapping[str, str] | None = None,
+) -> PreparedQuery:
+    """Parse (if necessary) and compile a query against a semiring and environment.
+
+    Either the environment values (``env``) or explicit variable types
+    (``env_types``) may be supplied; explicit types win.
+    """
+    ast = parse_query(query) if isinstance(query, str) else query
+    types = dict(env_types) if env_types is not None else env_types_of(env)
+    return PreparedQuery(ast, semiring, types)
+
+
+def evaluate_query(
+    query: str | Query,
+    semiring: Semiring,
+    env: Mapping[str, Any] | None = None,
+    method: str = "nrc",
+) -> Any:
+    """Parse, compile and evaluate a K-UXQuery in one call."""
+    prepared = prepare_query(query, semiring, env)
+    return prepared.evaluate(env, method=method)

@@ -1,0 +1,92 @@
+"""Tokenizer for the K-UXQuery surface syntax."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from repro.errors import UXQuerySyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+#: Reserved words of the surface language.
+KEYWORDS = frozenset(
+    {
+        "for",
+        "in",
+        "return",
+        "let",
+        "where",
+        "if",
+        "then",
+        "else",
+        "element",
+        "annot",
+        "and",
+    }
+)
+
+
+class Token(NamedTuple):
+    """A single lexical token."""
+
+    kind: str  # VAR, NAME, STRING, INTEGER, SYMBOL, KEYWORD, EOF
+    value: str
+    position: int
+
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r\n]+"),
+    ("COMMENT", r"\(:[^:]*(?::[^)][^:]*)*:\)"),
+    ("VAR", r"\$[A-Za-z_][A-Za-z_0-9]*"),
+    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("NAME", r"[A-Za-z_][A-Za-z_0-9.\-]*"),
+    ("INTEGER", r"[0-9]+(?:\.[0-9]+)?"),
+    (
+        "SYMBOL",
+        r"</|/>|//|::|:=|\(|\)|\{|\}|,|/|=|\*|<|>",
+    ),
+]
+
+_MASTER_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split K-UXQuery source text into tokens (raising on unknown characters)."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _MASTER_RE.match(text, position)
+        if not match:
+            raise UXQuerySyntaxError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "WS" or kind == "COMMENT":
+            position = match.end()
+            continue
+        if kind == "VAR":
+            tokens.append(Token("VAR", value[1:], position))
+        elif kind == "STRING":
+            tokens.append(Token("STRING", value[1:-1], position))
+        elif kind == "NAME":
+            if value in KEYWORDS:
+                tokens.append(Token("KEYWORD", value, position))
+            else:
+                tokens.append(Token("NAME", value, position))
+        elif kind == "INTEGER":
+            tokens.append(Token("INTEGER", value, position))
+        elif kind == "SYMBOL":
+            tokens.append(Token("SYMBOL", value, position))
+        else:  # pragma: no cover - defensive
+            raise UXQuerySyntaxError(f"unknown token kind {kind!r}")
+        position = match.end()
+    tokens.append(Token("EOF", "", length))
+    return tokens
+
+
+def token_stream(text: str) -> Iterator[Token]:
+    """Iterate over the tokens of ``text``."""
+    return iter(tokenize(text))

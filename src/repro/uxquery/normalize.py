@@ -1,0 +1,173 @@
+"""Normalization of the K-UXQuery surface syntax into core queries.
+
+Section 3 notes that "more complicated syntactic features such as
+where-clauses ... can be normalized into core queries using standard
+translations".  This module performs exactly those translations:
+
+* ``for`` clauses with several bindings become nested single-binding ``for``s;
+* ``let`` clauses with several bindings become nested single-binding ``let``s;
+* ``where`` clauses are eliminated:
+
+  - a conjunction produces nested conditionals;
+  - a *label* equality ``name($a) = name($b)`` becomes
+    ``if (name($a) = name($b)) then body else ()``;
+  - a *set* equality ``$x/B = $y/B`` becomes (the paper's example)::
+
+        for $a in $x/B/* return for $b in $y/B/* return
+            if (name($a) = name($b)) then body else ()
+
+The result contains only the core constructs of Figure 2 (with ``Sequence``
+kept as the n-ary form of ``p, p``), which is what the compiler to NRC_K + srt
+and the direct interpreter consume.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import UXQueryTypeError
+from repro.uxquery.ast import (
+    AndCondition,
+    AnnotExpr,
+    Condition,
+    ElementExpr,
+    EmptySeq,
+    EqCondition,
+    ForExpr,
+    IfEqExpr,
+    LabelExpr,
+    LetExpr,
+    NameExpr,
+    PathExpr,
+    Query,
+    Sequence,
+    Step,
+    VarExpr,
+)
+from repro.uxquery.typecheck import FOREST, LABEL, TREE, condition_kind, infer_type
+
+__all__ = ["normalize", "is_core"]
+
+_FRESH = [0]
+
+
+def _fresh(base: str) -> str:
+    _FRESH[0] += 1
+    return f"{base}__{_FRESH[0]}"
+
+
+def normalize(query: Query, env: Mapping[str, str] | None = None) -> Query:
+    """Rewrite a surface query into the core fragment of Figure 2.
+
+    ``env`` maps free variables to their K-UXQuery types (``label`` / ``tree``
+    / ``forest``); it is needed to classify where-clause comparisons.
+    """
+    return _normalize(query, dict(env) if env else {})
+
+
+def _normalize(query: Query, env: dict[str, str]) -> Query:
+    if isinstance(query, (LabelExpr, VarExpr, EmptySeq)):
+        return query
+
+    if isinstance(query, Sequence):
+        return Sequence(tuple(_normalize(item, env) for item in query.items))
+
+    if isinstance(query, ForExpr):
+        return _normalize_for(query, env)
+
+    if isinstance(query, LetExpr):
+        return _normalize_let(query, env)
+
+    if isinstance(query, IfEqExpr):
+        return IfEqExpr(
+            _normalize(query.left, env),
+            _normalize(query.right, env),
+            _normalize(query.then, env),
+            _normalize(query.orelse, env),
+        )
+
+    if isinstance(query, ElementExpr):
+        return ElementExpr(_normalize(query.name, env), _normalize(query.content, env))
+
+    if isinstance(query, NameExpr):
+        return NameExpr(_normalize(query.expr, env))
+
+    if isinstance(query, AnnotExpr):
+        return AnnotExpr(query.annotation, _normalize(query.expr, env))
+
+    if isinstance(query, PathExpr):
+        return PathExpr(_normalize(query.source, env), query.steps)
+
+    raise UXQueryTypeError(f"cannot normalize query node {query!r}")
+
+
+def _normalize_for(query: ForExpr, env: dict[str, str]) -> Query:
+    inner_env = dict(env)
+    normalized_bindings: list[tuple[str, Query]] = []
+    for name, expr in query.bindings:
+        normalized_bindings.append((name, _normalize(expr, inner_env)))
+        inner_env[name] = TREE
+
+    body = _normalize(query.body, inner_env)
+    if query.condition is not None:
+        body = _apply_condition(query.condition, body, inner_env)
+
+    result = body
+    for name, expr in reversed(normalized_bindings):
+        result = ForExpr(((name, expr),), result, None)
+    return result
+
+
+def _normalize_let(query: LetExpr, env: dict[str, str]) -> Query:
+    inner_env = dict(env)
+    normalized_bindings: list[tuple[str, Query]] = []
+    for name, expr in query.bindings:
+        normalized = _normalize(expr, inner_env)
+        normalized_bindings.append((name, normalized))
+        inner_env[name] = infer_type(normalized, inner_env)
+
+    result = _normalize(query.body, inner_env)
+    for name, expr in reversed(normalized_bindings):
+        result = LetExpr(((name, expr),), result)
+    return result
+
+
+def _apply_condition(condition: Condition, body: Query, env: dict[str, str]) -> Query:
+    """Guard ``body`` by ``condition`` using only core constructs."""
+    if isinstance(condition, AndCondition):
+        return _apply_condition(condition.left, _apply_condition(condition.right, body, env), env)
+    if isinstance(condition, EqCondition):
+        kind = condition_kind(condition, env)
+        left = _normalize(condition.left, env)
+        right = _normalize(condition.right, env)
+        if kind == LABEL:
+            return IfEqExpr(left, right, body, EmptySeq())
+        # Set comparison: iterate over the children of both sides and compare
+        # their names, exactly as in the paper's normalization example.
+        left_var = _fresh("cmpL")
+        right_var = _fresh("cmpR")
+        inner = IfEqExpr(
+            NameExpr(VarExpr(left_var)),
+            NameExpr(VarExpr(right_var)),
+            body,
+            EmptySeq(),
+        )
+        right_loop = ForExpr(
+            ((right_var, PathExpr(right, (Step("child", "*"),))),), inner, None
+        )
+        return ForExpr(((left_var, PathExpr(left, (Step("child", "*"),))),), right_loop, None)
+    raise UXQueryTypeError(f"unknown condition {condition!r}")
+
+
+def is_core(query: Query) -> bool:
+    """True if ``query`` only uses the core constructs of Figure 2.
+
+    Core queries have single-binding ``for`` / ``let`` clauses and no
+    ``where`` conditions.
+    """
+    if isinstance(query, ForExpr):
+        if len(query.bindings) != 1 or query.condition is not None:
+            return False
+    if isinstance(query, LetExpr) and len(query.bindings) != 1:
+        return False
+    return all(is_core(child) for child in query.children())

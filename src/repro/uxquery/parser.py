@@ -1,0 +1,333 @@
+"""Recursive-descent parser for the K-UXQuery surface syntax.
+
+The grammar (Figure 2 plus the surface sugar described in Section 3)::
+
+    query      ::= single ("," single)*
+    single     ::= for-expr | let-expr | if-expr | element-expr
+                 | annot-expr | postfix
+    for-expr   ::= "for" binding ("," binding)* ("where" condition)? "return" single
+    binding    ::= VAR "in" single
+    let-expr   ::= "let" VAR ":=" single ("," VAR ":=" single)* "return" single
+    if-expr    ::= "if" "(" single "=" single ")" "then" single "else" single
+    element-expr ::= "element" postfix "{" query? "}"
+    annot-expr ::= "annot" (STRING | NAME | INTEGER) single
+    condition  ::= equality ("and" equality)*
+    equality   ::= single "=" single
+    postfix    ::= primary (("/" step) | ("//" nodetest))*
+    step       ::= (axis "::")? nodetest
+    nodetest   ::= NAME | "*"
+    primary    ::= VAR | "(" query? ")" | xml-constructor
+                 | "name" "(" single ")" | NAME | STRING | INTEGER
+    xml-constructor ::= "<" NAME "/>"
+                      | "<" NAME ">" xml-content "</" NAME? ">"
+    xml-content ::= ( "{" query "}" | NAME | STRING | INTEGER
+                    | xml-constructor | "," )*
+
+The ``//`` shorthand expands to ``descendant-or-self::*/child::nt`` as in
+XPath; the paper's ``descendant`` axis is also available directly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UXQuerySyntaxError
+from repro.uxquery.ast import (
+    AXES,
+    AndCondition,
+    AnnotExpr,
+    Condition,
+    ElementExpr,
+    EmptySeq,
+    EqCondition,
+    ForExpr,
+    IfEqExpr,
+    LabelExpr,
+    LetExpr,
+    NameExpr,
+    PathExpr,
+    Query,
+    Sequence,
+    Step,
+    VarExpr,
+)
+from repro.uxquery.lexer import Token, tokenize
+
+__all__ = ["parse_query"]
+
+
+def parse_query(text: str) -> Query:
+    """Parse K-UXQuery source text into an AST."""
+    parser = _Parser(tokenize(text))
+    query = parser.parse_sequence()
+    parser.expect_eof()
+    return query
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------- utilities
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def _check(self, kind: str, value: str | None = None, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, value):
+            expectation = value if value is not None else kind
+            raise UXQuerySyntaxError(
+                f"expected {expectation!r} but found {token.value!r} ({token.kind}) "
+                f"at offset {token.position}"
+            )
+        return self._advance()
+
+    def expect_eof(self) -> None:
+        token = self._peek()
+        if token.kind != "EOF":
+            raise UXQuerySyntaxError(
+                f"unexpected trailing input {token.value!r} at offset {token.position}"
+            )
+
+    # --------------------------------------------------------------- grammar
+    def parse_sequence(self) -> Query:
+        items = [self.parse_single()]
+        while self._accept("SYMBOL", ","):
+            items.append(self.parse_single())
+        if len(items) == 1:
+            return items[0]
+        return Sequence(tuple(items))
+
+    def parse_single(self) -> Query:
+        if self._check("KEYWORD", "for"):
+            return self._parse_for()
+        if self._check("KEYWORD", "let"):
+            return self._parse_let()
+        if self._check("KEYWORD", "if"):
+            return self._parse_if()
+        if self._check("KEYWORD", "element"):
+            return self._parse_element()
+        if self._check("KEYWORD", "annot"):
+            return self._parse_annot()
+        return self._parse_postfix()
+
+    def _parse_for(self) -> Query:
+        self._expect("KEYWORD", "for")
+        bindings = [self._parse_for_binding()]
+        while self._accept("SYMBOL", ","):
+            bindings.append(self._parse_for_binding())
+        condition: Condition | None = None
+        if self._accept("KEYWORD", "where"):
+            condition = self._parse_condition()
+        self._expect("KEYWORD", "return")
+        body = self.parse_single()
+        return ForExpr(tuple(bindings), body, condition)
+
+    def _parse_for_binding(self) -> tuple[str, Query]:
+        var = self._expect("VAR").value
+        self._expect("KEYWORD", "in")
+        return var, self.parse_single()
+
+    def _parse_let(self) -> Query:
+        self._expect("KEYWORD", "let")
+        bindings = [self._parse_let_binding()]
+        while self._accept("SYMBOL", ","):
+            bindings.append(self._parse_let_binding())
+        self._expect("KEYWORD", "return")
+        body = self.parse_single()
+        return LetExpr(tuple(bindings), body)
+
+    def _parse_let_binding(self) -> tuple[str, Query]:
+        var = self._expect("VAR").value
+        self._expect("SYMBOL", ":=")
+        return var, self.parse_single()
+
+    def _parse_if(self) -> Query:
+        self._expect("KEYWORD", "if")
+        self._expect("SYMBOL", "(")
+        left = self.parse_single()
+        self._expect("SYMBOL", "=")
+        right = self.parse_single()
+        self._expect("SYMBOL", ")")
+        self._expect("KEYWORD", "then")
+        then = self.parse_single()
+        self._expect("KEYWORD", "else")
+        orelse = self.parse_single()
+        return IfEqExpr(left, right, then, orelse)
+
+    def _parse_element(self) -> Query:
+        self._expect("KEYWORD", "element")
+        name = self._parse_postfix()
+        self._expect("SYMBOL", "{")
+        if self._accept("SYMBOL", "}"):
+            return ElementExpr(name, EmptySeq())
+        content = self.parse_sequence()
+        self._expect("SYMBOL", "}")
+        return ElementExpr(name, content)
+
+    def _parse_annot(self) -> Query:
+        self._expect("KEYWORD", "annot")
+        token = self._peek()
+        if token.kind in ("STRING", "NAME", "INTEGER"):
+            self._advance()
+            annotation = token.value
+        else:
+            raise UXQuerySyntaxError(
+                f"expected an annotation literal after 'annot' at offset {token.position}"
+            )
+        expr = self.parse_single()
+        return AnnotExpr(annotation, expr)
+
+    def _parse_condition(self) -> Condition:
+        condition: Condition = self._parse_equality()
+        while self._accept("KEYWORD", "and"):
+            condition = AndCondition(condition, self._parse_equality())
+        return condition
+
+    def _parse_equality(self) -> Condition:
+        left = self.parse_single()
+        self._expect("SYMBOL", "=")
+        right = self.parse_single()
+        return EqCondition(left, right)
+
+    # ---------------------------------------------------------------- paths
+    def _parse_postfix(self) -> Query:
+        expr = self._parse_primary()
+        steps: list[Step] = []
+        while True:
+            if self._accept("SYMBOL", "//"):
+                nodetest = self._parse_nodetest()
+                steps.append(Step("descendant-or-self", "*"))
+                steps.append(Step("child", nodetest))
+            elif self._accept("SYMBOL", "/"):
+                steps.append(self._parse_step())
+            else:
+                break
+        if steps:
+            return PathExpr(expr, tuple(steps))
+        return expr
+
+    def _parse_step(self) -> Step:
+        token = self._peek()
+        if token.kind == "NAME" and token.value in AXES and self._check("SYMBOL", "::", offset=1):
+            axis = self._advance().value
+            self._expect("SYMBOL", "::")
+            return Step(axis, self._parse_nodetest())
+        return Step("child", self._parse_nodetest())
+
+    def _parse_nodetest(self) -> str:
+        if self._accept("SYMBOL", "*"):
+            return "*"
+        token = self._peek()
+        if token.kind in ("NAME", "INTEGER", "STRING"):
+            self._advance()
+            return token.value
+        raise UXQuerySyntaxError(
+            f"expected a node test but found {token.value!r} at offset {token.position}"
+        )
+
+    # -------------------------------------------------------------- primaries
+    def _parse_primary(self) -> Query:
+        token = self._peek()
+        if token.kind == "VAR":
+            self._advance()
+            return VarExpr(token.value)
+        if self._check("SYMBOL", "("):
+            return self._parse_parenthesized()
+        if self._check("SYMBOL", "<"):
+            return self._parse_xml_constructor()
+        if token.kind == "NAME":
+            if token.value == "name" and self._check("SYMBOL", "(", offset=1):
+                self._advance()
+                self._expect("SYMBOL", "(")
+                inner = self.parse_single()
+                self._expect("SYMBOL", ")")
+                return NameExpr(inner)
+            self._advance()
+            return LabelExpr(token.value)
+        if token.kind in ("STRING", "INTEGER"):
+            self._advance()
+            return LabelExpr(token.value)
+        raise UXQuerySyntaxError(
+            f"unexpected token {token.value!r} ({token.kind}) at offset {token.position}"
+        )
+
+    def _parse_parenthesized(self) -> Query:
+        self._expect("SYMBOL", "(")
+        if self._accept("SYMBOL", ")"):
+            return EmptySeq()
+        items = [self.parse_single()]
+        while self._accept("SYMBOL", ","):
+            items.append(self.parse_single())
+        self._expect("SYMBOL", ")")
+        return Sequence(tuple(items))
+
+    def _parse_xml_constructor(self) -> Query:
+        self._expect("SYMBOL", "<")
+        tag_token = self._peek()
+        if tag_token.kind not in ("NAME", "INTEGER", "STRING"):
+            raise UXQuerySyntaxError(
+                f"expected an element name after '<' at offset {tag_token.position}"
+            )
+        self._advance()
+        tag = tag_token.value
+        if self._accept("SYMBOL", "/>"):
+            return ElementExpr(LabelExpr(tag), EmptySeq())
+        self._expect("SYMBOL", ">")
+        items: list[Query] = []
+        while True:
+            if self._check("SYMBOL", "</"):
+                break
+            if self._check("EOF"):
+                raise UXQuerySyntaxError(f"unterminated element constructor <{tag}>")
+            if self._accept("SYMBOL", ","):
+                continue
+            if self._accept("SYMBOL", "{"):
+                items.append(self.parse_sequence())
+                self._expect("SYMBOL", "}")
+                continue
+            if self._check("SYMBOL", "<"):
+                items.append(self._parse_xml_constructor())
+                continue
+            token = self._peek()
+            if token.kind in ("NAME", "INTEGER", "STRING"):
+                self._advance()
+                items.append(ElementExpr(LabelExpr(token.value), EmptySeq()))
+                continue
+            raise UXQuerySyntaxError(
+                f"unexpected token {token.value!r} inside element constructor <{tag}> "
+                f"at offset {token.position}"
+            )
+        self._expect("SYMBOL", "</")
+        closing = self._peek()
+        if closing.kind in ("NAME", "INTEGER", "STRING"):
+            self._advance()
+            if closing.value != tag:
+                raise UXQuerySyntaxError(
+                    f"mismatched closing tag </{closing.value}> for <{tag}>"
+                )
+        self._expect("SYMBOL", ">")
+        if not items:
+            content: Query = EmptySeq()
+        elif len(items) == 1:
+            content = items[0]
+        else:
+            content = Sequence(tuple(items))
+        return ElementExpr(LabelExpr(tag), content)

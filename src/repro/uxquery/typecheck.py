@@ -1,0 +1,166 @@
+"""Typing of K-UXQuery expressions (Figure 3).
+
+The type language of K-UXQuery is::
+
+    t ::= label | tree | {tree}
+
+We use the strings ``"label"``, ``"tree"`` and ``"forest"`` for these.  As in
+the paper, the formal system does not identify a tree with the singleton set
+containing it, but the surface syntax "often elides the extra set
+constructor"; the typechecker therefore allows the implicit coercion
+``tree -> forest`` wherever a ``{tree}`` is expected, and the compiler inserts
+the corresponding singleton constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import UXQueryTypeError
+from repro.uxquery.ast import (
+    AndCondition,
+    AnnotExpr,
+    Condition,
+    ElementExpr,
+    EmptySeq,
+    EqCondition,
+    ForExpr,
+    IfEqExpr,
+    LabelExpr,
+    LetExpr,
+    NameExpr,
+    PathExpr,
+    Query,
+    Sequence,
+    VarExpr,
+)
+
+__all__ = ["LABEL", "TREE", "FOREST", "infer_type", "coercible_to_forest", "condition_kind"]
+
+LABEL = "label"
+TREE = "tree"
+FOREST = "forest"
+
+Env = Mapping[str, str]
+
+
+def coercible_to_forest(uxtype: str) -> bool:
+    """True if the type can be used where a ``{tree}`` is expected."""
+    return uxtype in (TREE, FOREST)
+
+
+def _require_forest(uxtype: str, context: str) -> None:
+    if not coercible_to_forest(uxtype):
+        raise UXQueryTypeError(f"{context}: expected a tree or a set of trees, got {uxtype}")
+
+
+def condition_kind(condition: EqCondition, env: Env) -> str:
+    """Classify an equality condition as a ``label`` or ``forest`` comparison.
+
+    ``where name($a) = name($b)`` compares labels directly; ``where $x/B = $y/B``
+    compares sets of trees and is normalized into nested iteration (Section 3).
+    Mixed comparisons are rejected.
+    """
+    left = infer_type(condition.left, env)
+    right = infer_type(condition.right, env)
+    if left == LABEL and right == LABEL:
+        return LABEL
+    if coercible_to_forest(left) and coercible_to_forest(right):
+        return FOREST
+    raise UXQueryTypeError(
+        f"where-clause comparison mixes a {left} with a {right}; "
+        "both sides must be labels or both sides sets of trees"
+    )
+
+
+def _check_condition(condition: Condition, env: Env) -> None:
+    if isinstance(condition, AndCondition):
+        _check_condition(condition.left, env)
+        _check_condition(condition.right, env)
+        return
+    if isinstance(condition, EqCondition):
+        condition_kind(condition, env)
+        return
+    raise UXQueryTypeError(f"unknown condition {condition!r}")
+
+
+def infer_type(query: Query, env: Env | None = None) -> str:
+    """Infer the K-UXQuery type of ``query`` under variable typing ``env``."""
+    environment = dict(env) if env else {}
+    return _infer(query, environment)
+
+
+def _infer(query: Query, env: dict[str, str]) -> str:
+    if isinstance(query, LabelExpr):
+        return LABEL
+
+    if isinstance(query, VarExpr):
+        try:
+            return env[query.name]
+        except KeyError:
+            raise UXQueryTypeError(f"unbound variable ${query.name}") from None
+
+    if isinstance(query, EmptySeq):
+        return FOREST
+
+    if isinstance(query, Sequence):
+        for item in query.items:
+            _require_forest(_infer(item, env), "sequence item")
+        return FOREST
+
+    if isinstance(query, ForExpr):
+        inner_env = dict(env)
+        for name, expr in query.bindings:
+            _require_forest(_infer(expr, inner_env), f"for ${name} in ...")
+            inner_env[name] = TREE
+        if query.condition is not None:
+            _check_condition(query.condition, inner_env)
+        _require_forest(_infer(query.body, inner_env), "for ... return")
+        return FOREST
+
+    if isinstance(query, LetExpr):
+        inner_env = dict(env)
+        for name, expr in query.bindings:
+            inner_env[name] = _infer(expr, inner_env)
+        return _infer(query.body, inner_env)
+
+    if isinstance(query, IfEqExpr):
+        left = _infer(query.left, env)
+        right = _infer(query.right, env)
+        if left != LABEL or right != LABEL:
+            raise UXQueryTypeError(
+                f"conditionals only compare labels (positivity restriction); got {left} = {right}"
+            )
+        then = _infer(query.then, env)
+        orelse = _infer(query.orelse, env)
+        if then == orelse:
+            return then
+        if coercible_to_forest(then) and coercible_to_forest(orelse):
+            return FOREST
+        raise UXQueryTypeError(
+            f"branches of a conditional have incompatible types {then} and {orelse}"
+        )
+
+    if isinstance(query, ElementExpr):
+        name_type = _infer(query.name, env)
+        if name_type != LABEL:
+            raise UXQueryTypeError(f"element names must be labels, got {name_type}")
+        if not isinstance(query.content, EmptySeq):
+            _require_forest(_infer(query.content, env), "element content")
+        return TREE
+
+    if isinstance(query, NameExpr):
+        inner = _infer(query.expr, env)
+        if inner != TREE:
+            raise UXQueryTypeError(f"name(...) expects a tree, got {inner}")
+        return LABEL
+
+    if isinstance(query, AnnotExpr):
+        _require_forest(_infer(query.expr, env), "annot")
+        return FOREST
+
+    if isinstance(query, PathExpr):
+        _require_forest(_infer(query.source, env), "path source")
+        return FOREST
+
+    raise UXQueryTypeError(f"cannot type query node {query!r}")

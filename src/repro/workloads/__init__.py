@@ -1,0 +1,35 @@
+"""Synthetic data and query workloads for benchmarks and randomized tests."""
+
+from repro.workloads.generator import (
+    forest_statistics,
+    random_database,
+    random_forest,
+    random_relation,
+    random_tree,
+    token_annotated_forest,
+)
+from repro.workloads.queries import (
+    child_chain_query,
+    descendant_query,
+    label_join_query,
+    nested_iteration_query,
+    random_query,
+    reconstruction_query,
+    standard_query_suite,
+)
+
+__all__ = [
+    "random_tree",
+    "random_forest",
+    "token_annotated_forest",
+    "random_relation",
+    "random_database",
+    "forest_statistics",
+    "child_chain_query",
+    "descendant_query",
+    "nested_iteration_query",
+    "label_join_query",
+    "reconstruction_query",
+    "standard_query_suite",
+    "random_query",
+]

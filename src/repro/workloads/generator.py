@@ -1,0 +1,191 @@
+"""Synthetic workload generators for benchmarks and randomized tests.
+
+The paper has no testbed datasets; its evaluation consists of worked examples
+and asymptotic statements (Proposition 2).  To exercise those statements at
+scale we generate synthetic K-UXML documents and relational databases with a
+deterministic seed, so every benchmark run sees the same data:
+
+* :func:`random_forest` / :func:`random_tree` — random unordered trees with a
+  configurable depth, fan-out, label alphabet and annotation style;
+* :func:`random_database` — random K-relations for the Proposition 1/4
+  round-trip experiments;
+* :func:`token_annotated_forest` — a forest in which every K-set membership
+  carries a fresh provenance token (the worst case for polynomial growth).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Sequence
+
+from repro.errors import WorkloadError
+from repro.kcollections.kset import KSet
+from repro.relational.krelation import KRelation
+from repro.semirings.base import Semiring
+from repro.semirings.polynomial import PROVENANCE, Polynomial
+from repro.uxml.tree import UTree
+
+__all__ = [
+    "random_tree",
+    "random_forest",
+    "token_annotated_forest",
+    "random_database",
+    "random_relation",
+    "forest_statistics",
+]
+
+DEFAULT_LABELS = ("a", "b", "c", "d", "e", "item", "entry", "record")
+
+
+def _default_annotation(semiring: Semiring, rng: random.Random, counter: list[int]) -> Any:
+    """A reasonable random annotation for the common semirings."""
+    if semiring == PROVENANCE:
+        counter[0] += 1
+        return Polynomial.variable(f"t{counter[0]}")
+    samples = [value for value in semiring.sample_elements() if not semiring.is_zero(value)]
+    if not samples:
+        return semiring.one
+    return rng.choice(samples)
+
+
+def random_tree(
+    semiring: Semiring,
+    depth: int,
+    fanout: int,
+    labels: Sequence[str] = DEFAULT_LABELS,
+    seed: int = 0,
+    annotation_fn: Callable[[random.Random], Any] | None = None,
+) -> UTree:
+    """A random tree of the given depth and fan-out with annotated children."""
+    if depth < 1:
+        raise WorkloadError("depth must be at least 1")
+    if fanout < 0:
+        raise WorkloadError("fanout must be non-negative")
+    rng = random.Random(seed)
+    counter = [0]
+
+    def annotation() -> Any:
+        if annotation_fn is not None:
+            return annotation_fn(rng)
+        return _default_annotation(semiring, rng, counter)
+
+    def build(level: int, index: int) -> UTree:
+        label = labels[rng.randrange(len(labels))]
+        if level >= depth:
+            return UTree(label, KSet.empty(semiring))
+        members = []
+        for child_index in range(fanout):
+            child = build(level + 1, child_index)
+            members.append((child, annotation()))
+        return UTree(f"{label}", KSet(semiring, members))
+
+    return build(1, 0)
+
+
+def random_forest(
+    semiring: Semiring,
+    num_trees: int,
+    depth: int,
+    fanout: int,
+    labels: Sequence[str] = DEFAULT_LABELS,
+    seed: int = 0,
+    annotation_fn: Callable[[random.Random], Any] | None = None,
+) -> KSet:
+    """A K-set of random trees (each member annotated like its children)."""
+    rng = random.Random(seed)
+    counter = [0]
+    members = []
+    for index in range(num_trees):
+        tree = random_tree(
+            semiring,
+            depth,
+            fanout,
+            labels,
+            seed=rng.randrange(1 << 30),
+            annotation_fn=annotation_fn,
+        )
+        if annotation_fn is not None:
+            annotation = annotation_fn(rng)
+        else:
+            annotation = _default_annotation(semiring, rng, counter)
+        members.append((tree, annotation))
+    return KSet(semiring, members)
+
+
+def token_annotated_forest(
+    num_trees: int, depth: int, fanout: int, labels: Sequence[str] = DEFAULT_LABELS, seed: int = 0
+) -> KSet:
+    """An ``N[X]`` forest in which every membership carries a distinct token.
+
+    Distinct tokens prevent any accidental collapsing of annotations, which
+    makes the forest the worst case for provenance-polynomial growth — exactly
+    what the Proposition 2 benchmark wants to measure.
+    """
+    rng = random.Random(seed)
+    counter = [0]
+
+    def fresh(_: random.Random) -> Polynomial:
+        counter[0] += 1
+        return Polynomial.variable(f"v{counter[0]}")
+
+    return random_forest(
+        PROVENANCE, num_trees, depth, fanout, labels, seed=rng.randrange(1 << 30), annotation_fn=fresh
+    )
+
+
+def random_relation(
+    semiring: Semiring,
+    attributes: Sequence[str],
+    num_rows: int,
+    domain_size: int = 8,
+    seed: int = 0,
+    tokens: bool = False,
+) -> KRelation:
+    """A random K-relation with values drawn from a small label domain."""
+    rng = random.Random(seed)
+    counter = [0]
+    rows = []
+    for _ in range(num_rows):
+        row = tuple(f"v{rng.randrange(domain_size)}" for _ in attributes)
+        if tokens and semiring == PROVENANCE:
+            counter[0] += 1
+            annotation: Any = Polynomial.variable(f"r{counter[0]}")
+        else:
+            annotation = _default_annotation(semiring, rng, counter)
+        rows.append((row, annotation))
+    return KRelation(semiring, tuple(attributes), rows)
+
+
+def random_database(
+    semiring: Semiring,
+    schemas: dict[str, Sequence[str]],
+    rows_per_relation: int,
+    domain_size: int = 8,
+    seed: int = 0,
+    tokens: bool = False,
+) -> dict[str, KRelation]:
+    """A random database matching the given schemas."""
+    rng = random.Random(seed)
+    return {
+        name: random_relation(
+            semiring,
+            attributes,
+            rows_per_relation,
+            domain_size=domain_size,
+            seed=rng.randrange(1 << 30),
+            tokens=tokens,
+        )
+        for name, attributes in sorted(schemas.items())
+    }
+
+
+def forest_statistics(forest: KSet) -> dict[str, int]:
+    """Simple size statistics of a forest (used in benchmark reports)."""
+    from repro.uxml.tree import forest_size
+
+    heights = [tree.height() for tree in forest] or [0]
+    return {
+        "trees": len(forest),
+        "nodes": forest_size(forest),
+        "max_height": max(heights),
+    }

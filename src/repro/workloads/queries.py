@@ -1,0 +1,90 @@
+"""Query workloads: families of K-UXQuery programs used by benchmarks and tests.
+
+These are parametric query generators rather than random ASTs: every generated
+query is well-typed over a forest-valued variable ``$S`` and exercises a
+specific feature (deep child navigation, descendant search, nested iteration,
+joins by label equality, element construction), so that benchmark results can
+be attributed to the construct being measured.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.uxquery.ast import Query
+from repro.uxquery.parser import parse_query
+from repro.workloads.generator import DEFAULT_LABELS
+
+__all__ = [
+    "child_chain_query",
+    "descendant_query",
+    "nested_iteration_query",
+    "label_join_query",
+    "reconstruction_query",
+    "standard_query_suite",
+    "random_query",
+]
+
+
+def child_chain_query(depth: int, variable: str = "S") -> str:
+    """``$S/*/*/.../*`` with ``depth`` child steps (the Figure 1 shape)."""
+    steps = "/*" * max(1, depth)
+    return f"element out {{ ${variable}{steps} }}"
+
+
+def descendant_query(label: str = "c", variable: str = "S") -> str:
+    """``element out { $S//label }`` — the Figure 4 shape."""
+    return f"element out {{ ${variable}//{label} }}"
+
+
+def nested_iteration_query(depth: int, variable: str = "S") -> str:
+    """Nested for-loops over successive child sets, rebuilding an element."""
+    depth = max(1, depth)
+    query = f"for $x1 in ${variable} return "
+    for level in range(2, depth + 1):
+        query += f"for $x{level} in ($x{level - 1})/* return "
+    query += f"element hit {{ ($x{depth})/* }}"
+    return f"element out {{ {query} }}"
+
+
+def label_join_query(attribute_a: str = "a", attribute_b: str = "b", variable: str = "S") -> str:
+    """A self-join by label equality (the Figure 5 shape without the encoding)."""
+    return (
+        f"element out {{ for $x in ${variable}/{attribute_a}, $y in ${variable}/{attribute_b} "
+        f"where $x = $y "
+        f"return element pair {{ ($x), ($y) }} }}"
+    )
+
+
+def reconstruction_query(variable: str = "S") -> str:
+    """Rebuild every tree one level deep (element construction + name())."""
+    return (
+        f"element out {{ for $x in ${variable} return "
+        f"element node {{ for $y in ($x)/* return element child {{ ($y)/* }} }} }}"
+    )
+
+
+def standard_query_suite(variable: str = "S") -> dict[str, str]:
+    """The named query workload used by the scaling/ablation benchmarks."""
+    return {
+        "child-chain-2": child_chain_query(2, variable),
+        "child-chain-3": child_chain_query(3, variable),
+        "descendant": descendant_query("c", variable),
+        "nested-iteration": nested_iteration_query(3, variable),
+        "reconstruction": reconstruction_query(variable),
+    }
+
+
+def random_query(seed: int = 0, variable: str = "S") -> Query:
+    """A random, well-typed query over ``$S`` drawn from the workload families."""
+    rng = random.Random(seed)
+    choice = rng.randrange(4)
+    if choice == 0:
+        text = child_chain_query(rng.randint(1, 3), variable)
+    elif choice == 1:
+        text = descendant_query(rng.choice(list(DEFAULT_LABELS)), variable)
+    elif choice == 2:
+        text = nested_iteration_query(rng.randint(1, 3), variable)
+    else:
+        text = reconstruction_query(variable)
+    return parse_query(text)

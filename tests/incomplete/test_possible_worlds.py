@@ -1,0 +1,136 @@
+"""Incomplete K-UXML: possible worlds and strong representation systems (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PossibleWorldsError
+from repro.incomplete import (
+    apply_valuation,
+    boolean_valuations,
+    check_strong_representation,
+    mod_boolean,
+    mod_natural,
+    natural_valuations,
+    posbool_representation,
+    possible_worlds,
+    representation_tokens,
+    valuations_over,
+)
+from repro.paperdata import section5_query, section5_representation
+from repro.semirings import BOOLEAN, CLEARANCE, NATURAL, POSBOOL, PROVENANCE
+from repro.uxml import TreeBuilder
+
+
+class TestValuationEnumeration:
+    def test_boolean_valuations(self):
+        valuations = list(boolean_valuations(["x", "y"]))
+        assert len(valuations) == 4
+        assert {"x": False, "y": True} in valuations
+
+    def test_natural_valuations(self):
+        assert len(list(natural_valuations(["x", "y"], 2))) == 9
+
+    def test_valuations_over_explicit_values(self):
+        assert len(list(valuations_over(["x"], ["P", "S"]))) == 2
+
+    def test_representation_tokens(self):
+        assert representation_tokens(section5_representation()) == frozenset({"y1", "y2", "y3"})
+
+    def test_posbool_representations_supported(self):
+        rep = posbool_representation(section5_representation())
+        assert rep.semiring == POSBOOL
+        assert representation_tokens(rep) == frozenset({"y1", "y2", "y3"})
+
+    def test_other_semirings_rejected(self, nat_builder):
+        with pytest.raises(PossibleWorldsError):
+            representation_tokens(nat_builder.forest(nat_builder.leaf("a")))
+
+
+class TestSection5Example:
+    def test_boolean_worlds_count_matches_paper(self):
+        """Mod_B(v) of the Section 5 representation has exactly six worlds."""
+        worlds = mod_boolean(section5_representation())
+        assert len(worlds) == 6
+
+    def test_all_worlds_are_boolean_uxml(self):
+        for world in mod_boolean(section5_representation()):
+            assert world.semiring == BOOLEAN
+
+    def test_world_for_specific_valuation(self, bool_builder):
+        """The valuation y1 -> true, y2, y3 -> false keeps only the right-hand branch."""
+        b = bool_builder
+        world = apply_valuation(
+            section5_representation(),
+            {"y1": True, "y2": False, "y3": False},
+            BOOLEAN,
+        )
+        expected = b.forest(
+            b.tree(
+                "a",
+                b.tree("b", b.tree("a", b.leaf("d"))),
+                b.tree("c", b.tree("d", b.tree("a", b.leaf("b")))),
+            )
+        )
+        assert world == expected
+
+    def test_bag_worlds_allow_repetition(self):
+        """Mod_N includes worlds in which the c children are repeated."""
+        worlds = mod_natural(section5_representation(), max_value=2)
+        assert len(worlds) > 6
+        repetition_found = False
+        for world in worlds:
+            for tree in world:
+                for subtree in tree.subtrees():
+                    if any(annotation == 2 for annotation in subtree.children.annotations()):
+                        repetition_found = True
+        assert repetition_found
+
+    def test_strong_representation_for_booleans(self):
+        report = check_strong_representation(
+            section5_query(), "T", section5_representation(), BOOLEAN
+        )
+        assert report["holds"]
+        assert report["num_valuations"] == 8
+        assert len(report["worlds_query_then_specialize"]) == 5
+
+    def test_strong_representation_with_posbool(self):
+        rep = posbool_representation(section5_representation())
+        report = check_strong_representation(section5_query(), "T", rep, BOOLEAN)
+        assert report["holds"]
+
+    def test_strong_representation_for_bags(self):
+        valuations = list(natural_valuations(["y1", "y2", "y3"], 1))
+        report = check_strong_representation(
+            section5_query(), "T", section5_representation(), NATURAL, valuations
+        )
+        assert report["holds"]
+
+    def test_strong_representation_for_clearance_lattice(self):
+        """PosBool-style strong representation also works for distributive lattices."""
+        valuations = list(valuations_over(["y1", "y2", "y3"], ["P", "S", "0"]))
+        report = check_strong_representation(
+            section5_query(), "T", section5_representation(), CLEARANCE, valuations
+        )
+        assert report["holds"]
+
+    def test_default_valuations_require_boolean_target(self):
+        with pytest.raises(PossibleWorldsError):
+            check_strong_representation(
+                section5_query(), "T", section5_representation(), NATURAL
+            )
+
+
+class TestGenericMachinery:
+    def test_possible_worlds_with_explicit_valuations(self, prov_builder):
+        b = prov_builder
+        rep = b.forest(b.leaf("a") @ "x")
+        worlds = possible_worlds(rep, NATURAL, [{"x": 0}, {"x": 1}, {"x": 2}])
+        assert len(worlds) == 3
+
+    def test_strong_representation_on_random_forest(self):
+        from repro.workloads import token_annotated_forest
+
+        rep = token_annotated_forest(num_trees=1, depth=2, fanout=2, seed=3)
+        report = check_strong_representation("element out { $S/* }", "S", rep, BOOLEAN)
+        assert report["holds"]

@@ -1,0 +1,205 @@
+"""K-collections: construction, algebra, and the free-semimodule laws."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SemiringError
+from repro.kcollections import KSet
+from repro.semirings import BOOLEAN, NATURAL, PROVENANCE, variables
+
+
+class TestConstruction:
+    def test_empty(self):
+        empty = KSet.empty(NATURAL)
+        assert empty.is_empty()
+        assert len(empty) == 0
+        assert empty.annotation("a") == 0
+
+    def test_singleton_defaults_to_one(self):
+        single = KSet.singleton(NATURAL, "a")
+        assert single.annotation("a") == 1
+        assert "a" in single
+
+    def test_duplicates_add(self):
+        collection = KSet(NATURAL, [("a", 2), ("a", 3), ("b", 1)])
+        assert collection.annotation("a") == 5
+        assert collection.annotation("b") == 1
+        assert len(collection) == 2
+
+    def test_zero_annotations_dropped(self):
+        collection = KSet(NATURAL, [("a", 0), ("b", 2)])
+        assert "a" not in collection
+        assert collection.support() == frozenset({"b"})
+
+    def test_from_values(self):
+        collection = KSet.from_values(NATURAL, ["a", "b", "a"])
+        assert collection.annotation("a") == 2
+        assert collection.annotation("b") == 1
+
+    def test_invalid_annotation_rejected(self):
+        from repro.errors import AnnotationError
+
+        with pytest.raises(AnnotationError):
+            KSet(NATURAL, [("a", -1)])
+
+    def test_boolean_collections_are_sets(self):
+        collection = KSet(BOOLEAN, [("a", True), ("a", True), ("b", False)])
+        assert collection.support() == frozenset({"a"})
+        assert collection.annotation("a") is True
+
+    def test_immutability(self):
+        collection = KSet.singleton(NATURAL, "a")
+        with pytest.raises(AttributeError):
+            collection.foo = 1  # type: ignore[attr-defined]
+
+
+class TestAlgebra:
+    def test_union_adds_pointwise(self):
+        left = KSet(NATURAL, [("a", 1), ("b", 2)])
+        right = KSet(NATURAL, [("b", 3), ("c", 4)])
+        merged = left.union(right)
+        assert merged.annotation("a") == 1
+        assert merged.annotation("b") == 5
+        assert merged.annotation("c") == 4
+
+    def test_union_operator(self):
+        left = KSet.singleton(NATURAL, "a")
+        right = KSet.singleton(NATURAL, "a")
+        assert (left | right).annotation("a") == 2
+
+    def test_union_requires_same_semiring(self):
+        with pytest.raises(SemiringError):
+            KSet.empty(NATURAL).union(KSet.empty(BOOLEAN))
+
+    def test_scale(self):
+        collection = KSet(NATURAL, [("a", 2), ("b", 3)])
+        scaled = collection.scale(4)
+        assert scaled.annotation("a") == 8
+        assert scaled.annotation("b") == 12
+
+    def test_scale_by_zero_empties(self):
+        collection = KSet(NATURAL, [("a", 2)])
+        assert collection.scale(0).is_empty()
+
+    def test_scale_by_one_is_identity(self):
+        collection = KSet(NATURAL, [("a", 2)])
+        assert collection.scale(1) == collection
+
+    def test_bind_multiplies_and_sums(self):
+        """The paper's flatten example: {{a^p, b^r}^u, {b^s}^v}."""
+        p, r, u, v, s = variables("p", "r", "u", "v", "s")
+        inner1 = KSet(PROVENANCE, [("a", p), ("b", r)])
+        inner2 = KSet(PROVENANCE, [("b", s)])
+        outer = KSet(PROVENANCE, [(inner1, u), (inner2, v)])
+        flattened = outer.flatten()
+        assert flattened.annotation("a") == u * p
+        assert flattened.annotation("b") == u * r + v * s
+
+    def test_bind_requires_kset_results(self):
+        collection = KSet(NATURAL, [("a", 1)])
+        with pytest.raises(SemiringError):
+            collection.bind(lambda value: value)  # type: ignore[arg-type]
+
+    def test_map_collisions_add(self):
+        collection = KSet(NATURAL, [("aa", 2), ("ab", 3)])
+        mapped = collection.map(lambda value: value[0])
+        assert mapped.annotation("a") == 5
+
+    def test_filter(self):
+        collection = KSet(NATURAL, [("a", 1), ("b", 2)])
+        assert collection.filter(lambda value: value == "b").support() == frozenset({"b"})
+
+    def test_product(self):
+        """The paper's product example: {a^p, b^r} x {c^u}."""
+        p, r, u = variables("p", "r", "u")
+        left = KSet(PROVENANCE, [("a", p), ("b", r)])
+        right = KSet(PROVENANCE, [("c", u)])
+        product = left.product(right)
+        assert product.annotation(("a", "c")) == p * u
+        assert product.annotation(("b", "c")) == r * u
+
+    def test_total_annotation(self):
+        collection = KSet(NATURAL, [("a", 2), ("b", 3)])
+        assert collection.total_annotation() == 5
+
+    def test_restrict(self):
+        collection = KSet(NATURAL, [("a", 1), ("b", 2), ("c", 3)])
+        assert collection.restrict(["a", "c"]).support() == frozenset({"a", "c"})
+
+    def test_map_annotations_changes_semiring(self):
+        collection = KSet(NATURAL, [("a", 0), ("b", 2)])
+        as_bool = collection.map_annotations(lambda n: n > 0, BOOLEAN)
+        assert as_bool.semiring == BOOLEAN
+        assert as_bool.annotation("b") is True
+
+
+class TestEqualityAndHashing:
+    def test_equality_ignores_construction_order(self):
+        left = KSet(NATURAL, [("a", 1), ("b", 2)])
+        right = KSet(NATURAL, [("b", 2), ("a", 1)])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_equality_distinguishes_annotations(self):
+        assert KSet(NATURAL, [("a", 1)]) != KSet(NATURAL, [("a", 2)])
+
+    def test_equality_distinguishes_semirings(self):
+        assert KSet(NATURAL, [("a", 1)]) != KSet(BOOLEAN, [("a", True)])
+
+    def test_ksets_nest(self):
+        inner = KSet(NATURAL, [("a", 1)])
+        outer = KSet(NATURAL, [(inner, 2)])
+        assert outer.annotation(inner) == 2
+
+    def test_repr_is_deterministic(self):
+        collection = KSet(NATURAL, [("b", 2), ("a", 1)])
+        assert repr(collection) == "KSet{'a'^1, 'b'^2}"
+
+
+# ---------------------------------------------------------------------------
+# Property-based: the free K-semimodule laws of Appendix A
+# ---------------------------------------------------------------------------
+_values = st.sampled_from(["a", "b", "c", "d"])
+_nat_ksets = st.dictionaries(_values, st.integers(min_value=0, max_value=5), max_size=4).map(
+    lambda items: KSet(NATURAL, items)
+)
+_scalars = st.integers(min_value=0, max_value=5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_nat_ksets, _nat_ksets, _nat_ksets)
+def test_union_is_a_commutative_monoid(a, b, c):
+    assert a.union(b) == b.union(a)
+    assert a.union(b.union(c)) == a.union(b).union(c)
+    assert a.union(KSet.empty(NATURAL)) == a
+
+
+@settings(max_examples=60, deadline=None)
+@given(_scalars, _scalars, _nat_ksets, _nat_ksets)
+def test_semimodule_laws(k1, k2, a, b):
+    assert a.scale(k1).union(b.scale(k1)) == a.union(b).scale(k1)
+    assert a.scale(k1 + k2) == a.scale(k1).union(a.scale(k2))
+    assert a.scale(k1 * k2) == a.scale(k2).scale(k1)
+    assert a.scale(0).is_empty()
+    assert a.scale(1) == a
+
+
+@settings(max_examples=60, deadline=None)
+@given(_nat_ksets, _scalars)
+def test_bind_is_linear(a, k):
+    double = lambda value: KSet(NATURAL, [(value + "!", 2)])
+    assert a.scale(k).bind(double) == a.bind(double).scale(k)
+    assert KSet.empty(NATURAL).bind(double).is_empty()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_nat_ksets)
+def test_bind_monad_laws(a):
+    singleton = lambda value: KSet.singleton(NATURAL, value)
+    assert a.bind(singleton) == a
+    f = lambda value: KSet(NATURAL, [(value + "x", 2), (value + "y", 1)])
+    g = lambda value: KSet(NATURAL, [(value + "z", 3)])
+    assert a.bind(f).bind(g) == a.bind(lambda value: f(value).bind(g))

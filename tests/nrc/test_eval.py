@@ -1,0 +1,165 @@
+"""Evaluation of NRC_K + srt expressions (the Figure 8 equations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NRCEvalError
+from repro.kcollections import KSet
+from repro.nrc import (
+    BigUnion,
+    EmptySet,
+    IfEq,
+    Kids,
+    LabelLit,
+    Let,
+    Pair,
+    PairExpr,
+    Proj,
+    Scale,
+    Singleton,
+    Srt,
+    Tag,
+    TreeExpr,
+    Union,
+    Var,
+    evaluate,
+    flatten_expr,
+)
+from repro.semirings import BOOLEAN, NATURAL, PROVENANCE, variables
+from repro.uxml import TreeBuilder, UTree
+
+
+class TestBasicForms:
+    def test_label_and_variable(self):
+        assert evaluate(LabelLit("a"), NATURAL) == "a"
+        assert evaluate(Var("x"), NATURAL, {"x": "v"}) == "v"
+
+    def test_unbound_variable(self):
+        with pytest.raises(NRCEvalError):
+            evaluate(Var("x"), NATURAL)
+
+    def test_empty_and_singleton(self):
+        assert evaluate(EmptySet(), NATURAL) == KSet.empty(NATURAL)
+        assert evaluate(Singleton(LabelLit("a")), NATURAL) == KSet.singleton(NATURAL, "a")
+
+    def test_union_adds_annotations(self):
+        expr = Union(Singleton(LabelLit("a")), Singleton(LabelLit("a")))
+        assert evaluate(expr, NATURAL).annotation("a") == 2
+
+    def test_scale(self):
+        expr = Scale(3, Singleton(LabelLit("a")))
+        assert evaluate(expr, NATURAL).annotation("a") == 3
+
+    def test_union_requires_collections(self):
+        with pytest.raises(NRCEvalError):
+            evaluate(Union(LabelLit("a"), EmptySet()), NATURAL)
+
+    def test_pairs_and_projections(self):
+        expr = Proj(2, PairExpr(LabelLit("a"), LabelLit("b")))
+        assert evaluate(expr, NATURAL) == "b"
+        with pytest.raises(NRCEvalError):
+            evaluate(Proj(1, LabelLit("a")), NATURAL)
+
+    def test_conditional_compares_labels_only(self):
+        expr = IfEq(LabelLit("a"), LabelLit("a"), LabelLit("yes"), LabelLit("no"))
+        assert evaluate(expr, NATURAL) == "yes"
+        expr2 = IfEq(LabelLit("a"), LabelLit("b"), LabelLit("yes"), LabelLit("no"))
+        assert evaluate(expr2, NATURAL) == "no"
+        with pytest.raises(NRCEvalError):
+            evaluate(
+                IfEq(EmptySet(), EmptySet(), LabelLit("yes"), LabelLit("no")), NATURAL
+            )
+
+    def test_let(self):
+        expr = Let("x", LabelLit("a"), PairExpr(Var("x"), Var("x")))
+        assert evaluate(expr, NATURAL) == Pair("a", "a")
+
+
+class TestBigUnion:
+    def test_flatten_example_from_paper(self):
+        """flatten {{a^p, b^r}^u, {b^s}^v} = {a^{u*p}, b^{u*r + v*s}}."""
+        p, r, u, v, s = variables("p", "r", "u", "v", "s")
+        inner1 = KSet(PROVENANCE, [("a", p), ("b", r)])
+        inner2 = KSet(PROVENANCE, [("b", s)])
+        outer = KSet(PROVENANCE, [(inner1, u), (inner2, v)])
+        result = evaluate(flatten_expr(Var("W")), PROVENANCE, {"W": outer})
+        assert result.annotation("a") == u * p
+        assert result.annotation("b") == u * r + v * s
+
+    def test_projection_encoding(self):
+        """project_1 R = U(x in R) {pi_1(x)}."""
+        expr = BigUnion("x", Var("R"), Singleton(Proj(1, Var("x"))))
+        relation = KSet(NATURAL, [(Pair("a", "b"), 2), (Pair("a", "c"), 3)])
+        result = evaluate(expr, NATURAL, {"R": relation})
+        assert result.annotation("a") == 5
+
+    def test_body_must_be_a_collection(self):
+        expr = BigUnion("x", Singleton(LabelLit("a")), Var("x"))
+        with pytest.raises(NRCEvalError):
+            evaluate(expr, NATURAL)
+
+    def test_nested_iteration_multiplies(self):
+        expr = BigUnion(
+            "x",
+            Var("R"),
+            BigUnion("y", Var("S"), Singleton(PairExpr(Var("x"), Var("y")))),
+        )
+        R = KSet(NATURAL, [("a", 2)])
+        S = KSet(NATURAL, [("b", 3)])
+        result = evaluate(expr, NATURAL, {"R": R, "S": S})
+        assert result.annotation(Pair("a", "b")) == 6
+
+
+class TestTrees:
+    def test_tree_construction_and_accessors(self, nat_builder):
+        expr = TreeExpr(LabelLit("a"), Singleton(TreeExpr(LabelLit("b"), EmptySet())))
+        tree = evaluate(expr, NATURAL)
+        assert isinstance(tree, UTree)
+        assert evaluate(Tag(Var("t")), NATURAL, {"t": tree}) == "a"
+        kids = evaluate(Kids(Var("t")), NATURAL, {"t": tree})
+        assert kids.annotation(nat_builder.leaf("b")) == 1
+
+    def test_tree_label_must_be_label(self):
+        with pytest.raises(NRCEvalError):
+            evaluate(TreeExpr(EmptySet(), EmptySet()), NATURAL)
+
+    def test_tree_children_must_be_trees(self):
+        with pytest.raises(NRCEvalError):
+            evaluate(TreeExpr(LabelLit("a"), Singleton(LabelLit("b"))), NATURAL)
+
+    def test_tag_requires_tree(self):
+        with pytest.raises(NRCEvalError):
+            evaluate(Tag(LabelLit("a")), NATURAL)
+
+
+class TestStructuralRecursion:
+    def test_atoms_example_from_paper(self, nat_builder):
+        """(srt(x, y). {x} U flatten y) t collects the labels of t."""
+        b = nat_builder
+        tree = b.tree("a", b.tree("b", b.leaf("d")), b.leaf("c"))
+        expr = Srt("x", "y", Union(Singleton(Var("x")), flatten_expr(Var("y"))), Var("t"))
+        result = evaluate(expr, NATURAL, {"t": tree})
+        assert result.support() == frozenset({"a", "b", "c", "d"})
+
+    def test_annotations_propagate_through_recursion(self, prov_builder):
+        b = prov_builder
+        x1, y1 = variables("x1", "y1")
+        tree = b.tree("a", b.tree("b", b.leaf("d") @ "y1") @ "x1")
+        expr = Srt("x", "y", Union(Singleton(Var("x")), flatten_expr(Var("y"))), Var("t"))
+        result = evaluate(expr, PROVENANCE, {"t": tree})
+        assert result.annotation("d") == x1 * y1
+        assert result.annotation("b") == x1
+        assert result.annotation("a") == PROVENANCE.one
+
+    def test_target_must_be_a_tree(self):
+        expr = Srt("x", "y", Singleton(Var("x")), LabelLit("a"))
+        with pytest.raises(NRCEvalError):
+            evaluate(expr, NATURAL)
+
+    def test_rebuild_identity(self, nat_builder):
+        """srt can rebuild the tree it consumes (the identity on trees)."""
+        b = nat_builder
+        tree = b.tree("a", b.tree("b", b.leaf("d") @ 2) @ 3, b.leaf("c") @ 4)
+        expr = Srt("l", "s", TreeExpr(Var("l"), Var("s")), Var("t"))
+        assert evaluate(expr, NATURAL, {"t": tree}) == tree

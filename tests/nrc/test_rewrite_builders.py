@@ -1,0 +1,184 @@
+"""Equational rewriting (Proposition 5) and the NRC(RA+) builders (Proposition 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kcollections import KSet
+from repro.nrc import (
+    BigUnion,
+    EmptySet,
+    IfEq,
+    Kids,
+    LabelLit,
+    Let,
+    Pair,
+    PairExpr,
+    Proj,
+    Scale,
+    Singleton,
+    Tag,
+    TreeExpr,
+    Union,
+    Var,
+    count_nodes,
+    evaluate,
+    expression_size,
+    free_variables,
+    join_expr,
+    kset_to_relation_rows,
+    map_scalars,
+    project_expr,
+    relation_to_kset,
+    select_eq_expr,
+    simplify,
+    substitute,
+    tuple_to_value,
+    value_to_tuple,
+)
+from repro.semirings import NATURAL
+
+
+class TestAstUtilities:
+    def test_free_variables(self):
+        expr = BigUnion("x", Var("R"), Singleton(PairExpr(Var("x"), Var("y"))))
+        assert free_variables(expr) == frozenset({"R", "y"})
+
+    def test_substitute_avoids_capture(self):
+        expr = BigUnion("x", Var("R"), Singleton(PairExpr(Var("x"), Var("y"))))
+        substituted = substitute(expr, "y", Var("x"))
+        result = evaluate(
+            substituted,
+            NATURAL,
+            {"R": KSet.singleton(NATURAL, "a"), "x": "outer"},
+        )
+        # The free x refers to the outer binding, not the bound iteration variable.
+        assert result.annotation(Pair("a", "outer")) == 1
+
+    def test_substitute_into_bound_variable_is_noop(self):
+        expr = BigUnion("x", Var("R"), Singleton(Var("x")))
+        assert substitute(expr, "x", LabelLit("z")) == expr
+
+    def test_expression_size(self):
+        expr = Union(Singleton(LabelLit("a")), EmptySet())
+        assert expression_size(expr) == 4
+        assert count_nodes(expr) == 4
+
+    def test_equality_and_hash_of_expressions(self):
+        left = Union(Singleton(LabelLit("a")), EmptySet())
+        right = Union(Singleton(LabelLit("a")), EmptySet())
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_map_scalars(self):
+        expr = Scale(2, Union(Scale(3, EmptySet()), Singleton(LabelLit("a"))))
+        doubled = map_scalars(expr, lambda k: k * 10)
+        assert doubled == Scale(20, Union(Scale(30, EmptySet()), Singleton(LabelLit("a"))))
+
+
+class TestRewriteRules:
+    def test_big_union_over_empty(self):
+        expr = BigUnion("x", EmptySet(), Singleton(Var("x")))
+        assert simplify(expr, NATURAL) == EmptySet()
+
+    def test_big_union_over_singleton_inlines(self):
+        expr = BigUnion("x", Singleton(LabelLit("a")), Singleton(Var("x")))
+        assert simplify(expr, NATURAL) == Singleton(LabelLit("a"))
+
+    def test_right_unit(self):
+        expr = BigUnion("x", Var("R"), Singleton(Var("x")))
+        assert simplify(expr, NATURAL) == Var("R")
+
+    def test_union_with_empty(self):
+        assert simplify(Union(Var("R"), EmptySet()), NATURAL) == Var("R")
+
+    def test_scale_by_one_and_zero(self):
+        assert simplify(Scale(1, Var("R")), NATURAL) == Var("R")
+        assert simplify(Scale(0, Var("R")), NATURAL) == EmptySet()
+        assert simplify(Scale(2, Scale(3, Var("R"))), NATURAL) == Scale(6, Var("R"))
+
+    def test_projection_of_pair(self):
+        expr = Proj(1, PairExpr(LabelLit("a"), LabelLit("b")))
+        assert simplify(expr, NATURAL) == LabelLit("a")
+
+    def test_tree_accessors(self):
+        tree = TreeExpr(LabelLit("a"), Var("C"))
+        assert simplify(Tag(tree), NATURAL) == LabelLit("a")
+        assert simplify(Kids(tree), NATURAL) == Var("C")
+
+    def test_constant_conditionals(self):
+        same = IfEq(LabelLit("a"), LabelLit("a"), Var("X"), Var("Y"))
+        different = IfEq(LabelLit("a"), LabelLit("b"), Var("X"), Var("Y"))
+        assert simplify(same, NATURAL) == Var("X")
+        assert simplify(different, NATURAL) == Var("Y")
+
+    def test_let_inlining(self):
+        expr = Let("x", LabelLit("a"), PairExpr(Var("x"), Var("x")))
+        assert simplify(expr, NATURAL) == PairExpr(LabelLit("a"), LabelLit("a"))
+
+    def test_bigunion_associativity(self):
+        inner = BigUnion("y", Var("R"), Singleton(PairExpr(Var("y"), Var("y"))))
+        expr = BigUnion("x", inner, Singleton(Proj(1, Var("x"))))
+        simplified = simplify(expr, NATURAL)
+        env = {"R": KSet(NATURAL, [("a", 2), ("b", 1)])}
+        assert evaluate(simplified, NATURAL, env) == evaluate(expr, NATURAL, env)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(st.sampled_from(["a", "b", "c"]), st.integers(0, 4), max_size=3),
+        st.integers(0, 4),
+    )
+    def test_simplifier_preserves_semantics(self, table, scalar):
+        env = {"R": KSet(NATURAL, table)}
+        expr = Scale(
+            scalar,
+            BigUnion(
+                "x",
+                Var("R"),
+                IfEq(Var("x"), LabelLit("a"), Singleton(Var("x")), Singleton(LabelLit("z"))),
+            ),
+        )
+        assert evaluate(simplify(expr, NATURAL), NATURAL, env) == evaluate(expr, NATURAL, env)
+
+
+class TestRelationalEncoding:
+    def test_tuple_round_trip(self):
+        assert value_to_tuple(tuple_to_value(("a", "b", "c")), 3) == ("a", "b", "c")
+        assert value_to_tuple(tuple_to_value(("a",)), 1) == ("a",)
+        assert value_to_tuple(tuple_to_value(()), 0) == ()
+
+    def test_relation_round_trip(self):
+        rows = [(("a", "b"), 2), (("c", "d"), 3)]
+        collection = relation_to_kset(NATURAL, rows)
+        assert kset_to_relation_rows(collection, 2) == sorted(rows)
+
+    def test_projection_expression(self):
+        rows = [(("a", "b", "c"), 2), (("a", "x", "c"), 3)]
+        collection = relation_to_kset(NATURAL, rows)
+        expr = project_expr(Var("R"), 3, [0, 2])
+        result = evaluate(expr, NATURAL, {"R": collection})
+        assert kset_to_relation_rows(result, 2) == [(("a", "c"), 5)]
+
+    def test_selection_expression(self):
+        rows = [(("a", "b"), 2), (("c", "b"), 3)]
+        collection = relation_to_kset(NATURAL, rows)
+        expr = select_eq_expr(Var("R"), 2, 0, "a")
+        result = evaluate(expr, NATURAL, {"R": collection})
+        assert kset_to_relation_rows(result, 2) == [(("a", "b"), 2)]
+
+    def test_join_expression(self):
+        left = relation_to_kset(NATURAL, [(("a", "b"), 2), (("c", "d"), 1)])
+        right = relation_to_kset(NATURAL, [(("b", "z"), 3), (("q", "z"), 5)])
+        expr = join_expr(
+            Var("L"),
+            2,
+            Var("R"),
+            2,
+            1,
+            0,
+            [("left", 0), ("right", 1)],
+        )
+        result = evaluate(expr, NATURAL, {"L": left, "R": right})
+        assert kset_to_relation_rows(result, 2) == [(("a", "z"), 6)]

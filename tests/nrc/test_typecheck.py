@@ -1,0 +1,134 @@
+"""Type checking of NRC_K + srt expressions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NRCTypeError
+from repro.nrc import (
+    LABEL,
+    TREE,
+    BigUnion,
+    EmptySet,
+    IfEq,
+    Kids,
+    LabelLit,
+    Let,
+    PairExpr,
+    Proj,
+    ProductType,
+    Scale,
+    SetType,
+    Singleton,
+    Srt,
+    Tag,
+    TreeExpr,
+    Union,
+    UnknownType,
+    Var,
+    flatten_expr,
+    typecheck,
+)
+from repro.semirings import NATURAL
+
+
+class TestBasicTyping:
+    def test_literals_and_variables(self):
+        assert typecheck(LabelLit("a")) == LABEL
+        assert typecheck(Var("x"), {"x": TREE}) == TREE
+        with pytest.raises(NRCTypeError):
+            typecheck(Var("x"))
+
+    def test_collections(self):
+        assert typecheck(Singleton(LabelLit("a"))) == SetType(LABEL)
+        assert isinstance(typecheck(EmptySet()).element, UnknownType)
+        assert typecheck(Union(EmptySet(), Singleton(LabelLit("a")))) == SetType(LABEL)
+
+    def test_union_element_mismatch(self):
+        with pytest.raises(NRCTypeError):
+            typecheck(
+                Union(
+                    Singleton(LabelLit("a")),
+                    Singleton(TreeExpr(LabelLit("t"), EmptySet())),
+                )
+            )
+
+    def test_union_of_non_collections(self):
+        with pytest.raises(NRCTypeError):
+            typecheck(Union(LabelLit("a"), LabelLit("b")))
+
+    def test_scale_checks_scalar_against_semiring(self):
+        assert typecheck(Scale(2, Singleton(LabelLit("a"))), semiring=NATURAL) == SetType(LABEL)
+        with pytest.raises(NRCTypeError):
+            typecheck(Scale(-1, Singleton(LabelLit("a"))), semiring=NATURAL)
+
+    def test_big_union(self):
+        expr = BigUnion("x", Var("R"), Singleton(Proj(1, Var("x"))))
+        assert typecheck(expr, {"R": SetType(ProductType(LABEL, LABEL))}) == SetType(LABEL)
+
+    def test_big_union_body_must_be_collection(self):
+        expr = BigUnion("x", Var("R"), Proj(1, Var("x")))
+        with pytest.raises(NRCTypeError):
+            typecheck(expr, {"R": SetType(ProductType(LABEL, LABEL))})
+
+    def test_conditional_restricted_to_labels(self):
+        good = IfEq(LabelLit("a"), LabelLit("b"), Singleton(LabelLit("x")), EmptySet())
+        assert typecheck(good) == SetType(LABEL)
+        bad = IfEq(EmptySet(), EmptySet(), EmptySet(), EmptySet())
+        with pytest.raises(NRCTypeError):
+            typecheck(bad)
+
+    def test_conditional_branches_must_agree(self):
+        bad = IfEq(LabelLit("a"), LabelLit("b"), LabelLit("x"), EmptySet())
+        with pytest.raises(NRCTypeError):
+            typecheck(bad)
+
+    def test_pairs_and_projections(self):
+        expr = PairExpr(LabelLit("a"), Singleton(LabelLit("b")))
+        assert typecheck(expr) == ProductType(LABEL, SetType(LABEL))
+        assert typecheck(Proj(2, expr)) == SetType(LABEL)
+        with pytest.raises(NRCTypeError):
+            typecheck(Proj(1, LabelLit("a")))
+
+    def test_let(self):
+        expr = Let("x", Singleton(LabelLit("a")), flatten_expr(Singleton(Var("x"))))
+        assert typecheck(expr) == SetType(LABEL)
+
+
+class TestTreeTyping:
+    def test_tree_constructor(self):
+        expr = TreeExpr(LabelLit("a"), EmptySet())
+        assert typecheck(expr) == TREE
+        nested = TreeExpr(LabelLit("a"), Singleton(TreeExpr(LabelLit("b"), EmptySet())))
+        assert typecheck(nested) == TREE
+
+    def test_tree_children_must_be_trees(self):
+        with pytest.raises(NRCTypeError):
+            typecheck(TreeExpr(LabelLit("a"), Singleton(LabelLit("b"))))
+
+    def test_tag_and_kids(self):
+        assert typecheck(Tag(Var("t")), {"t": TREE}) == LABEL
+        assert typecheck(Kids(Var("t")), {"t": TREE}) == SetType(TREE)
+        with pytest.raises(NRCTypeError):
+            typecheck(Tag(LabelLit("a")))
+
+    def test_srt_atoms_query(self):
+        expr = Srt("x", "y", Union(Singleton(Var("x")), flatten_expr(Var("y"))), Var("t"))
+        assert typecheck(expr, {"t": TREE}) == SetType(LABEL)
+
+    def test_srt_rebuild_has_tree_type(self):
+        expr = Srt("l", "s", TreeExpr(Var("l"), Var("s")), Var("t"))
+        assert typecheck(expr, {"t": TREE}) == TREE
+
+    def test_srt_target_must_be_tree(self):
+        expr = Srt("l", "s", TreeExpr(Var("l"), Var("s")), LabelLit("a"))
+        with pytest.raises(NRCTypeError):
+            typecheck(expr)
+
+    def test_descendant_compilation_typechecks(self):
+        """The compiled descendant-or-self step has type {tree}."""
+        from repro.uxquery.ast import Step
+        from repro.uxquery.compile import compile_step
+
+        expr = compile_step(Var("e"), Step("descendant-or-self", "*"))
+        assert typecheck(expr, {"e": SetType(TREE)}) == SetType(TREE)

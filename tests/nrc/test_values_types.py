@@ -1,0 +1,108 @@
+"""NRC complex values, types and unification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NRCEvalError, NRCTypeError
+from repro.kcollections import KSet
+from repro.nrc import (
+    LABEL,
+    TREE,
+    UNKNOWN,
+    Pair,
+    ProductType,
+    SetType,
+    infer_type,
+    is_complex_value,
+    map_value_annotations,
+    unify,
+    value_to_str,
+)
+from repro.semirings import BOOLEAN, NATURAL, duplicate_elimination
+from repro.uxml import TreeBuilder, leaf
+
+
+class TestPair:
+    def test_projections(self):
+        pair = Pair("a", "b")
+        assert pair.first == "a"
+        assert pair.project(1) == "a"
+        assert pair.project(2) == "b"
+        with pytest.raises(NRCEvalError):
+            pair.project(3)
+
+    def test_equality_and_hash(self):
+        assert Pair("a", Pair("b", "c")) == Pair("a", Pair("b", "c"))
+        assert hash(Pair("a", "b")) == hash(Pair("a", "b"))
+        assert Pair("a", "b") != Pair("b", "a")
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            Pair("a", "b").first = "c"  # type: ignore[misc]
+
+
+class TestTypes:
+    def test_rendering(self):
+        assert str(SetType(ProductType(LABEL, TREE))) == "{(label x tree)}"
+
+    def test_unify_unknown(self):
+        assert unify(UNKNOWN, TREE) == TREE
+        assert unify(SetType(UNKNOWN), SetType(LABEL)) == SetType(LABEL)
+
+    def test_unify_structural(self):
+        assert unify(ProductType(LABEL, UNKNOWN), ProductType(UNKNOWN, TREE)) == ProductType(LABEL, TREE)
+
+    def test_unify_mismatch_raises(self):
+        with pytest.raises(NRCTypeError):
+            unify(LABEL, TREE)
+        with pytest.raises(NRCTypeError):
+            unify(SetType(LABEL), ProductType(LABEL, LABEL))
+
+    def test_type_equality(self):
+        assert SetType(LABEL) == SetType(LABEL)
+        assert SetType(LABEL) != SetType(TREE)
+        assert hash(ProductType(LABEL, TREE)) == hash(ProductType(LABEL, TREE))
+
+
+class TestValueHelpers:
+    def test_is_complex_value(self):
+        assert is_complex_value("label")
+        assert is_complex_value(Pair("a", "b"))
+        assert is_complex_value(KSet.empty(NATURAL))
+        assert is_complex_value(leaf(NATURAL, "x"))
+        assert not is_complex_value(42)
+
+    def test_infer_type(self):
+        assert infer_type("a") == LABEL
+        assert infer_type(leaf(NATURAL, "x")) == TREE
+        assert infer_type(Pair("a", KSet.empty(NATURAL))) == ProductType(LABEL, SetType(UNKNOWN))
+        assert infer_type(KSet.singleton(NATURAL, "a")) == SetType(LABEL)
+
+    def test_infer_type_rejects_garbage(self):
+        with pytest.raises(NRCEvalError):
+            infer_type(3.14)
+
+    def test_value_to_str(self):
+        builder = TreeBuilder(NATURAL)
+        value = Pair("a", KSet(NATURAL, [("b", 2)]))
+        assert value_to_str(value) == "(a, {b^{2}})"
+        assert value_to_str(builder.leaf("x")) == "x"
+
+    def test_map_value_annotations_deep(self):
+        builder = TreeBuilder(NATURAL)
+        value = Pair(
+            "a",
+            KSet(NATURAL, [(builder.tree("t", builder.leaf("u") @ 2), 3)]),
+        )
+        mapped = map_value_annotations(value, duplicate_elimination())
+        bool_builder = TreeBuilder(BOOLEAN)
+        expected = Pair(
+            "a",
+            KSet(BOOLEAN, [(bool_builder.tree("t", bool_builder.leaf("u")), True)]),
+        )
+        assert mapped == expected
+
+    def test_map_value_annotations_rejects_garbage(self):
+        with pytest.raises(NRCEvalError):
+            map_value_annotations(object(), lambda x: x)

@@ -1,0 +1,117 @@
+"""Probabilistic K-UXML: independent events, world distributions, marginals."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import PossibleWorldsError
+from repro.probabilistic import (
+    ProbabilisticUXML,
+    bernoulli_distributions,
+    geometric_distributions,
+    probability_of_event,
+)
+from repro.paperdata import section5_query, section5_representation
+from repro.semirings import BOOLEAN, NATURAL, PROVENANCE, BoolExpr
+from repro.uxml import TreeBuilder
+
+
+class TestEventProbability:
+    def test_single_variable(self):
+        x = BoolExpr.variable("x")
+        assert probability_of_event(x, {"x": 0.3}) == pytest.approx(0.3)
+
+    def test_conjunction_of_independent_events(self):
+        x, y = BoolExpr.variable("x"), BoolExpr.variable("y")
+        assert probability_of_event(x & y, {"x": 0.5, "y": 0.4}) == pytest.approx(0.2)
+
+    def test_disjunction_uses_inclusion_exclusion(self):
+        x, y = BoolExpr.variable("x"), BoolExpr.variable("y")
+        assert probability_of_event(x | y, {"x": 0.5, "y": 0.4}) == pytest.approx(0.7)
+
+    def test_constants(self):
+        assert probability_of_event(BoolExpr.true(), {}) == 1.0
+        assert probability_of_event(BoolExpr.false(), {}) == 0.0
+
+    def test_missing_probability_raises(self):
+        with pytest.raises(PossibleWorldsError):
+            probability_of_event(BoolExpr.variable("x"), {})
+
+
+class TestDistributions:
+    def test_bernoulli_distributions(self):
+        dists = bernoulli_distributions({"x": 0.25})
+        assert dists["x"][True] == 0.25
+        assert dists["x"][False] == 0.75
+        with pytest.raises(PossibleWorldsError):
+            bernoulli_distributions({"x": 1.5})
+
+    def test_geometric_distributions_sum_to_one(self):
+        dists = geometric_distributions(["x"], max_value=5)
+        assert math.isclose(sum(dists["x"].values()), 1.0)
+        assert dists["x"][1] == 0.5
+        assert dists["x"][0] == 0.0
+
+
+class TestProbabilisticUXML:
+    @pytest.fixture
+    def model(self):
+        return ProbabilisticUXML.bernoulli(
+            section5_representation(), {"y1": 0.5, "y2": 0.5, "y3": 0.5}
+        )
+
+    def test_requires_nx_annotations(self, nat_builder):
+        with pytest.raises(PossibleWorldsError):
+            ProbabilisticUXML.bernoulli(nat_builder.forest(nat_builder.leaf("a")), {})
+
+    def test_all_tokens_need_distributions(self):
+        with pytest.raises(PossibleWorldsError):
+            ProbabilisticUXML.bernoulli(section5_representation(), {"y1": 0.5})
+
+    def test_distributions_must_sum_to_one(self):
+        with pytest.raises(PossibleWorldsError):
+            ProbabilisticUXML(
+                section5_representation(),
+                {"y1": {True: 0.5, False: 0.2}, "y2": {True: 1.0}, "y3": {True: 1.0}},
+                BOOLEAN,
+            )
+
+    def test_world_distribution_sums_to_one(self, model):
+        distribution = model.world_distribution()
+        assert math.isclose(sum(distribution.values()), 1.0)
+        # six possible worlds, but two valuation classes collapse
+        assert len(distribution) == 6
+
+    def test_uniform_bernoulli_world_probabilities(self, model):
+        """Each world's probability is a multiple of 1/8 under fair coins."""
+        for probability in model.world_distribution().values():
+            assert math.isclose(probability * 8, round(probability * 8))
+
+    def test_answer_distribution_matches_querying_each_world(self, model):
+        answer_distribution = model.answer_distribution(section5_query(), "T")
+        assert math.isclose(sum(answer_distribution.values()), 1.0)
+        assert len(answer_distribution) == 5
+
+    def test_member_probability(self, model):
+        # The leaf c exists iff y3 or (y1 and y2): probability 1 - (1-0.5)*(1-0.25) = 0.625.
+        b = TreeBuilder(PROVENANCE)
+        leaf_c = b.leaf("c")
+        assert model.member_probability(section5_query(), "T", leaf_c) == pytest.approx(0.625)
+
+    def test_member_probability_of_absent_member(self, model):
+        b = TreeBuilder(PROVENANCE)
+        assert model.member_probability(section5_query(), "T", b.leaf("zzz")) == 0.0
+
+    def test_member_probability_requires_boolean_target(self):
+        model = ProbabilisticUXML.with_repetitions(section5_representation(), max_value=2)
+        b = TreeBuilder(PROVENANCE)
+        with pytest.raises(PossibleWorldsError):
+            model.member_probability(section5_query(), "T", b.leaf("c"))
+
+    def test_repetition_model_worlds(self):
+        model = ProbabilisticUXML.with_repetitions(section5_representation(), max_value=2)
+        distribution = model.world_distribution()
+        assert math.isclose(sum(distribution.values()), 1.0)
+        assert model.target == NATURAL

@@ -1,0 +1,107 @@
+"""Reading N[X] provenance: specialization, witnesses, lineage, size measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnnotationError
+from repro.paperdata import figure1_query, figure1_source, figure5_expected_q
+from repro.provenance import (
+    event_expression,
+    lineage,
+    max_polynomial_size,
+    minimal_witnesses,
+    polynomial_sizes,
+    proposition2_bound,
+    required_tokens,
+    specialize,
+    specialize_tree,
+    tokens_used,
+    why_provenance,
+)
+from repro.semirings import BOOLEAN, NATURAL, Lineage, Polynomial, WhyProvenance
+from repro.uxquery import evaluate_query
+
+POLY = Polynomial.parse
+
+
+@pytest.fixture
+def figure1_answer():
+    return evaluate_query(figure1_query(), figure1_source().semiring, {"S": figure1_source()})
+
+
+class TestSpecialization:
+    def test_specialize_forest_to_bags(self, figure1_answer, nat_builder):
+        valuation = {"x1": 1, "x2": 1, "y1": 1, "y2": 2, "y3": 1, "z": 1}
+        bag_children = specialize(figure1_answer.children, valuation, NATURAL)
+        assert bag_children.annotation(nat_builder.leaf("d")) == 3
+        assert bag_children.annotation(nat_builder.leaf("e")) == 1
+
+    def test_specialize_tree_to_booleans(self, figure1_answer, bool_builder):
+        valuation = {"x1": False, "x2": True, "y1": True, "y2": False, "y3": True, "z": True}
+        bool_tree = specialize_tree(figure1_answer, valuation, BOOLEAN)
+        assert bool_tree.children.annotation(bool_builder.leaf("d")) is False
+        assert bool_tree.children.annotation(bool_builder.leaf("e")) is True
+
+    def test_tokens_used(self, figure1_answer):
+        assert tokens_used(figure1_answer) == frozenset({"x1", "x2", "y1", "y2", "y3", "z"})
+        assert tokens_used(POLY("a*b + c")) == frozenset({"a", "b", "c"})
+
+    def test_tokens_used_requires_polynomials(self, nat_builder):
+        with pytest.raises(AnnotationError):
+            tokens_used(nat_builder.forest(nat_builder.leaf("a") @ 2))
+
+
+class TestProvenanceViews:
+    def test_required_tokens(self):
+        assert required_tokens(POLY("x*y + x*z")) == frozenset({"x"})
+        assert required_tokens(POLY("x + y")) == frozenset()
+        assert required_tokens(Polynomial.zero()) == frozenset()
+
+    def test_minimal_witnesses(self):
+        witnesses = minimal_witnesses(POLY("x*y + x"))
+        assert witnesses == frozenset({frozenset({"x"})})
+
+    def test_why_provenance_keeps_all_monomials(self):
+        assert why_provenance(POLY("x*y + x")) == WhyProvenance([["x", "y"], ["x"]])
+
+    def test_lineage_collects_all_tokens(self):
+        assert lineage(POLY("x*y + z")) == Lineage(["x", "y", "z"])
+        assert lineage(Polynomial.zero()) == Lineage.absent()
+
+    def test_event_expression(self):
+        expr = event_expression(POLY("x^2*y + 2*x"))
+        assert expr.implicants == frozenset({frozenset({"x"})})
+
+    def test_figure5_tuple_reading(self):
+        """The (d, c) tuple requires x2 in every derivation but x1 and x4 only alternatively."""
+        annotation = figure5_expected_q().annotation(("d", "c"))
+        assert required_tokens(annotation) == frozenset({"x2"})
+        assert minimal_witnesses(annotation) == frozenset(
+            {frozenset({"x1", "x2"}), frozenset({"x2", "x4"})}
+        )
+
+
+class TestSizeMeasures:
+    def test_polynomial_sizes_of_answer(self, figure1_answer):
+        sizes = polynomial_sizes(figure1_answer.children)
+        assert len(sizes) == 2
+        assert max_polynomial_size(figure1_answer.children) == max(sizes)
+
+    def test_sizes_require_polynomials(self, nat_builder):
+        with pytest.raises(AnnotationError):
+            polynomial_sizes(nat_builder.forest(nat_builder.leaf("a") @ 2))
+
+    def test_proposition2_bound_monotone(self):
+        assert proposition2_bound(10, 3) <= proposition2_bound(20, 3)
+        assert proposition2_bound(10, 3) <= proposition2_bound(10, 4)
+
+    def test_figure1_sizes_respect_bound(self, figure1_answer):
+        from repro.uxml import forest_size
+        from repro.uxquery import parse_query, query_size
+
+        document_size = forest_size(figure1_source())
+        q_size = query_size(parse_query(figure1_query()))
+        assert max_polynomial_size(figure1_answer.children) <= proposition2_bound(
+            document_size, q_size
+        )

@@ -1,0 +1,160 @@
+"""The semiring-annotated Datalog engine with Skolem functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatalogNonTerminationError, DatalogSafetyError
+from repro.relational import (
+    Atom,
+    Constant,
+    KRelation,
+    Program,
+    Rule,
+    SkolemTerm,
+    SkolemValue,
+    Variable,
+    evaluate_program,
+    facts_from_relation,
+    relation_from_facts,
+)
+from repro.semirings import BOOLEAN, NATURAL, PROVENANCE, Polynomial
+
+POLY = Polynomial.parse
+V = Variable
+C = Constant
+
+
+class TestRuleLanguage:
+    def test_safety_check(self):
+        with pytest.raises(DatalogSafetyError):
+            Rule(Atom("P", [V("x"), V("y")]), [Atom("Q", [V("x")])])
+
+    def test_skolem_terms_only_in_heads(self):
+        with pytest.raises(DatalogSafetyError):
+            Rule(Atom("P", [V("x")]), [Atom("Q", [SkolemTerm("f", [V("x")])])])
+
+    def test_wildcards_do_not_bind(self):
+        rule = Rule(Atom("P", [V("x")]), [Atom("Q", [V("x"), V("_")])])
+        assert rule.head.predicate == "P"
+
+    def test_rendering(self):
+        rule = Rule(
+            Atom("E2", [SkolemTerm("f", [V("p")]), V("l")]),
+            [Atom("E", [V("p"), V("l")])],
+        )
+        assert str(rule) == "E2(f(p), l) :- E(p, l)"
+
+    def test_skolem_values_are_injective(self):
+        assert SkolemValue("f", (1,)) == SkolemValue("f", (1,))
+        assert SkolemValue("f", (1,)) != SkolemValue("f", (2,))
+        assert SkolemValue("f", (1,)) != SkolemValue("g", (1,))
+        assert str(SkolemValue("f", (1, 2))) == "f(1, 2)"
+
+
+class TestEvaluation:
+    def test_non_recursive_join(self):
+        program = Program(
+            [
+                Rule(
+                    Atom("T", [V("x"), V("z")]),
+                    [Atom("R", [V("x"), V("y")]), Atom("S", [V("y"), V("z")])],
+                )
+            ]
+        )
+        edb = {
+            "R": {("a", "b"): 2},
+            "S": {("b", "c"): 3, ("b", "d"): 5},
+        }
+        result = evaluate_program(program, edb, NATURAL)
+        assert result["T"] == {("a", "c"): 6, ("a", "d"): 10}
+
+    def test_multiple_derivations_add(self):
+        program = Program(
+            [
+                Rule(Atom("T", [V("x")]), [Atom("R", [V("x"), V("_")])]),
+            ]
+        )
+        edb = {"R": {("a", "p"): 2, ("a", "q"): 3}}
+        result = evaluate_program(program, edb, NATURAL)
+        assert result["T"] == {("a",): 5}
+
+    def test_recursive_reachability_with_provenance(self):
+        """Path annotations are products along edges, summed over all paths."""
+        program = Program(
+            [
+                Rule(Atom("Reach", [V("n")]), [Atom("E", [C("root"), V("n")])]),
+                Rule(
+                    Atom("Reach", [V("n")]),
+                    [Atom("Reach", [V("p")]), Atom("E", [V("p"), V("n")])],
+                ),
+            ]
+        )
+        x, y, z = (Polynomial.variable(t) for t in ("x", "y", "z"))
+        edb = {
+            "E": {
+                ("root", "a"): x,
+                ("a", "b"): y,
+                ("root", "b"): z,
+            }
+        }
+        result = evaluate_program(program, edb, PROVENANCE)
+        assert result["Reach"][("a",)] == x
+        assert result["Reach"][("b",)] == x * y + z
+
+    def test_skolem_heads_invent_values(self):
+        program = Program(
+            [
+                Rule(
+                    Atom("Out", [SkolemTerm("f", [V("n")]), V("l")]),
+                    [Atom("In", [V("n"), V("l")])],
+                )
+            ]
+        )
+        result = evaluate_program(program, {"In": {(1, "a"): 2}}, NATURAL)
+        assert result["Out"] == {(SkolemValue("f", (1,)), "a"): 2}
+
+    def test_cyclic_data_over_naturals_raises(self):
+        program = Program(
+            [
+                Rule(Atom("Reach", [V("n")]), [Atom("E", [C("root"), V("n")])]),
+                Rule(
+                    Atom("Reach", [V("n")]),
+                    [Atom("Reach", [V("p")]), Atom("E", [V("p"), V("n")])],
+                ),
+            ]
+        )
+        edb = {"E": {("root", "a"): 1, ("a", "a"): 1}}
+        with pytest.raises(DatalogNonTerminationError):
+            evaluate_program(program, edb, NATURAL, max_iterations=25)
+
+    def test_cyclic_data_over_booleans_converges(self):
+        program = Program(
+            [
+                Rule(Atom("Reach", [V("n")]), [Atom("E", [C("root"), V("n")])]),
+                Rule(
+                    Atom("Reach", [V("n")]),
+                    [Atom("Reach", [V("p")]), Atom("E", [V("p"), V("n")])],
+                ),
+            ]
+        )
+        edb = {"E": {("root", "a"): True, ("a", "b"): True, ("b", "a"): True}}
+        result = evaluate_program(program, edb, BOOLEAN)
+        assert result["Reach"] == {("a",): True, ("b",): True}
+
+    def test_zero_annotated_facts_are_ignored(self):
+        program = Program([Rule(Atom("T", [V("x")]), [Atom("R", [V("x")])])])
+        result = evaluate_program(program, {"R": {("a",): 0, ("b",): 2}}, NATURAL)
+        assert result["T"] == {("b",): 2}
+
+    def test_constants_in_bodies_filter(self):
+        program = Program(
+            [Rule(Atom("T", [V("x")]), [Atom("R", [C("a"), V("x")])])]
+        )
+        result = evaluate_program(program, {"R": {("a", "v"): 1, ("b", "w"): 1}}, NATURAL)
+        assert result["T"] == {("v",): 1}
+
+    def test_facts_relation_round_trip(self):
+        relation = KRelation(NATURAL, ("A", "B"), [(("a", "b"), 2)])
+        facts = facts_from_relation(relation)
+        assert relation_from_facts(NATURAL, ("A", "B"), facts) == relation

@@ -1,0 +1,125 @@
+"""The Figure 5 encoding of K-relations as UXML and of RA+ as K-UXQuery (Prop. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational import (
+    AttributeSelection,
+    KRelation,
+    NaturalJoin,
+    ProductExpr,
+    Projection,
+    RelationRef,
+    RenameExpr,
+    Selection,
+    UnionExpr,
+    algebra_to_uxquery,
+    database_to_uxml,
+    evaluate_algebra,
+    forest_to_relation,
+    relation_to_tree,
+    schema_of,
+    tree_to_relation,
+)
+from repro.semirings import NATURAL, PROVENANCE
+from repro.uxquery import evaluate_query
+from repro.workloads import random_database
+
+
+class TestDataEncoding:
+    def test_relation_round_trip(self):
+        relation = KRelation(NATURAL, ("A", "B"), [(("a", "b"), 2), (("c", "d"), 3)])
+        tree = relation_to_tree(NATURAL, "R", relation)
+        assert tree.label == "R"
+        assert tree_to_relation(tree, ("A", "B")) == relation
+
+    def test_database_encoding_structure(self):
+        from repro.paperdata import figure5_relations
+
+        document = database_to_uxml(PROVENANCE, figure5_relations())
+        (root,) = document
+        assert root.label == "D"
+        assert {child.label for child in root.child_trees()} == {"R", "S"}
+
+    def test_decoding_rejects_malformed_tuples(self, nat_builder):
+        b = nat_builder
+        bad = b.forest(b.tree("t", b.tree("A", b.leaf("1"), b.leaf("2"))))
+        with pytest.raises(RelationalError):
+            forest_to_relation(bad, ("A",))
+        missing = b.forest(b.tree("t", b.tree("B", b.leaf("1"))))
+        with pytest.raises(RelationalError):
+            forest_to_relation(missing, ("A",))
+
+    def test_decoding_merges_equal_tuples(self, nat_builder):
+        b = nat_builder
+        encoded = b.forest(
+            b.record("t", [("A", "a")]) @ 2,
+            b.record("t", [("A", "a")]) @ 3,
+        )
+        relation = forest_to_relation(encoded, ("A",))
+        assert relation.annotation(("a",)) == 5
+
+
+class TestProposition1:
+    """Translating RA+ into K-UXQuery commutes with the encoding."""
+
+    def _check(self, algebra, database, schemas):
+        expected = evaluate_algebra(algebra, database)
+        document = database_to_uxml(database[next(iter(database))].semiring, database)
+        query = algebra_to_uxquery(algebra, schemas)
+        answer = evaluate_query(query, document.semiring, {"d": document})
+        decoded = forest_to_relation(answer, schema_of(algebra, schemas))
+        assert decoded == expected
+
+    def test_figure5_view(self):
+        from repro.paperdata import figure5_algebra, figure5_relations, figure5_schemas
+
+        self._check(figure5_algebra(), figure5_relations(), figure5_schemas())
+
+    def test_projection_and_selection(self):
+        from repro.paperdata import figure5_relations, figure5_schemas
+
+        algebra = Projection(Selection(RelationRef("R"), "B", "b"), ("A", "C"))
+        self._check(algebra, figure5_relations(), figure5_schemas())
+
+    def test_attribute_selection(self):
+        db = {
+            "R": KRelation(
+                NATURAL, ("A", "B"), [(("x", "x"), 2), (("x", "y"), 3)]
+            )
+        }
+        algebra = AttributeSelection(RelationRef("R"), "A", "B")
+        self._check(algebra, db, {"R": ("A", "B")})
+
+    def test_union_and_rename(self):
+        db = {
+            "R": KRelation(NATURAL, ("A", "B"), [(("x", "y"), 2)]),
+            "S": KRelation(NATURAL, ("C", "B"), [(("x", "y"), 3)]),
+        }
+        algebra = UnionExpr(RelationRef("R"), RenameExpr(RelationRef("S"), {"C": "A"}))
+        self._check(algebra, db, {"R": ("A", "B"), "S": ("C", "B")})
+
+    def test_cartesian_product(self):
+        db = {
+            "R": KRelation(NATURAL, ("A",), [(("x",), 2)]),
+            "S": KRelation(NATURAL, ("B",), [(("y",), 3), (("z",), 1)]),
+        }
+        algebra = ProductExpr(RelationRef("R"), RelationRef("S"))
+        self._check(algebra, db, {"R": ("A",), "S": ("B",)})
+
+    def test_join_on_random_databases(self):
+        schemas = {"R": ("A", "B"), "S": ("B", "C")}
+        for seed in range(3):
+            db = random_database(NATURAL, schemas, rows_per_relation=6, domain_size=3, seed=seed)
+            algebra = Projection(NaturalJoin(RelationRef("R"), RelationRef("S")), ("A", "C"))
+            self._check(algebra, db, schemas)
+
+    def test_random_databases_with_provenance(self):
+        schemas = {"R": ("A", "B"), "S": ("B", "C")}
+        db = random_database(PROVENANCE, schemas, rows_per_relation=4, domain_size=2, seed=7, tokens=True)
+        algebra = Projection(
+            NaturalJoin(Projection(RelationRef("R"), ("A", "B")), RelationRef("S")), ("A", "C")
+        )
+        self._check(algebra, db, schemas)

@@ -1,0 +1,161 @@
+"""K-relations and the positive relational algebra of the PODS 2007 baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RelationalError, SchemaError
+from repro.relational import (
+    KRelation,
+    NaturalJoin,
+    Projection,
+    RelationRef,
+    RenameExpr,
+    Selection,
+    UnionExpr,
+    evaluate_algebra,
+    figure5_algebra_query,
+    schema_of,
+)
+from repro.semirings import BOOLEAN, NATURAL, PROVENANCE, Polynomial, duplicate_elimination
+
+POLY = Polynomial.parse
+
+
+@pytest.fixture
+def figure5_db():
+    from repro.paperdata import figure5_relations
+
+    return figure5_relations()
+
+
+class TestKRelation:
+    def test_construction_merges_duplicates(self):
+        relation = KRelation(NATURAL, ("A",), [(("a",), 2), (("a",), 3)])
+        assert relation.annotation(("a",)) == 5
+        assert len(relation) == 1
+
+    def test_zero_rows_dropped(self):
+        relation = KRelation(NATURAL, ("A",), [(("a",), 0)])
+        assert relation.is_empty()
+
+    def test_schema_validation(self):
+        with pytest.raises(SchemaError):
+            KRelation(NATURAL, ("A", "A"), [])
+        with pytest.raises(SchemaError):
+            KRelation(NATURAL, ("A", "B"), [(("a",), 1)])
+
+    def test_union_adds(self):
+        left = KRelation(NATURAL, ("A",), [(("a",), 1)])
+        right = KRelation(NATURAL, ("A",), [(("a",), 2), (("b",), 1)])
+        merged = left.union(right)
+        assert merged.annotation(("a",)) == 3
+        with pytest.raises(SchemaError):
+            left.union(KRelation(NATURAL, ("B",), []))
+
+    def test_projection_adds_collapsing_tuples(self):
+        relation = KRelation(NATURAL, ("A", "B"), [(("a", "x"), 2), (("a", "y"), 3)])
+        projected = relation.project(["A"])
+        assert projected.annotation(("a",)) == 5
+
+    def test_selection(self):
+        relation = KRelation(NATURAL, ("A", "B"), [(("a", "x"), 2), (("b", "x"), 3)])
+        assert relation.select_eq("A", "a").annotation(("a", "x")) == 2
+        assert relation.select(lambda row: row["B"] == "x") == relation
+        assert relation.select_attr_eq("A", "B").is_empty()
+
+    def test_join_multiplies(self):
+        left = KRelation(NATURAL, ("A", "B"), [(("a", "k"), 2)])
+        right = KRelation(NATURAL, ("B", "C"), [(("k", "c"), 3), (("z", "c"), 7)])
+        joined = left.join(right)
+        assert joined.attributes == ("A", "B", "C")
+        assert joined.annotation(("a", "k", "c")) == 6
+        assert len(joined) == 1
+
+    def test_product_requires_disjoint_schemas(self):
+        left = KRelation(NATURAL, ("A",), [(("a",), 2)])
+        right = KRelation(NATURAL, ("B",), [(("b",), 3)])
+        assert left.product(right).annotation(("a", "b")) == 6
+        with pytest.raises(SchemaError):
+            left.product(left)
+
+    def test_rename(self):
+        relation = KRelation(NATURAL, ("A", "B"), [(("a", "b"), 1)])
+        renamed = relation.rename({"A": "X"})
+        assert renamed.attributes == ("X", "B")
+
+    def test_map_annotations(self):
+        relation = KRelation(NATURAL, ("A",), [(("a",), 2), (("b",), 0)])
+        as_bool = relation.map_annotations(duplicate_elimination(), BOOLEAN)
+        assert as_bool.annotation(("a",)) is True
+        assert ("b",) not in as_bool
+
+    def test_to_table_rendering(self):
+        relation = KRelation(NATURAL, ("A",), [(("a",), 2)])
+        table = relation.to_table()
+        assert "A" in table and "annotation" in table and "a | 2" in table
+
+    def test_immutability_and_hash(self):
+        relation = KRelation(NATURAL, ("A",), [(("a",), 2)])
+        with pytest.raises(AttributeError):
+            relation.extra = 1  # type: ignore[attr-defined]
+        assert hash(relation) == hash(KRelation(NATURAL, ("A",), [(("a",), 2)]))
+
+
+class TestAlgebra:
+    def test_figure5_query_matches_paper(self, figure5_db):
+        from repro.paperdata import figure5_expected_q
+
+        result = evaluate_algebra(figure5_algebra_query(), figure5_db)
+        assert result == figure5_expected_q()
+
+    def test_annotation_reading_of_figure5(self, figure5_db):
+        """The (d, c) tuple can be derived two ways: joining two R tuples or R with S."""
+        result = evaluate_algebra(figure5_algebra_query(), figure5_db)
+        assert result.annotation(("d", "c")) == POLY("x1*x2 + x2*x4")
+
+    def test_schema_inference(self, figure5_db):
+        from repro.paperdata import figure5_schemas
+
+        assert schema_of(figure5_algebra_query(), figure5_schemas()) == ("A", "C")
+        join = NaturalJoin(RelationRef("R"), RelationRef("S"))
+        assert schema_of(join, figure5_schemas()) == ("A", "B", "C")
+
+    def test_selection_and_rename_nodes(self, figure5_db):
+        query = Projection(Selection(RelationRef("R"), "B", "b"), ("A",))
+        result = evaluate_algebra(query, figure5_db)
+        assert result.annotation(("a",)) == POLY("x1")
+        renamed = evaluate_algebra(RenameExpr(RelationRef("S"), {"B": "X"}), figure5_db)
+        assert renamed.attributes == ("X", "C")
+
+    def test_union_schema_mismatch(self, figure5_db):
+        from repro.paperdata import figure5_schemas
+
+        query = UnionExpr(RelationRef("R"), RelationRef("S"))
+        with pytest.raises(SchemaError):
+            evaluate_algebra(query, figure5_db)
+        with pytest.raises(SchemaError):
+            schema_of(query, figure5_schemas())
+
+    def test_unknown_relation(self):
+        with pytest.raises(RelationalError):
+            evaluate_algebra(RelationRef("missing"), {})
+
+    def test_boolean_specialization_of_figure5(self, figure5_db):
+        """Evaluating in B (via the homomorphism x_i -> true) marks all six tuples present."""
+        from repro.semirings import polynomial_valuation
+
+        annotated = evaluate_algebra(figure5_algebra_query(), figure5_db)
+        valuation = {f"x{i}": True for i in range(1, 6)}
+        as_bool = annotated.map_annotations(polynomial_valuation(valuation, BOOLEAN), BOOLEAN)
+        assert len(as_bool) == 6
+        assert all(annotation is True for _, annotation in as_bool.items())
+
+    def test_bag_specialization_counts_derivations(self, figure5_db):
+        from repro.semirings import polynomial_valuation
+
+        annotated = evaluate_algebra(figure5_algebra_query(), figure5_db)
+        valuation = {f"x{i}": 1 for i in range(1, 6)}
+        as_bag = annotated.map_annotations(polynomial_valuation(valuation, NATURAL), NATURAL)
+        assert as_bag.annotation(("a", "c")) == 2  # two derivations
+        assert as_bag.annotation(("f", "e")) == 1

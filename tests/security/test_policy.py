@@ -1,0 +1,124 @@
+"""The security application of Section 4: clearance propagation and access control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paperdata import (
+    figure5_uxquery,
+    figure6_source_uxml,
+    figure7_expected_clearances,
+    figure7_valuation,
+)
+from repro.provenance import specialize, tokens_used
+from repro.relational import forest_to_relation
+from repro.security import AccessControl, clearance_view, clearance_view_via_provenance
+from repro.semirings import CLEARANCE, PROVENANCE
+from repro.uxml import TreeBuilder
+
+
+@pytest.fixture
+def clearance_builder():
+    return TreeBuilder(CLEARANCE)
+
+
+class TestFigure7:
+    def test_clearances_via_provenance_specialization(self):
+        """Evaluate once in N[X], then specialize with w1=C, x2=S, y5=T (Corollary 1)."""
+        view = clearance_view_via_provenance(
+            figure5_uxquery(), {"d": figure6_source_uxml()}, figure7_valuation()
+        )
+        relation = forest_to_relation(view.children, ("A", "C"))
+        assert {row: annotation for row, annotation in relation.items()} == figure7_expected_clearances()
+
+    def test_clearances_by_direct_evaluation(self):
+        """Annotating the source with clearances and evaluating in C gives the same view."""
+        source = figure6_source_uxml()
+        valuation = {token: CLEARANCE.one for token in tokens_used(source)}
+        valuation.update(figure7_valuation())
+        clearance_source = specialize(source, valuation, CLEARANCE)
+        view = clearance_view(figure5_uxquery(), {"d": clearance_source})
+        relation = forest_to_relation(view.children, ("A", "C"))
+        assert {row: annotation for row, annotation in relation.items()} == figure7_expected_clearances()
+
+    def test_alternative_derivations_lower_the_required_clearance(self):
+        """(a, c) and (f, e) stay confidential although one derivation uses top-secret data."""
+        expected = figure7_expected_clearances()
+        assert expected[("a", "c")] == "C"
+        assert expected[("f", "c")] == "T"
+
+
+class TestAccessControl:
+    def test_visible_members(self, clearance_builder):
+        b = clearance_builder
+        view = b.forest(b.leaf("public") @ "P", b.leaf("secret") @ "S", b.leaf("top") @ "T")
+        control = AccessControl()
+        assert control.visible_members(view, "S").support() == {
+            b.leaf("public"),
+            b.leaf("secret"),
+        }
+        assert control.visible_members(view, "T") == view
+        assert control.visible_members(view, "P").support() == {b.leaf("public")}
+
+    def test_absent_is_never_visible(self, clearance_builder):
+        b = clearance_builder
+        view = b.forest(b.leaf("gone") @ "0")
+        control = AccessControl()
+        assert view.is_empty() or control.visible_members(view, "T").is_empty()
+
+    def test_redaction_prunes_subtrees(self, clearance_builder):
+        b = clearance_builder
+        tree = b.tree(
+            "report",
+            b.tree("summary", b.leaf("ok")) @ "P",
+            b.tree("details", b.leaf("codes")) @ "T",
+        )
+        control = AccessControl()
+        redacted = control.redact_tree(tree, "C")
+        labels = {child.label for child in redacted.child_trees()}
+        assert labels == {"summary"}
+
+    def test_redact_forest(self, clearance_builder):
+        b = clearance_builder
+        view = b.forest(
+            b.tree("a", b.leaf("x") @ "S") @ "C",
+            b.tree("b", b.leaf("y")) @ "T",
+        )
+        control = AccessControl()
+        redacted = control.redact(view, "C")
+        assert len(redacted) == 1
+        (survivor,) = redacted
+        assert survivor.label == "a"
+        assert survivor.is_leaf()  # the secret child was pruned
+
+    def test_can_see(self):
+        control = AccessControl()
+        assert control.can_see("P", "P")
+        assert control.can_see("C", "T")
+        assert not control.can_see("T", "C")
+        assert not control.can_see("0", "T")
+
+    def test_clearance_report_groups_members(self, clearance_builder):
+        b = clearance_builder
+        view = b.forest(b.leaf("one") @ "C", b.leaf("two") @ "C", b.leaf("three") @ "T")
+        report = AccessControl().clearance_report(view)
+        assert report["C"] == ["one", "two"]
+        assert report["T"] == ["three"]
+        assert report["P"] == []
+
+    def test_query_level_access_control_workflow(self, clearance_builder):
+        """End to end: annotate, query, then redact per user clearance."""
+        b = clearance_builder
+        source = b.forest(
+            b.tree(
+                "patients",
+                b.tree("patient", b.tree("name", b.leaf("alice")), b.tree("dna", b.leaf("AT"))) @ "C",
+                b.tree("patient", b.tree("name", b.leaf("bob")), b.tree("dna", b.leaf("GC")) @ "T") @ "C",
+            )
+        )
+        view = clearance_view("element out { $db//name }", {"db": source})
+        control = AccessControl()
+        public_view = control.redact(view.children, "P")
+        confidential_view = control.redact(view.children, "C")
+        assert public_view.is_empty()
+        assert len(confidential_view) == 2

@@ -1,0 +1,82 @@
+"""Commutative-semiring axioms hold for every shipped semiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semirings import check_semiring_axioms
+
+from tests.conftest import ALL_SEMIRINGS
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_axioms_on_samples(semiring):
+    failures = check_semiring_axioms(semiring, semiring.sample_elements())
+    assert failures == []
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_zero_and_one_are_valid_and_distinct_when_nontrivial(semiring):
+    assert semiring.is_valid(semiring.zero)
+    assert semiring.is_valid(semiring.one)
+    assert not semiring.eq(semiring.zero, semiring.one)
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_sum_and_product_fold_correctly(semiring):
+    samples = [value for value in semiring.sample_elements()][:3]
+    total = semiring.zero
+    prod = semiring.one
+    for value in samples:
+        total = semiring.add(total, value)
+        prod = semiring.mul(prod, value)
+    assert semiring.eq(semiring.sum(samples), total)
+    assert semiring.eq(semiring.product(samples), prod)
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_from_int_is_iterated_addition(semiring):
+    three = semiring.add(semiring.add(semiring.one, semiring.one), semiring.one)
+    assert semiring.eq(semiring.from_int(3), three)
+    assert semiring.eq(semiring.from_int(0), semiring.zero)
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_power_is_iterated_multiplication(semiring):
+    for value in semiring.sample_elements()[:3]:
+        squared = semiring.mul(value, value)
+        assert semiring.eq(semiring.power(value, 2), squared)
+        assert semiring.eq(semiring.power(value, 0), semiring.one)
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_idempotence_flags_are_accurate(semiring):
+    for value in semiring.sample_elements():
+        if semiring.idempotent_add:
+            assert semiring.eq(semiring.add(value, value), value)
+        if semiring.idempotent_mul:
+            assert semiring.eq(semiring.mul(value, value), value)
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_coerce_rejects_garbage(semiring):
+    from repro.errors import AnnotationError
+
+    class Garbage:
+        pass
+
+    with pytest.raises(AnnotationError):
+        semiring.coerce(Garbage())
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_repr_element_is_a_string(semiring):
+    for value in semiring.sample_elements():
+        assert isinstance(semiring.repr_element(value), str)
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_sample_elements_are_hashable_and_valid(semiring):
+    for value in semiring.sample_elements():
+        assert semiring.is_valid(value)
+        hash(semiring.normalize(value))

@@ -1,0 +1,206 @@
+"""Semiring homomorphisms and the standard specializations of N[X]."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HomomorphismError
+from repro.semirings import (
+    BOOLEAN,
+    CLEARANCE,
+    LINEAGE,
+    NATURAL,
+    POSBOOL,
+    PROVENANCE,
+    TROPICAL,
+    VITERBI,
+    WHY,
+    BoolExpr,
+    Lineage,
+    Polynomial,
+    SemiringHomomorphism,
+    WhyProvenance,
+    duplicate_elimination,
+    natural_embedding,
+    polynomial_to_lineage,
+    polynomial_to_posbool,
+    polynomial_to_why,
+    polynomial_valuation,
+    posbool_valuation,
+    variables,
+    why_to_posbool,
+)
+
+
+class TestValuations:
+    def test_polynomial_valuation_into_naturals(self):
+        x, y = variables("x", "y")
+        hom = polynomial_valuation({"x": 2, "y": 3}, NATURAL)
+        assert hom(x * y + x) == 8
+        assert hom(PROVENANCE.zero) == 0
+        assert hom(PROVENANCE.one) == 1
+
+    def test_polynomial_valuation_into_booleans(self):
+        x, y = variables("x", "y")
+        hom = polynomial_valuation({"x": True, "y": False}, BOOLEAN)
+        assert hom(x * y) is False
+        assert hom(x + y) is True
+
+    def test_polynomial_valuation_into_clearances(self):
+        """The Figure 7 valuation w1 := C, x2 := S, y5 := T."""
+        w1, x2, y5 = variables("w1", "x2", "y5")
+        hom = polynomial_valuation({"w1": "C", "x2": "S", "y5": "T"}, CLEARANCE)
+        assert hom(w1 * y5 + w1 * w1) == "C"
+        assert hom(w1 * w1 * x2) == "S"
+        assert hom(w1 * y5) == "T"
+
+    def test_polynomial_valuation_checks_elements(self):
+        from repro.errors import AnnotationError
+
+        with pytest.raises(AnnotationError):
+            polynomial_valuation({"x": "not-a-number"}, NATURAL)
+
+    def test_valuation_homomorphism_laws_hold(self):
+        hom = polynomial_valuation({"x": 2, "y": 0, "z": 5, "w": 1}, NATURAL)
+        assert hom.violations() == []
+
+    def test_posbool_valuation(self):
+        x, y = BoolExpr.variable("x"), BoolExpr.variable("y")
+        hom = posbool_valuation({"x": True, "y": False})
+        assert hom(x | y) is True
+        assert hom(x & y) is False
+        assert hom.violations([x, y, x | y, x & y]) == []
+
+
+class TestProvenanceHierarchy:
+    def test_polynomial_to_posbool(self):
+        x, y = variables("x", "y")
+        hom = polynomial_to_posbool()
+        assert hom(2 * (x * x * y) + x) == BoolExpr.variable("x")
+        assert hom.violations() == []
+
+    def test_polynomial_to_why(self):
+        x, y = variables("x", "y")
+        hom = polynomial_to_why()
+        result = hom(x * y + x)
+        assert result == WhyProvenance([["x", "y"], ["x"]])
+        assert hom.violations() == []
+
+    def test_polynomial_to_lineage(self):
+        x, y = variables("x", "y")
+        hom = polynomial_to_lineage()
+        assert hom(x * y + x) == Lineage(["x", "y"])
+        assert hom(PROVENANCE.zero) == Lineage.absent()
+        assert hom.violations() == []
+
+    def test_why_to_posbool(self):
+        hom = why_to_posbool()
+        value = WhyProvenance([["x"], ["x", "y"]])
+        assert hom(value) == BoolExpr.variable("x")
+        assert hom.violations() == []
+
+    def test_hierarchy_composes(self):
+        x, y = variables("x", "y")
+        via_why = why_to_posbool().compose(polynomial_to_why())
+        direct = polynomial_to_posbool()
+        for poly in [x, x * y, x + y, 3 * (x * x) + y]:
+            assert via_why(poly) == direct(poly)
+
+
+class TestOtherHomomorphisms:
+    def test_duplicate_elimination(self):
+        dagger = duplicate_elimination()
+        assert dagger(0) is False
+        assert dagger(5) is True
+        assert dagger.violations([0, 1, 2, 3]) == []
+
+    @pytest.mark.parametrize(
+        "target", [BOOLEAN, NATURAL, PROVENANCE, POSBOOL, CLEARANCE, TROPICAL, VITERBI, WHY, LINEAGE],
+        ids=lambda s: s.name,
+    )
+    def test_natural_embedding_is_a_homomorphism(self, target):
+        hom = natural_embedding(target)
+        assert hom.violations([0, 1, 2, 3]) == []
+
+    def test_composition_checks_signatures(self):
+        to_bool = duplicate_elimination()
+        to_nat = natural_embedding(NATURAL)
+        with pytest.raises(HomomorphismError):
+            to_nat.compose(to_bool)
+
+    def test_check_detects_non_homomorphisms(self):
+        bogus = SemiringHomomorphism(NATURAL, NATURAL, lambda n: n + 1, name="bogus")
+        assert bogus.violations([0, 1, 2]) != []
+
+    def test_universality_factoring(self):
+        """Evaluating in K directly equals factoring through N[X] (universality)."""
+        x, y, z = variables("x", "y", "z")
+        poly = (x + y) * z + x * x
+        for target, valuation in [
+            (NATURAL, {"x": 2, "y": 1, "z": 3}),
+            (BOOLEAN, {"x": True, "y": False, "z": True}),
+            (TROPICAL, {"x": 1.0, "y": 2.0, "z": 0.5}),
+            (CLEARANCE, {"x": "C", "y": "T", "z": "S"}),
+        ]:
+            hom = polynomial_valuation(valuation, target)
+            direct = target.add(
+                target.mul(target.add(valuation["x"], valuation["y"]), valuation["z"]),
+                target.mul(valuation["x"], valuation["x"]),
+            )
+            assert target.eq(hom(poly), direct)
+
+
+class TestRegistry:
+    def test_lookup_by_name_and_alias(self):
+        from repro.semirings import available_semirings, get_semiring
+
+        assert get_semiring("boolean") is BOOLEAN
+        assert get_semiring("B") is BOOLEAN
+        assert get_semiring("N[X]") is PROVENANCE
+        assert get_semiring("bag") is NATURAL
+        assert "clearance" in available_semirings()
+
+    def test_unknown_semiring(self):
+        from repro.errors import SemiringError
+        from repro.semirings import get_semiring
+
+        with pytest.raises(SemiringError):
+            get_semiring("does-not-exist")
+
+    def test_register_custom(self):
+        from repro.semirings import get_semiring, register_semiring
+        from repro.errors import SemiringError
+
+        register_semiring("test-custom-boolean", lambda: BOOLEAN)
+        assert get_semiring("test-custom-boolean") is BOOLEAN
+        with pytest.raises(SemiringError):
+            register_semiring("test-custom-boolean", lambda: BOOLEAN)
+
+    def test_standard_semirings_iterates(self):
+        from repro.semirings import standard_semirings
+
+        names = [semiring.name for semiring in standard_semirings()]
+        assert "provenance-polynomials" in names
+        assert len(names) >= 10
+
+
+class TestTropicalFamily:
+    def test_tropical_models_minimal_cost(self):
+        assert TROPICAL.add(3.0, 5.0) == 3.0
+        assert TROPICAL.mul(3.0, 5.0) == 8.0
+        assert TROPICAL.zero == float("inf")
+        assert TROPICAL.one == 0.0
+        assert TROPICAL.parse_element("inf") == float("inf")
+        assert TROPICAL.parse_element("2.5") == 2.5
+
+    def test_viterbi_models_best_confidence(self):
+        assert VITERBI.add(0.3, 0.8) == 0.8
+        assert VITERBI.mul(0.5, 0.5) == 0.25
+        with pytest.raises(ValueError):
+            VITERBI.parse_element("1.5")
+
+    def test_fuzzy_is_a_lattice(self):
+        from repro.semirings import FUZZY
+
+        assert FUZZY.add(0.3, 0.8) == 0.8
+        assert FUZZY.mul(0.3, 0.8) == 0.3

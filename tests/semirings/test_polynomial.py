@@ -1,0 +1,212 @@
+"""Provenance polynomials: arithmetic, canonical forms, valuation, parsing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semirings import BOOLEAN, NATURAL, PROVENANCE, TROPICAL
+from repro.semirings.polynomial import Monomial, Polynomial, variable, variables
+
+
+class TestMonomial:
+    def test_unit_monomial(self):
+        unit = Monomial()
+        assert unit.is_unit()
+        assert unit.degree == 0
+        assert str(unit) == "1"
+
+    def test_multiplication_merges_exponents(self):
+        left = Monomial({"x": 1, "y": 2})
+        right = Monomial({"x": 3})
+        assert (left * right).powers == {"x": 4, "y": 2}
+
+    def test_power(self):
+        mono = Monomial({"x": 2, "y": 1})
+        assert (mono ** 3).powers == {"x": 6, "y": 3}
+        assert (mono ** 0).is_unit()
+
+    def test_zero_exponents_dropped(self):
+        assert Monomial({"x": 0, "y": 1}).powers == {"y": 1}
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            Monomial({"x": -1})
+
+    def test_str_rendering(self):
+        assert str(Monomial({"x": 1})) == "x"
+        assert str(Monomial({"x": 2, "a": 1})) == "a*x^2"
+
+    def test_evaluate_in_natural_semiring(self):
+        mono = Monomial({"x": 2, "y": 1})
+        assert mono.evaluate({"x": 3, "y": 5}, NATURAL) == 45
+
+    def test_rename(self):
+        mono = Monomial({"x": 2, "y": 1})
+        assert mono.rename({"x": "z"}).powers == {"z": 2, "y": 1}
+
+    def test_rename_collision_adds_exponents(self):
+        mono = Monomial({"x": 2, "y": 1})
+        assert mono.rename({"x": "y"}).powers == {"y": 3}
+
+    def test_equality_and_hash(self):
+        assert Monomial({"x": 1, "y": 2}) == Monomial({"y": 2, "x": 1})
+        assert hash(Monomial({"x": 1})) == hash(Monomial({"x": 1}))
+
+
+class TestPolynomialArithmetic:
+    def test_zero_and_one(self):
+        assert Polynomial.zero().is_zero()
+        assert Polynomial.one().is_one()
+        assert str(Polynomial.zero()) == "0"
+        assert str(Polynomial.one()) == "1"
+
+    def test_addition_collects_like_terms(self):
+        x = variable("x")
+        assert str(x + x) == "2*x"
+
+    def test_multiplication_distributes(self):
+        x, y = variables("x", "y")
+        assert (x + y) * (x + y) == x * x + 2 * (x * y) + y * y
+
+    def test_scalar_multiplication(self):
+        x = variable("x")
+        assert 3 * x == x + x + x
+        assert x.scale(0).is_zero()
+
+    def test_power(self):
+        x, y = variables("x", "y")
+        assert (x + y) ** 2 == x * x + 2 * x * y + y * y
+        assert (x ** 0).is_one()
+
+    def test_constant(self):
+        assert Polynomial.constant(0).is_zero()
+        assert Polynomial.constant(2) == Polynomial.one() + Polynomial.one()
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial.constant(-1)
+
+    def test_degree_and_terms(self):
+        x, y = variables("x", "y")
+        poly = x * x * y + y + Polynomial.constant(3)
+        assert poly.degree == 3
+        assert poly.num_terms == 3
+        assert poly.variables == frozenset({"x", "y"})
+
+    def test_coefficient_lookup(self):
+        x, y = variables("x", "y")
+        poly = 2 * (x * y) + y
+        assert poly.coefficient(Monomial({"x": 1, "y": 1})) == 2
+        assert poly.coefficient(Monomial({"x": 5})) == 0
+
+    def test_str_is_canonical(self):
+        x, y = variables("x", "y")
+        assert str(x * y + 2 * x) == "x*y + 2*x"
+
+    def test_hash_consistent_with_equality(self):
+        x, y = variables("x", "y")
+        assert hash(x + y) == hash(y + x)
+        assert x + y == y + x
+
+
+class TestPolynomialEvaluation:
+    def test_evaluate_into_naturals(self):
+        x, y = variables("x", "y")
+        poly = x * x + 2 * y
+        assert poly.evaluate({"x": 3, "y": 5}, NATURAL) == 19
+        assert poly.evaluate_int({"x": 3, "y": 5}) == 19
+
+    def test_evaluate_into_booleans(self):
+        x, y = variables("x", "y")
+        poly = x * y + x
+        assert poly.evaluate({"x": True, "y": False}, BOOLEAN) is True
+        assert poly.evaluate({"x": False, "y": True}, BOOLEAN) is False
+
+    def test_evaluate_into_tropical(self):
+        x, y = variables("x", "y")
+        poly = x * y + y  # min(x + y, y) in the tropical reading
+        assert poly.evaluate({"x": 2.0, "y": 3.0}, TROPICAL) == 3.0
+
+    def test_missing_token_raises(self):
+        from repro.errors import SemiringError
+
+        with pytest.raises(SemiringError):
+            variable("x").evaluate({}, NATURAL)
+
+    def test_rename_tokens(self):
+        x, y = variables("x", "y")
+        assert (x * y + x).rename({"x": "a"}) == variable("a") * y + variable("a")
+
+
+class TestPolynomialParse:
+    @pytest.mark.parametrize(
+        "text",
+        ["x1", "x1*y1 + x2*y2", "2*x^2 + 3", "x1^2 + x1*x4", "w1^2*x3^2*y2^2*z4^2", "7"],
+    )
+    def test_parse_round_trips_through_str(self, text):
+        parsed = Polynomial.parse(text)
+        assert Polynomial.parse(str(parsed)) == parsed
+
+    def test_parse_matches_construction(self):
+        x1, x4 = variables("x1", "x4")
+        assert Polynomial.parse("x1^2 + x1*x4") == x1 * x1 + x1 * x4
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Polynomial.parse("x1 + + x2")
+        with pytest.raises(ValueError):
+            Polynomial.parse("")
+
+    def test_size_measure(self):
+        x, y = variables("x", "y")
+        assert Polynomial.zero().size() == 1
+        assert x.size() == 2  # coefficient symbol + one variable occurrence
+        assert (x * y + x).size() == 6
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests: N[X] is a commutative semiring and valuation is a hom
+# ---------------------------------------------------------------------------
+_tokens = st.sampled_from(["x", "y", "z", "w"])
+_monomials = st.dictionaries(_tokens, st.integers(min_value=1, max_value=3), max_size=3).map(
+    Monomial
+)
+_polynomials = st.dictionaries(_monomials, st.integers(min_value=1, max_value=4), max_size=4).map(
+    Polynomial
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_polynomials, _polynomials, _polynomials)
+def test_polynomial_semiring_laws(p, q, r):
+    assert (p + q) + r == p + (q + r)
+    assert p + q == q + p
+    assert (p * q) * r == p * (q * r)
+    assert p * q == q * p
+    assert p * (q + r) == p * q + p * r
+    assert p + Polynomial.zero() == p
+    assert p * Polynomial.one() == p
+    assert (p * Polynomial.zero()).is_zero()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    _polynomials,
+    _polynomials,
+    st.fixed_dictionaries(
+        {"x": st.integers(0, 4), "y": st.integers(0, 4), "z": st.integers(0, 4), "w": st.integers(0, 4)}
+    ),
+)
+def test_valuation_is_a_homomorphism(p, q, valuation):
+    assert (p + q).evaluate_int(valuation) == p.evaluate_int(valuation) + q.evaluate_int(valuation)
+    assert (p * q).evaluate_int(valuation) == p.evaluate_int(valuation) * q.evaluate_int(valuation)
+
+
+def test_provenance_semiring_wraps_polynomials():
+    x = variable("x")
+    assert PROVENANCE.add(x, x) == 2 * x
+    assert PROVENANCE.mul(x, PROVENANCE.one) == x
+    assert PROVENANCE.from_int(3) == Polynomial.constant(3)
+    assert PROVENANCE.parse_element("x*y + 1") == x * variable("y") + Polynomial.one()

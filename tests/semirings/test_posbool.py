@@ -1,0 +1,125 @@
+"""Positive Boolean expressions: canonical form, logic, parsing."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semirings import POSBOOL, BoolExpr
+
+
+class TestBoolExprBasics:
+    def test_true_false_constants(self):
+        assert BoolExpr.false().is_false()
+        assert BoolExpr.true().is_true()
+        assert str(BoolExpr.false()) == "false"
+        assert str(BoolExpr.true()) == "true"
+
+    def test_variable(self):
+        x = BoolExpr.variable("x")
+        assert x.variables == frozenset({"x"})
+        assert str(x) == "x"
+
+    def test_or_and(self):
+        x, y = BoolExpr.variable("x"), BoolExpr.variable("y")
+        assert str(x | y) == "x + y"
+        assert str(x & y) == "x*y"
+
+    def test_absorption_is_canonicalized(self):
+        x, y = BoolExpr.variable("x"), BoolExpr.variable("y")
+        assert (x | (x & y)) == x
+        assert (x & (x | y)) == x
+
+    def test_true_absorbs_or(self):
+        x = BoolExpr.variable("x")
+        assert (BoolExpr.true() | x) == BoolExpr.true()
+        assert (BoolExpr.false() | x) == x
+
+    def test_and_with_constants(self):
+        x = BoolExpr.variable("x")
+        assert (BoolExpr.true() & x) == x
+        assert (BoolExpr.false() & x) == BoolExpr.false()
+
+    def test_conjunction_of(self):
+        expr = BoolExpr.conjunction_of(["a", "b"])
+        assert expr == BoolExpr.variable("a") & BoolExpr.variable("b")
+
+    def test_evaluate(self):
+        x, y, z = (BoolExpr.variable(v) for v in "xyz")
+        expr = (x & y) | z
+        assert expr.evaluate({"x": True, "y": True, "z": False})
+        assert expr.evaluate({"x": False, "y": False, "z": True})
+        assert not expr.evaluate({"x": True, "y": False, "z": False})
+
+    def test_missing_variables_default_to_false(self):
+        assert not BoolExpr.variable("x").evaluate({})
+
+
+class TestPosBoolSemiring:
+    def test_parse_element(self):
+        x, y, z = (BoolExpr.variable(v) for v in ("x1", "y1", "y2"))
+        assert POSBOOL.parse_element("x1*y1 + y2") == (x & y) | z
+        assert POSBOOL.parse_element("true") == BoolExpr.true()
+        assert POSBOOL.parse_element("false") == BoolExpr.false()
+
+    def test_parse_rejects_empty_conjunct(self):
+        with pytest.raises(ValueError):
+            POSBOOL.parse_element("x + ")
+
+    def test_equivalent_expressions_are_equal(self):
+        x, y = BoolExpr.variable("x"), BoolExpr.variable("y")
+        left = (x | y) & (x | y)
+        assert left == (x | y)
+
+    def test_canonical_form_matches_truth_table(self):
+        """Structural equality coincides with logical equivalence on 3 variables."""
+        x, y, z = (BoolExpr.variable(v) for v in "xyz")
+        pairs = [
+            ((x & y) | (x & z), x & (y | z)),
+            ((x | y) & (y | x), x | y),
+            ((x & y) | y, y),
+        ]
+        for left, right in pairs:
+            assert left == right
+            for values in itertools.product((False, True), repeat=3):
+                assignment = dict(zip("xyz", values))
+                assert left.evaluate(assignment) == right.evaluate(assignment)
+
+
+# ---------------------------------------------------------------------------
+# Property-based: canonical equality == logical equivalence
+# ---------------------------------------------------------------------------
+_names = ("a", "b", "c")
+_variables = st.sampled_from(_names).map(BoolExpr.variable)
+_exprs = st.recursive(
+    _variables | st.just(BoolExpr.true()) | st.just(BoolExpr.false()),
+    lambda children: st.tuples(children, children).map(lambda pair: pair[0] | pair[1])
+    | st.tuples(children, children).map(lambda pair: pair[0] & pair[1]),
+    max_leaves=6,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_exprs, _exprs)
+def test_structural_equality_iff_logical_equivalence(left, right):
+    logically_equal = all(
+        left.evaluate(dict(zip(_names, values))) == right.evaluate(dict(zip(_names, values)))
+        for values in itertools.product((False, True), repeat=len(_names))
+    )
+    assert (left == right) == logically_equal
+
+
+@settings(max_examples=60, deadline=None)
+@given(_exprs, _exprs, _exprs)
+def test_posbool_lattice_laws(a, b, c):
+    assert (a | b) | c == a | (b | c)
+    assert (a & b) & c == a & (b & c)
+    assert a | b == b | a
+    assert a & b == b & a
+    assert a & (b | c) == (a & b) | (a & c)
+    assert a | (b & c) == (a | b) & (a | c)
+    assert (a | a) == a
+    assert (a & a) == a

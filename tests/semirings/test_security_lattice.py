@@ -1,0 +1,161 @@
+"""Clearance, lattice and product semirings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnnotationError
+from repro.semirings import (
+    BOOLEAN,
+    CLEARANCE,
+    NATURAL,
+    ClearanceSemiring,
+    DivisorLatticeSemiring,
+    ProductSemiring,
+    SubsetLatticeSemiring,
+)
+
+
+class TestClearanceSemiring:
+    def test_paper_ordering(self):
+        assert CLEARANCE.levels == ("P", "C", "S", "T")
+        assert CLEARANCE.one == "P"
+        assert CLEARANCE.zero == "0"
+
+    def test_add_is_min_clearance(self):
+        assert CLEARANCE.add("C", "T") == "C"
+        assert CLEARANCE.add("S", "P") == "P"
+        assert CLEARANCE.add("T", "0") == "T"
+
+    def test_mul_is_max_clearance(self):
+        assert CLEARANCE.mul("C", "T") == "T"
+        assert CLEARANCE.mul("P", "P") == "P"
+        assert CLEARANCE.mul("S", "0") == "0"
+
+    def test_figure7_polynomial_identities(self):
+        """The Figure 7 calculations: C*T + C^2 = C, C^2 * S = S, etc."""
+        C, S, T = "C", "S", "T"
+        mul, add = CLEARANCE.mul, CLEARANCE.add
+        assert add(mul(C, T), mul(C, C)) == C
+        assert mul(mul(C, C), S) == S
+        assert add(mul(mul(C, S), T), mul(mul(C, C), S)) == S
+        assert mul(C, T) == T
+        assert mul(C, C) == C
+
+    def test_accessible(self):
+        assert CLEARANCE.accessible("C", "S")
+        assert not CLEARANCE.accessible("T", "S")
+        assert not CLEARANCE.accessible("0", "T")
+        assert CLEARANCE.accessible("P", "P")
+
+    def test_rank_and_comparisons(self):
+        assert CLEARANCE.rank("P") == 0
+        assert CLEARANCE.more_public("S", "C") == "C"
+        assert CLEARANCE.more_secret("S", "C") == "S"
+        with pytest.raises(AnnotationError):
+            CLEARANCE.rank("X")
+
+    def test_parse_element(self):
+        assert CLEARANCE.parse_element(" T ") == "T"
+        with pytest.raises(ValueError):
+            CLEARANCE.parse_element("Q")
+
+    def test_custom_levels(self):
+        custom = ClearanceSemiring(("low", "high"), absent="void", name="two-level")
+        assert custom.one == "low"
+        assert custom.zero == "void"
+        assert custom.add("low", "high") == "low"
+        assert custom.mul("low", "high") == "high"
+
+    def test_invalid_constructions(self):
+        with pytest.raises(AnnotationError):
+            ClearanceSemiring(())
+        with pytest.raises(AnnotationError):
+            ClearanceSemiring(("P", "P"))
+        with pytest.raises(AnnotationError):
+            ClearanceSemiring(("P", "C"), absent="C")
+
+
+class TestSubsetLattice:
+    def test_bounds(self):
+        lattice = SubsetLatticeSemiring({"a", "b"})
+        assert lattice.zero == frozenset()
+        assert lattice.one == frozenset({"a", "b"})
+
+    def test_operations(self):
+        lattice = SubsetLatticeSemiring({"a", "b", "c"})
+        left, right = frozenset({"a"}), frozenset({"a", "b"})
+        assert lattice.add(left, right) == frozenset({"a", "b"})
+        assert lattice.mul(left, right) == frozenset({"a"})
+        assert lattice.leq(left, right)
+        assert not lattice.leq(right, left)
+
+    def test_membership_validation(self):
+        lattice = SubsetLatticeSemiring({"a", "b"})
+        assert lattice.is_valid(frozenset({"a"}))
+        assert not lattice.is_valid(frozenset({"z"}))
+        assert not lattice.is_valid({"a"})  # must be a frozenset
+
+    def test_parse_and_render(self):
+        lattice = SubsetLatticeSemiring({"a", "b"})
+        assert lattice.parse_element("{a, b}") == frozenset({"a", "b"})
+        assert lattice.parse_element("{}") == frozenset()
+        assert lattice.repr_element(frozenset({"b", "a"})) == "{a,b}"
+        with pytest.raises(ValueError):
+            lattice.parse_element("{z}")
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(AnnotationError):
+            SubsetLatticeSemiring([])
+
+
+class TestDivisorLattice:
+    def test_divisors_of_30(self):
+        lattice = DivisorLatticeSemiring(30)
+        assert lattice.divisors == (1, 2, 3, 5, 6, 10, 15, 30)
+        assert lattice.zero == 1
+        assert lattice.one == 30
+
+    def test_lcm_gcd(self):
+        lattice = DivisorLatticeSemiring(30)
+        assert lattice.add(6, 10) == 30
+        assert lattice.mul(6, 10) == 2
+
+    def test_square_free_required(self):
+        with pytest.raises(AnnotationError):
+            DivisorLatticeSemiring(12)
+
+    def test_parse(self):
+        lattice = DivisorLatticeSemiring(30)
+        assert lattice.parse_element("15") == 15
+        with pytest.raises(ValueError):
+            lattice.parse_element("4")
+
+
+class TestProductSemiring:
+    def test_componentwise_operations(self):
+        product = ProductSemiring(BOOLEAN, NATURAL)
+        assert product.zero == (False, 0)
+        assert product.one == (True, 1)
+        assert product.add((True, 2), (False, 3)) == (True, 5)
+        assert product.mul((True, 2), (True, 3)) == (True, 6)
+
+    def test_validation(self):
+        product = ProductSemiring(BOOLEAN, NATURAL)
+        assert product.is_valid((True, 3))
+        assert not product.is_valid((True,))
+        assert not product.is_valid((1, True))
+
+    def test_project_and_inject(self):
+        product = ProductSemiring(BOOLEAN, NATURAL)
+        value = product.inject([True, 4])
+        assert product.project(value, 0) is True
+        assert product.project(value, 1) == 4
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(AnnotationError):
+            ProductSemiring()
+
+    def test_idempotence_flags(self):
+        assert ProductSemiring(BOOLEAN, BOOLEAN).idempotent_add
+        assert not ProductSemiring(BOOLEAN, NATURAL).idempotent_add

@@ -1,0 +1,72 @@
+"""Why-provenance and lineage semirings."""
+
+from __future__ import annotations
+
+from repro.semirings import LINEAGE, WHY, Lineage, WhyProvenance
+
+
+class TestWhyProvenance:
+    def test_constants(self):
+        assert WhyProvenance.absent().witnesses == frozenset()
+        assert WhyProvenance.unconditional().witnesses == frozenset({frozenset()})
+
+    def test_token(self):
+        assert WhyProvenance.token("x").tokens == frozenset({"x"})
+
+    def test_union_keeps_all_witnesses(self):
+        x, y = WhyProvenance.token("x"), WhyProvenance.token("y")
+        combined = x | y
+        assert combined.witnesses == frozenset({frozenset({"x"}), frozenset({"y"})})
+
+    def test_product_combines_pairwise(self):
+        x, y = WhyProvenance.token("x"), WhyProvenance.token("y")
+        assert (x & y).witnesses == frozenset({frozenset({"x", "y"})})
+
+    def test_no_absorption_unlike_posbool(self):
+        x = WhyProvenance.token("x")
+        xy = WhyProvenance([["x", "y"]])
+        # Why keeps the non-minimal witness {x, y} alongside {x}.
+        assert (x | xy).witnesses == frozenset({frozenset({"x"}), frozenset({"x", "y"})})
+
+    def test_semiring_constants(self):
+        assert WHY.zero == WhyProvenance.absent()
+        assert WHY.one == WhyProvenance.unconditional()
+
+    def test_string_rendering_is_deterministic(self):
+        value = WhyProvenance([["b", "a"], ["c"]])
+        assert str(value) == "{{c}, {a,b}}"
+
+
+class TestLineage:
+    def test_constants(self):
+        assert Lineage.absent().is_absent
+        assert Lineage.empty().tokens == frozenset()
+
+    def test_merge_and_combine(self):
+        x, y = Lineage.token("x"), Lineage.token("y")
+        assert x.merge(y).tokens == frozenset({"x", "y"})
+        assert x.combine(y).tokens == frozenset({"x", "y"})
+
+    def test_absent_is_additive_identity(self):
+        x = Lineage.token("x")
+        assert LINEAGE.add(LINEAGE.zero, x) == x
+        assert LINEAGE.add(x, LINEAGE.zero) == x
+
+    def test_absent_is_multiplicative_annihilator(self):
+        x = Lineage.token("x")
+        assert LINEAGE.mul(LINEAGE.zero, x) == LINEAGE.zero
+        assert LINEAGE.mul(x, LINEAGE.zero) == LINEAGE.zero
+
+    def test_empty_is_multiplicative_identity(self):
+        x = Lineage.token("x")
+        assert LINEAGE.mul(LINEAGE.one, x) == x
+
+    def test_distributivity_with_absent(self):
+        x, y = Lineage.token("x"), Lineage.token("y")
+        left = LINEAGE.mul(x, LINEAGE.add(LINEAGE.zero, y))
+        right = LINEAGE.add(LINEAGE.mul(x, LINEAGE.zero), LINEAGE.mul(x, y))
+        assert left == right
+
+    def test_string_rendering(self):
+        assert str(Lineage.absent()) == "absent"
+        assert str(Lineage(["b", "a"])) == "{a,b}"

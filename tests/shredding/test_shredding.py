@@ -1,0 +1,159 @@
+"""Shredding K-UXML into relations and the XPath-to-Datalog semantics (Section 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kcollections import KSet
+from repro.paperdata import figure4_source
+from repro.relational.datalog import SkolemValue
+from repro.semirings import BOOLEAN, NATURAL, PROVENANCE, Polynomial
+from repro.shredding import (
+    ROOT_PID,
+    edge_relation,
+    evaluate_xpath_via_datalog,
+    path_programs,
+    reachable_facts,
+    shred_forest,
+    shred_tree,
+    step_program,
+    unshred,
+)
+from repro.uxml.navigation import apply_axis, double_slash
+from repro.uxquery.ast import Step
+from repro.workloads import random_forest
+
+POLY = Polynomial.parse
+
+
+class TestShredUnshred:
+    def test_round_trip_simple(self, nat_builder):
+        b = nat_builder
+        forest = b.forest(b.tree("a", b.tree("b", b.leaf("c") @ 2) @ 3) @ 4, b.leaf("d"))
+        assert unshred(shred_forest(forest), NATURAL) == forest
+
+    def test_round_trip_figure4(self):
+        source = figure4_source()
+        assert unshred(shred_forest(source), PROVENANCE) == source
+
+    def test_round_trip_random(self):
+        for seed in range(3):
+            forest = random_forest(NATURAL, num_trees=3, depth=3, fanout=2, seed=seed)
+            assert unshred(shred_forest(forest), NATURAL) == forest
+
+    def test_each_node_is_one_fact(self, nat_builder):
+        b = nat_builder
+        forest = b.forest(b.tree("a", b.leaf("b"), b.leaf("c")))
+        facts = shred_forest(forest)
+        assert len(facts) == 3
+        roots = [key for key in facts if key[0] == ROOT_PID]
+        assert len(roots) == 1 and roots[0][2] == "a"
+
+    def test_duplicate_subtree_values_get_distinct_ids(self, nat_builder):
+        b = nat_builder
+        forest = b.forest(b.tree("a", b.tree("p", b.leaf("x")), b.tree("q", b.leaf("x"))))
+        facts = shred_forest(forest)
+        x_nodes = [key for key in facts if key[2] == "x"]
+        assert len(x_nodes) == 2
+
+    def test_unshred_merges_equal_values(self):
+        facts = {
+            (ROOT_PID, 1, "a"): 2,
+            (ROOT_PID, 2, "a"): 3,
+        }
+        forest = unshred(facts, NATURAL)
+        assert len(forest) == 1
+        assert forest.total_annotation() == 5
+
+    def test_garbage_is_ignored(self, nat_builder):
+        facts = {
+            (ROOT_PID, 1, "a"): 1,
+            (99, 100, "junk"): 5,
+        }
+        live = reachable_facts(facts, NATURAL)
+        assert (99, 100, "junk") not in live
+        forest = unshred(facts, NATURAL)
+        assert len(forest) == 1
+
+    def test_edge_relation_schema(self, nat_builder):
+        b = nat_builder
+        relation = edge_relation(shred_tree(b.leaf("a"), 2), NATURAL)
+        assert relation.attributes == ("pid", "nid", "label")
+        assert relation.annotation((ROOT_PID, 1, "a")) == 2
+
+
+class TestXPathToDatalog:
+    def test_step_programs_have_copy_and_root_rules(self):
+        program = step_program(Step("descendant", "c"), "E", "E1", "f1")
+        assert len(program) >= 4
+        assert "E1" in program.idb_predicates()
+
+    def test_path_programs_chain_predicates(self):
+        programs = path_programs([Step("child", "*"), Step("child", "c")])
+        assert [entry[1] for entry in programs] == ["E", "E_1"]
+        assert [entry[2] for entry in programs] == ["E_1", "E_2"]
+
+    def test_section7_example_table(self):
+        """The //c example of Section 7 with x1 := 0."""
+        source = figure4_source(x1="0")
+        answer = evaluate_xpath_via_datalog(
+            source, [Step("descendant-or-self", "*"), Step("child", "c")]
+        )
+        expected = double_slash(source, "c")
+        assert answer == expected
+        # The two answer roots carry y1 and y1*y2, as in the paper's E' table.
+        annotations = {str(annotation) for annotation in answer.annotations()}
+        assert "y1" in annotations and "y1*y2" in annotations
+
+    @pytest.mark.parametrize(
+        "axis,nodetest",
+        [
+            ("self", "*"),
+            ("self", "a"),
+            ("child", "*"),
+            ("child", "c"),
+            ("descendant", "*"),
+            ("descendant", "c"),
+            ("descendant-or-self", "c"),
+            ("descendant-or-self", "*"),
+        ],
+    )
+    def test_theorem2_single_steps_agree_with_direct_semantics(self, axis, nodetest):
+        source = figure4_source()
+        via_datalog = evaluate_xpath_via_datalog(source, [Step(axis, nodetest)])
+        direct = apply_axis(source, axis, nodetest)
+        assert via_datalog == direct
+
+    def test_theorem2_multi_step_paths(self):
+        source = figure4_source()
+        steps = [Step("child", "*"), Step("descendant-or-self", "*"), Step("child", "c")]
+        assert evaluate_xpath_via_datalog(source, steps) == apply_axis(
+            apply_axis(apply_axis(source, "child", "*"), "descendant-or-self", "*"), "child", "c"
+        )
+
+    def test_theorem2_on_random_forests(self):
+        for seed in range(3):
+            forest = random_forest(NATURAL, num_trees=2, depth=3, fanout=2, seed=seed)
+            for steps in (
+                [Step("child", "*")],
+                [Step("descendant", "a")],
+                [Step("descendant-or-self", "*"), Step("child", "b")],
+            ):
+                direct = forest
+                for step in steps:
+                    direct = apply_axis(direct, step.axis, step.nodetest)
+                assert evaluate_xpath_via_datalog(forest, steps) == direct
+
+    def test_boolean_and_bag_shredding(self, bool_builder, nat_builder):
+        for builder, semiring in ((bool_builder, BOOLEAN), (nat_builder, NATURAL)):
+            forest = builder.forest(
+                builder.tree("a", builder.tree("b", builder.leaf("c")), builder.leaf("c"))
+            )
+            assert evaluate_xpath_via_datalog(forest, [Step("descendant", "c")]) == apply_axis(
+                forest, "descendant", "c"
+            )
+
+    def test_empty_path_is_identity_modulo_value_merging(self, nat_builder):
+        b = nat_builder
+        forest = b.forest(b.tree("a", b.leaf("x") @ 2))
+        assert evaluate_xpath_via_datalog(forest, []) == forest

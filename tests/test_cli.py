@@ -1,0 +1,117 @@
+"""The command-line front end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+FIGURE1_XML = """
+<a annot="z">
+  <b annot="x1"> <d annot="y1"/> </b>
+  <c annot="x2"> <d annot="y2"/> <e annot="y3"/> </c>
+</a>
+"""
+
+
+@pytest.fixture
+def document_path(tmp_path):
+    path = tmp_path / "figure1.xml"
+    path.write_text(FIGURE1_XML, encoding="utf-8")
+    return str(path)
+
+
+class TestCli:
+    def test_semirings_listing(self, capsys):
+        assert main(["semirings"]) == 0
+        output = capsys.readouterr().out
+        assert "provenance-polynomials" in output
+        assert "boolean" in output
+
+    def test_query_paper_output(self, document_path, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--query",
+                "element p { $S/*/* }",
+                "--input",
+                document_path,
+                "--semiring",
+                "N[X]",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "d^{x1*y1*z + x2*y2*z}" in output
+        assert "e^{x2*y3*z}" in output
+
+    def test_query_from_file_and_xml_output(self, document_path, tmp_path, capsys):
+        query_path = tmp_path / "query.uxq"
+        query_path.write_text("element p { $S//d }", encoding="utf-8")
+        exit_code = main(
+            [
+                "query",
+                "--query",
+                f"@{query_path}",
+                "--input",
+                document_path,
+                "--format",
+                "xml",
+                "--method",
+                "direct",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert output.strip().startswith("<p>")
+        assert "annot=" in output
+
+    def test_query_over_natural_semiring(self, tmp_path, capsys):
+        path = tmp_path / "bag.xml"
+        path.write_text('<a><b annot="2"/><b annot="3"/></a>', encoding="utf-8")
+        assert main(["query", "--query", "($S)/*", "--input", str(path), "--semiring", "N"]) == 0
+        assert "b^{5}" in capsys.readouterr().out
+
+    def test_specialize(self, document_path, capsys):
+        exit_code = main(
+            [
+                "specialize",
+                "--input",
+                document_path,
+                "--semiring",
+                "N",
+                "--set",
+                "x1=2",
+                "--set",
+                "y1=3",
+                "--format",
+                "paper",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "b^{2}" in output
+        assert "d^{3}" in output
+
+    def test_specialize_rejects_bad_binding(self, document_path, capsys):
+        exit_code = main(
+            ["specialize", "--input", document_path, "--semiring", "N", "--set", "oops"]
+        )
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_shred(self, document_path, capsys):
+        assert main(["shred", "--input", document_path]) == 0
+        output = capsys.readouterr().out
+        assert "pid | nid | label" in output
+        assert "x1" in output
+
+    def test_missing_file(self, capsys):
+        exit_code = main(["query", "--query", "($S)", "--input", "/does/not/exist.xml"])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_query_reports_error(self, document_path, capsys):
+        exit_code = main(["query", "--query", "for $x in", "--input", document_path])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,79 @@
+"""Error hierarchy and miscellaneous public-API behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+from repro.kcollections import KSet
+from repro.semirings import NATURAL, PROVENANCE
+from repro.uxml import TreeBuilder, to_paper_notation
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_single_except_clause_catches_library_failures(self):
+        from repro.uxquery import evaluate_query
+
+        with pytest.raises(errors.ReproError):
+            evaluate_query("for $x in", NATURAL)
+        with pytest.raises(errors.ReproError):
+            evaluate_query("($missing)", NATURAL)
+        with pytest.raises(errors.ReproError):
+            KSet(NATURAL, [("a", -1)])
+
+    def test_specific_errors_are_still_distinguishable(self):
+        from repro.uxquery import evaluate_query
+
+        with pytest.raises(errors.UXQuerySyntaxError):
+            evaluate_query("element {", NATURAL)
+        with pytest.raises(errors.UXQueryTypeError):
+            evaluate_query("name(a)", NATURAL)
+
+
+class TestPackageSurface:
+    def test_version_is_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_names_listed_in_all_exist(self):
+        import importlib
+
+        for name in repro.__all__:
+            assert importlib.import_module(f"repro.{name}") is not None
+
+    def test_semiring_exports_are_consistent(self):
+        import repro.semirings as semirings
+
+        for name in semirings.__all__:
+            assert hasattr(semirings, name), name
+
+    def test_uxquery_exports_are_consistent(self):
+        import repro.uxquery as uxquery
+
+        for name in uxquery.__all__:
+            assert hasattr(uxquery, name), name
+
+
+class TestDisplayEdgeCases:
+    def test_empty_forest_renders(self):
+        assert to_paper_notation(KSet.empty(NATURAL)) == "( )"
+
+    def test_nested_annotation_rendering_uses_semiring_repr(self):
+        b = TreeBuilder(PROVENANCE)
+        tree = b.tree("a", b.leaf("x") @ "t1")
+        assert "t1" in to_paper_notation(tree)
+
+    def test_kset_repr_of_trees(self):
+        b = TreeBuilder(NATURAL)
+        collection = b.forest(b.leaf("a") @ 2)
+        assert "UTree" in repr(collection)
+
+    def test_str_of_tree_uses_paper_notation(self):
+        b = TreeBuilder(NATURAL)
+        assert str(b.tree("a", b.leaf("b"))) == "a[ b ]"

@@ -1,0 +1,118 @@
+"""Reference navigation axes on K-UXML forests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UXMLError
+from repro.paperdata import figure4_source
+from repro.semirings import NATURAL, PROVENANCE, Polynomial
+from repro.uxml import (
+    TreeBuilder,
+    apply_axis,
+    axis_child,
+    axis_descendant,
+    axis_descendant_or_self,
+    axis_self,
+    double_slash,
+    matches_nodetest,
+)
+
+POLY = Polynomial.parse
+
+
+@pytest.fixture
+def simple_forest(prov_builder):
+    b = prov_builder
+    return b.forest(
+        b.tree(
+            "a",
+            b.tree("b", b.leaf("d") @ "y1") @ "x1",
+            b.tree("c", b.leaf("d") @ "y2", b.leaf("e") @ "y3") @ "x2",
+        )
+        @ "z"
+    )
+
+
+class TestNodeTests:
+    def test_wildcard_matches_everything(self, prov_builder):
+        assert matches_nodetest(prov_builder.leaf("anything"), "*")
+
+    def test_label_match(self, prov_builder):
+        assert matches_nodetest(prov_builder.leaf("a"), "a")
+        assert not matches_nodetest(prov_builder.leaf("a"), "b")
+
+
+class TestAxes:
+    def test_self_axis_filters_by_label(self, simple_forest, prov_builder):
+        result = axis_self(simple_forest, "a")
+        assert len(result) == 1
+        assert axis_self(simple_forest, "zzz").is_empty()
+
+    def test_self_axis_keeps_annotations(self, simple_forest):
+        result = axis_self(simple_forest, "*")
+        assert result == simple_forest
+
+    def test_child_axis_multiplies_annotations(self, simple_forest, prov_builder):
+        b = prov_builder
+        children = axis_child(simple_forest, "*")
+        expected_b = b.tree("b", b.leaf("d") @ "y1")
+        assert children.annotation(expected_b) == POLY("z*x1")
+
+    def test_child_axis_with_nodetest(self, simple_forest, prov_builder):
+        children = axis_child(simple_forest, "b")
+        assert len(children) == 1
+
+    def test_grandchildren_reproduce_figure1(self, simple_forest, prov_builder):
+        b = prov_builder
+        grandchildren = axis_child(axis_child(simple_forest, "*"), "*")
+        assert grandchildren.annotation(b.leaf("d")) == POLY("z*x1*y1 + z*x2*y2")
+        assert grandchildren.annotation(b.leaf("e")) == POLY("z*x2*y3")
+
+    def test_descendant_or_self_includes_roots(self, simple_forest):
+        result = axis_descendant_or_self(simple_forest, "*")
+        assert len(result) == 5  # a, b-subtree, c-subtree, d (two occurrences merge), e
+        roots = axis_self(simple_forest, "a")
+        for root in roots:
+            assert root in result
+
+    def test_descendant_excludes_roots(self, simple_forest):
+        result = axis_descendant(simple_forest, "*")
+        for root in axis_self(simple_forest, "a"):
+            assert root not in result
+
+    def test_descendant_annotations_sum_over_paths(self, prov_builder):
+        source = figure4_source()
+        b = prov_builder
+        result = axis_descendant(source, "c")
+        assert result.annotation(b.leaf("c")) == POLY("x1*y3 + y1*y2")
+
+    def test_double_slash_matches_paper_figure4(self, prov_builder):
+        from repro.paperdata import figure4_expected_children
+
+        source = figure4_source()
+        result = double_slash(source, "c")
+        assert dict(result.items()) == dict(figure4_expected_children().items())
+
+    def test_descendant_or_self_vs_child_composition(self, simple_forest):
+        via_dos = axis_child(axis_descendant_or_self(simple_forest, "*"), "d")
+        via_desc = axis_descendant(simple_forest, "d")
+        assert via_dos == via_desc
+
+    def test_apply_axis_dispatch(self, simple_forest):
+        assert apply_axis(simple_forest, "child", "*") == axis_child(simple_forest, "*")
+        with pytest.raises(UXMLError):
+            apply_axis(simple_forest, "parent", "*")
+
+    def test_axes_on_empty_forest(self):
+        from repro.kcollections import KSet
+
+        empty = KSet.empty(NATURAL)
+        assert axis_child(empty, "*").is_empty()
+        assert axis_descendant(empty, "*").is_empty()
+
+    def test_bag_semantics_counts_paths(self, nat_builder):
+        b = nat_builder
+        source = b.forest(b.tree("r", b.tree("a", b.leaf("x") @ 2) @ 3))
+        descendants = axis_descendant(source, "x")
+        assert descendants.annotation(b.leaf("x")) == 6

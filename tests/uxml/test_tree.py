@@ -1,0 +1,153 @@
+"""The K-UXML data model: trees, forests, measurements and homomorphism lifting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UXMLError
+from repro.kcollections import KSet
+from repro.semirings import BOOLEAN, NATURAL, PROVENANCE, duplicate_elimination, variables
+from repro.uxml import (
+    TreeBuilder,
+    UTree,
+    forest,
+    forest_size,
+    leaf,
+    map_forest_annotations,
+    map_tree_annotations,
+    tree_size,
+)
+
+
+class TestUTree:
+    def test_leaf(self):
+        tree = leaf(NATURAL, "a")
+        assert tree.is_leaf()
+        assert tree.label == "a"
+        assert tree.size() == 1
+        assert tree.height() == 1
+
+    def test_label_must_be_string(self):
+        with pytest.raises(UXMLError):
+            UTree(42, KSet.empty(NATURAL))  # type: ignore[arg-type]
+
+    def test_children_must_be_trees(self):
+        with pytest.raises(UXMLError):
+            UTree("a", KSet(NATURAL, [("not-a-tree", 1)]))
+
+    def test_children_must_be_a_kset(self):
+        with pytest.raises(UXMLError):
+            UTree("a", ["child"])  # type: ignore[arg-type]
+
+    def test_equality_is_structural_and_unordered(self, nat_builder):
+        b = nat_builder
+        left = b.tree("a", b.leaf("x"), b.leaf("y"))
+        right = b.tree("a", b.leaf("y"), b.leaf("x"))
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_equality_distinguishes_annotations(self, nat_builder):
+        b = nat_builder
+        assert b.tree("a", b.leaf("x") @ 2) != b.tree("a", b.leaf("x") @ 3)
+
+    def test_repeated_children_merge_annotations(self, nat_builder):
+        b = nat_builder
+        tree = b.tree("a", b.leaf("x") @ 2, b.leaf("x") @ 3)
+        assert tree.children.annotation(b.leaf("x")) == 5
+
+    def test_size_and_height(self, nat_builder):
+        b = nat_builder
+        tree = b.tree("a", b.tree("b", b.leaf("c")), b.leaf("d"))
+        assert tree.size() == 4
+        assert tree.height() == 3
+        assert tree_size(tree) == 4
+
+    def test_subtrees_and_find(self, nat_builder):
+        b = nat_builder
+        tree = b.tree("a", b.tree("b", b.leaf("c")), b.leaf("c"))
+        assert len(list(tree.subtrees())) == 4
+        assert len(list(tree.find("c"))) == 2
+        assert tree.labels() == frozenset({"a", "b", "c"})
+
+    def test_annotations_iterates_all_levels(self, prov_builder):
+        b = prov_builder
+        tree = b.tree("a", b.tree("b", b.leaf("c") @ "y") @ "x")
+        rendered = sorted(str(annotation) for annotation in tree.annotations())
+        assert rendered == ["x", "y"]
+
+    def test_immutability(self, nat_builder):
+        tree = nat_builder.leaf("a")
+        with pytest.raises(AttributeError):
+            tree.label = "b"  # type: ignore[misc]
+
+
+class TestForest:
+    def test_forest_builder_function(self):
+        a = leaf(NATURAL, "a")
+        collection = forest(NATURAL, a, (a, 2))
+        assert collection.annotation(a) == 3
+
+    def test_forest_rejects_non_trees(self):
+        with pytest.raises(UXMLError):
+            forest(NATURAL, "not-a-tree")  # type: ignore[arg-type]
+
+    def test_forest_size(self, nat_builder):
+        b = nat_builder
+        collection = b.forest(b.tree("a", b.leaf("x")), b.leaf("y"))
+        assert forest_size(collection) == 3
+
+
+class TestTreeBuilder:
+    def test_at_operator_annotates(self, prov_builder):
+        b = prov_builder
+        x, = variables("x")
+        tree = b.tree("a", b.leaf("d") @ "x")
+        assert tree.children.annotation(b.leaf("d")) == x
+
+    def test_pair_and_string_children(self, nat_builder):
+        b = nat_builder
+        tree = b.tree("a", (b.leaf("d"), 3), "e")
+        assert tree.children.annotation(b.leaf("d")) == 3
+        assert tree.children.annotation(b.leaf("e")) == 1
+
+    def test_record_builder(self, nat_builder):
+        record = nat_builder.record("t", [("A", "a"), ("B", "b")])
+        assert record.label == "t"
+        assert {child.label for child in record.child_trees()} == {"A", "B"}
+
+    def test_invalid_annotation_rejected(self, nat_builder):
+        with pytest.raises(UXMLError):
+            nat_builder.tree("a", nat_builder.leaf("d") @ "not-a-number-at-all")
+
+    def test_singleton(self, nat_builder):
+        b = nat_builder
+        single = b.singleton(b.leaf("a"), 4)
+        assert single.annotation(b.leaf("a")) == 4
+
+
+class TestHomomorphismLifting:
+    def test_map_tree_annotations_with_function(self, nat_builder):
+        b = nat_builder
+        tree = b.tree("a", b.leaf("x") @ 2, b.tree("b", b.leaf("y") @ 3) @ 1)
+        doubled = map_tree_annotations(tree, lambda n: 2 * n)
+        assert doubled.children.annotation(b.leaf("x")) == 4
+
+    def test_map_forest_annotations_with_homomorphism(self, nat_builder):
+        b = nat_builder
+        collection = b.forest(b.tree("a", b.leaf("x") @ 2) @ 3, b.leaf("y") @ 0)
+        as_sets = map_forest_annotations(collection, duplicate_elimination())
+        assert as_sets.semiring == BOOLEAN
+        bool_builder = TreeBuilder(BOOLEAN)
+        expected_member = bool_builder.tree("a", bool_builder.leaf("x"))
+        assert as_sets.annotation(expected_member) is True
+
+    def test_lifting_merges_collapsing_children(self, prov_builder):
+        """Distinct N[X] children can collapse after specialization; annotations add."""
+        from repro.semirings import polynomial_valuation
+
+        b = prov_builder
+        tree = b.tree("a", b.leaf("d") @ "x", b.tree("d") @ "y")
+        hom = polynomial_valuation({"x": 2, "y": 3}, NATURAL)
+        specialized = map_tree_annotations(tree, hom)
+        nat_b = TreeBuilder(NATURAL)
+        assert specialized.children.annotation(nat_b.leaf("d")) == 5

@@ -1,0 +1,182 @@
+"""Compilation to NRC_K + srt and the high-level query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UXQueryEvalError, UXQueryTypeError
+from repro.kcollections import KSet
+from repro.nrc import (
+    BigUnion,
+    Scale,
+    Singleton,
+    TreeExpr,
+    Var,
+    evaluate as evaluate_nrc,
+    typecheck,
+)
+from repro.nrc.types import SetType, TREE as NRC_TREE
+from repro.semirings import BOOLEAN, NATURAL, POSBOOL, PROVENANCE, BoolExpr, Polynomial
+from repro.uxquery import (
+    FOREST,
+    PreparedQuery,
+    Step,
+    compile_step,
+    compile_to_nrc,
+    env_types_of,
+    evaluate_direct,
+    evaluate_query,
+    normalize,
+    parse_query,
+    prepare_query,
+    resolve_annotation,
+)
+from repro.uxquery.ast import VarExpr
+
+
+class TestResolveAnnotation:
+    def test_accepts_elements(self):
+        assert resolve_annotation(3, NATURAL) == 3
+        x = Polynomial.variable("x")
+        assert resolve_annotation(x, PROVENANCE) == x
+
+    def test_parses_text(self):
+        assert resolve_annotation("3", NATURAL) == 3
+        assert resolve_annotation("x1*y1", PROVENANCE) == Polynomial.parse("x1*y1")
+        assert resolve_annotation("e1", POSBOOL) == BoolExpr.variable("e1")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(UXQueryTypeError):
+            resolve_annotation("not a number", NATURAL)
+        with pytest.raises(UXQueryTypeError):
+            resolve_annotation(3.5, NATURAL)
+
+
+class TestCompilation:
+    def test_compiled_queries_typecheck(self, figure1_environment):
+        from repro.paperdata import figure1_query, figure5_uxquery, figure4_query
+
+        for text, env in [
+            (figure1_query(), {"S": FOREST}),
+            (figure4_query(), {"T": FOREST}),
+            (figure5_uxquery(), {"d": FOREST}),
+        ]:
+            core = normalize(parse_query(text), env)
+            expr = compile_to_nrc(core, PROVENANCE, env)
+            nrc_env = {name: SetType(NRC_TREE) for name in env}
+            assert typecheck(expr, nrc_env, PROVENANCE) in (SetType(NRC_TREE), NRC_TREE)
+
+    def test_trees_are_coerced_to_singletons(self):
+        expr = compile_to_nrc(parse_query("element a { element b {} }"), NATURAL, {})
+        assert isinstance(expr, TreeExpr)
+        assert isinstance(expr.kids, Singleton)
+
+    def test_for_compiles_to_big_union(self):
+        expr = compile_to_nrc(parse_query("for $x in $S return ($x)"), NATURAL, {"S": FOREST})
+        assert isinstance(expr, BigUnion)
+
+    def test_annot_compiles_to_scale(self):
+        expr = compile_to_nrc(parse_query("annot 3 ($S)"), NATURAL, {"S": FOREST})
+        assert isinstance(expr, Scale)
+        assert expr.scalar == 3
+
+    def test_non_core_queries_are_rejected(self):
+        query = parse_query("for $x in $R, $y in $S return ($x)")
+        with pytest.raises(UXQueryTypeError):
+            compile_to_nrc(query, NATURAL, {"R": FOREST, "S": FOREST})
+
+    def test_unbound_variable(self):
+        with pytest.raises(UXQueryTypeError):
+            compile_to_nrc(parse_query("$missing"), NATURAL, {})
+
+    def test_label_cannot_be_a_forest(self):
+        with pytest.raises(UXQueryTypeError):
+            compile_to_nrc(parse_query("(a, b)"), NATURAL, {})
+
+    def test_compile_step_self_child(self, nat_builder):
+        b = nat_builder
+        forest = b.forest(b.tree("a", b.leaf("c") @ 2, b.leaf("d") @ 3))
+        for step, expected in [
+            (Step("self", "a"), {"a[ c^{2} d^{3} ]"}),
+            (Step("child", "c"), {"c"}),
+            (Step("child", "*"), {"c", "d"}),
+        ]:
+            expr = compile_step(Var("S"), step)
+            result = evaluate_nrc(expr, NATURAL, {"S": forest})
+            from repro.uxml import to_paper_notation
+
+            assert {to_paper_notation(tree) for tree in result} == expected
+
+
+class TestEngine:
+    def test_env_types_of(self, nat_builder):
+        b = nat_builder
+        env = {"S": b.forest(b.leaf("a")), "t": b.leaf("a"), "l": "label"}
+        assert env_types_of(env) == {"S": FOREST, "t": "tree", "l": "label"}
+        with pytest.raises(UXQueryEvalError):
+            env_types_of({"bad": 42})
+
+    def test_prepared_query_reuse(self, nat_builder):
+        b = nat_builder
+        forest = b.forest(b.tree("a", b.leaf("x") @ 2))
+        prepared = prepare_query("element out { $S/* }", NATURAL, {"S": forest})
+        first = prepared.evaluate({"S": forest})
+        second = prepared.evaluate({"S": b.forest(b.tree("a", b.leaf("y") @ 5))})
+        assert first.children.annotation(b.leaf("x")) == 2
+        assert second.children.annotation(b.leaf("y")) == 5
+        assert prepared.surface_size > 0
+        assert prepared.nrc_size >= prepared.surface_size
+
+    def test_unknown_method_rejected(self, nat_builder):
+        b = nat_builder
+        prepared = prepare_query("($S)", NATURAL, {"S": b.forest(b.leaf("a"))})
+        with pytest.raises(UXQueryEvalError):
+            prepared.evaluate({"S": b.forest(b.leaf("a"))}, method="sql")
+
+    def test_evaluate_query_both_methods_agree(self, nat_builder):
+        b = nat_builder
+        forest = b.forest(
+            b.tree("a", b.tree("b", b.leaf("c") @ 2) @ 3, b.leaf("c") @ 4) @ 2
+        )
+        query = "element out { $S//c }"
+        assert evaluate_query(query, NATURAL, {"S": forest}) == evaluate_query(
+            query, NATURAL, {"S": forest}, method="direct"
+        )
+
+    def test_query_without_environment(self):
+        result = evaluate_query("element a { element b {}, element c {} }", BOOLEAN)
+        assert result.label == "a"
+        assert len(result.children) == 2
+
+    def test_annot_builds_arbitrary_collections(self):
+        result = evaluate_query("annot 3 (element a {}), annot 2 (element a {})", NATURAL)
+        assert result.total_annotation() == 5
+
+    def test_boolean_idempotence(self):
+        result = evaluate_query("(element a {}), (element a {})", BOOLEAN)
+        assert result.total_annotation() is True
+
+
+class TestDirectInterpreter:
+    def test_rejects_sugar(self, nat_builder):
+        b = nat_builder
+        query = parse_query("for $x in $R, $y in $S return ($x)")
+        with pytest.raises(UXQueryEvalError):
+            evaluate_direct(query, NATURAL, {"R": b.forest(), "S": b.forest()})
+
+    def test_conditionals_and_name(self, nat_builder):
+        b = nat_builder
+        forest = b.forest(b.tree("a", b.leaf("hit") @ 2), b.tree("b", b.leaf("miss")))
+        query = normalize(
+            parse_query("for $x in $S return if (name($x) = a) then ($x)/* else ()"),
+            {"S": FOREST},
+        )
+        result = evaluate_direct(query, NATURAL, {"S": forest})
+        assert result.annotation(b.leaf("hit")) == 2
+        assert b.leaf("miss") not in result
+
+    def test_element_and_annot(self, nat_builder):
+        b = nat_builder
+        query = normalize(parse_query("element r { annot 5 (element leaf {}) }"), {})
+        result = evaluate_direct(query, NATURAL, {})
+        assert result.children.annotation(b.leaf("leaf")) == 5

@@ -1,0 +1,182 @@
+"""Lexing and parsing of the K-UXQuery surface syntax."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UXQuerySyntaxError
+from repro.uxquery import (
+    AnnotExpr,
+    ElementExpr,
+    EmptySeq,
+    EqCondition,
+    ForExpr,
+    IfEqExpr,
+    LabelExpr,
+    LetExpr,
+    NameExpr,
+    PathExpr,
+    Sequence,
+    Step,
+    VarExpr,
+    parse_query,
+    query_size,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_variables_and_names(self):
+        kinds = [(token.kind, token.value) for token in tokenize("for $x in items")]
+        assert kinds[:4] == [("KEYWORD", "for"), ("VAR", "x"), ("KEYWORD", "in"), ("NAME", "items")]
+
+    def test_symbols(self):
+        values = [token.value for token in tokenize("$a//b/c::*")][:-1]
+        assert values == ["a", "//", "b", "/", "c", "::", "*"]
+
+    def test_strings(self):
+        tokens = tokenize("'hello world' \"x\"")
+        assert tokens[0].kind == "STRING" and tokens[0].value == "hello world"
+        assert tokens[1].value == "x"
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("(: a comment :) a")
+        assert [token.kind for token in tokens] == ["NAME", "EOF"]
+
+    def test_unknown_character(self):
+        with pytest.raises(UXQuerySyntaxError):
+            tokenize("a ; b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+class TestParserBasics:
+    def test_label_and_variable(self):
+        assert parse_query("a") == LabelExpr("a")
+        assert parse_query("$x") == VarExpr("x")
+
+    def test_empty_sequence(self):
+        assert parse_query("()") == EmptySeq()
+
+    def test_parenthesized_singleton(self):
+        assert parse_query("($x)") == Sequence((VarExpr("x"),))
+
+    def test_comma_sequences(self):
+        parsed = parse_query("$x, $y, a")
+        assert parsed == Sequence((VarExpr("x"), VarExpr("y"), LabelExpr("a")))
+
+    def test_paths_with_shorthand(self):
+        parsed = parse_query("$d/R/*")
+        assert parsed == PathExpr(VarExpr("d"), (Step("child", "R"), Step("child", "*")))
+
+    def test_paths_with_axes(self):
+        parsed = parse_query("$d/descendant::c/self::*")
+        assert parsed == PathExpr(
+            VarExpr("d"), (Step("descendant", "c"), Step("self", "*"))
+        )
+
+    def test_double_slash_expands(self):
+        parsed = parse_query("$T//c")
+        assert parsed == PathExpr(
+            VarExpr("T"), (Step("descendant-or-self", "*"), Step("child", "c"))
+        )
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Step("parent", "*")
+
+    def test_name_function(self):
+        assert parse_query("name($x)") == NameExpr(VarExpr("x"))
+
+    def test_name_as_plain_label(self):
+        assert parse_query("name") == LabelExpr("name")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(UXQuerySyntaxError):
+            parse_query("$x $y")
+
+    def test_query_size(self):
+        assert query_size(parse_query("$d/R/*")) == 4
+
+
+class TestParserCompound:
+    def test_for_with_single_binding(self):
+        parsed = parse_query("for $x in $S return ($x)")
+        assert isinstance(parsed, ForExpr)
+        assert parsed.bindings == (("x", VarExpr("S")),)
+        assert parsed.condition is None
+
+    def test_for_with_multiple_bindings_and_where(self):
+        parsed = parse_query("for $x in $R, $y in $S where $x/B = $y/B return ($x)")
+        assert isinstance(parsed, ForExpr)
+        assert len(parsed.bindings) == 2
+        assert isinstance(parsed.condition, EqCondition)
+
+    def test_let_with_multiple_bindings(self):
+        parsed = parse_query("let $a := $S, $b := ($a)/* return ($b)")
+        assert isinstance(parsed, LetExpr)
+        assert [name for name, _ in parsed.bindings] == ["a", "b"]
+
+    def test_if_expression(self):
+        parsed = parse_query("if (name($x) = a) then ($x) else ()")
+        assert isinstance(parsed, IfEqExpr)
+        assert parsed.right == LabelExpr("a")
+
+    def test_element_keyword_form(self):
+        parsed = parse_query("element b { $q }")
+        assert parsed == ElementExpr(LabelExpr("b"), VarExpr("q"))
+        assert parse_query("element b {}") == ElementExpr(LabelExpr("b"), EmptySeq())
+
+    def test_annot(self):
+        parsed = parse_query("annot k1 ($x)")
+        assert parsed == AnnotExpr("k1", Sequence((VarExpr("x"),)))
+        quoted = parse_query("annot 'x1*y1 + 1' ($x)")
+        assert isinstance(quoted, AnnotExpr) and quoted.annotation == "x1*y1 + 1"
+
+    def test_annot_requires_literal(self):
+        with pytest.raises(UXQuerySyntaxError):
+            parse_query("annot ($x) ($y)")
+
+    def test_xml_constructor_basic(self):
+        parsed = parse_query("<t> { $x/A, $x/B } </>")
+        assert isinstance(parsed, ElementExpr)
+        assert parsed.name == LabelExpr("t")
+        assert isinstance(parsed.content, Sequence)
+
+    def test_xml_constructor_with_matching_close(self):
+        parsed = parse_query("<Q> { $x } </Q>")
+        assert parsed.name == LabelExpr("Q")
+
+    def test_xml_constructor_mismatched_close(self):
+        with pytest.raises(UXQuerySyntaxError):
+            parse_query("<Q> { $x } </R>")
+
+    def test_xml_constructor_self_closing_and_nested(self):
+        parsed = parse_query("<a> <b/> word </a>")
+        assert isinstance(parsed, ElementExpr)
+        assert isinstance(parsed.content, Sequence)
+        assert ElementExpr(LabelExpr("b"), EmptySeq()) in parsed.content.items
+        assert ElementExpr(LabelExpr("word"), EmptySeq()) in parsed.content.items
+
+    def test_unterminated_constructor(self):
+        with pytest.raises(UXQuerySyntaxError):
+            parse_query("<a> { $x }")
+
+    def test_figure5_query_parses(self):
+        from repro.paperdata import figure5_uxquery
+
+        parsed = parse_query(figure5_uxquery())
+        assert isinstance(parsed, LetExpr)
+        assert len(parsed.bindings) == 4
+
+    def test_paper_figure1_query_parses(self):
+        from repro.paperdata import figure1_query
+
+        parsed = parse_query(figure1_query())
+        assert isinstance(parsed, ElementExpr)
+
+    def test_str_round_trip(self):
+        text = "for $x in $S return element out { ($x)/* }"
+        parsed = parse_query(text)
+        assert parse_query(str(parsed)) == parsed

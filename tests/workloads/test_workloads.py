@@ -1,0 +1,94 @@
+"""Synthetic workload generators: determinism, shape, and typability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.semirings import BOOLEAN, NATURAL, PROVENANCE
+from repro.uxml import forest_size
+from repro.uxquery import FOREST, evaluate_query, infer_type, parse_query
+from repro.workloads import (
+    child_chain_query,
+    descendant_query,
+    forest_statistics,
+    nested_iteration_query,
+    random_database,
+    random_forest,
+    random_query,
+    random_relation,
+    random_tree,
+    reconstruction_query,
+    standard_query_suite,
+    token_annotated_forest,
+)
+
+
+class TestGenerators:
+    def test_random_tree_shape(self):
+        tree = random_tree(NATURAL, depth=3, fanout=2, seed=1)
+        assert tree.height() == 3
+        assert tree.size() == 7
+
+    def test_random_tree_is_deterministic(self):
+        assert random_tree(NATURAL, 3, 2, seed=5) == random_tree(NATURAL, 3, 2, seed=5)
+        assert random_tree(NATURAL, 3, 2, seed=5) != random_tree(NATURAL, 3, 2, seed=6)
+
+    def test_random_tree_validates_arguments(self):
+        with pytest.raises(WorkloadError):
+            random_tree(NATURAL, depth=0, fanout=2)
+        with pytest.raises(WorkloadError):
+            random_tree(NATURAL, depth=2, fanout=-1)
+
+    def test_random_forest_semirings(self):
+        for semiring in (BOOLEAN, NATURAL, PROVENANCE):
+            forest = random_forest(semiring, num_trees=3, depth=2, fanout=2, seed=2)
+            assert forest.semiring == semiring
+            assert len(forest) <= 3
+
+    def test_token_annotated_forest_has_distinct_tokens(self):
+        forest = token_annotated_forest(num_trees=2, depth=3, fanout=2, seed=0)
+        from repro.provenance import tokens_used
+
+        tokens = tokens_used(forest)
+        assert len(tokens) == forest_size(forest)
+
+    def test_forest_statistics(self):
+        forest = random_forest(NATURAL, num_trees=2, depth=3, fanout=2, seed=0)
+        stats = forest_statistics(forest)
+        assert stats["trees"] == len(forest)
+        assert stats["nodes"] == forest_size(forest)
+        assert stats["max_height"] == 3
+
+    def test_random_relation_and_database(self):
+        relation = random_relation(NATURAL, ("A", "B"), num_rows=10, seed=1)
+        assert relation.attributes == ("A", "B")
+        assert len(relation) <= 10
+        database = random_database(PROVENANCE, {"R": ("A", "B"), "S": ("B", "C")}, 5, seed=2, tokens=True)
+        assert set(database) == {"R", "S"}
+        assert database == random_database(
+            PROVENANCE, {"R": ("A", "B"), "S": ("B", "C")}, 5, seed=2, tokens=True
+        )
+
+
+class TestQueryWorkloads:
+    def test_query_families_parse_and_typecheck(self):
+        for text in [
+            child_chain_query(3),
+            descendant_query("b"),
+            nested_iteration_query(2),
+            reconstruction_query(),
+        ]:
+            assert infer_type(parse_query(text), {"S": FOREST}) in ("tree", FOREST)
+
+    def test_standard_suite_runs_on_random_data(self):
+        forest = random_forest(NATURAL, num_trees=2, depth=3, fanout=2, seed=4)
+        for name, text in standard_query_suite().items():
+            result = evaluate_query(text, NATURAL, {"S": forest})
+            assert result is not None, name
+
+    def test_random_query_is_deterministic_and_valid(self):
+        for seed in range(5):
+            query = random_query(seed)
+            assert query == random_query(seed)
+            assert infer_type(query, {"S": FOREST}) in ("tree", FOREST)
