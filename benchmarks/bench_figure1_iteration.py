@@ -37,6 +37,15 @@ def test_figure1_prepared_evaluation(benchmark):
     _check(answer)
 
 
+def test_figure1_interpreter_baseline(benchmark):
+    """The reference Figure 8 interpreter — the baseline the compiled
+    evaluator is compared against in BENCH_results.json."""
+    source = figure1_source()
+    prepared = prepare_query(figure1_query(), PROVENANCE, {"S": source})
+    answer = benchmark(lambda: prepared.evaluate({"S": source}, method="nrc-interp"))
+    _check(answer)
+
+
 def test_figure1_direct_interpreter(benchmark):
     source = figure1_source()
     prepared = prepare_query(figure1_query(), PROVENANCE, {"S": source})

@@ -33,6 +33,15 @@ def test_figure4_compiled_srt(benchmark, table_printer):
     )
 
 
+def test_figure4_interpreter_baseline(benchmark):
+    """The reference Figure 8 interpreter — the baseline the compiled
+    evaluator is compared against in BENCH_results.json."""
+    source = figure4_source()
+    prepared = prepare_query(figure4_query(), PROVENANCE, {"T": source})
+    answer = benchmark(lambda: prepared.evaluate({"T": source}, method="nrc-interp"))
+    _check(answer)
+
+
 def test_figure4_direct_navigation(benchmark):
     source = figure4_source()
     prepared = prepare_query(figure4_query(), PROVENANCE, {"T": source})

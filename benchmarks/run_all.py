@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and emit a machine-readable ``BENCH_results.json``.
+
+Two sections are produced so the performance trajectory can be tracked across
+PRs:
+
+* ``benchmarks`` — wall times of every ``bench_*.py`` test, collected by
+  running the pytest-benchmark suite with ``--benchmark-json``;
+* ``speedups`` — head-to-head comparisons of the closure-compiled evaluator
+  (``method="nrc"``) against the reference Figure 8 interpreter
+  (``method="nrc-interp"``) on the paper's figures and the standard query
+  workload, measured directly with ``time.perf_counter``.  Results are
+  asserted equal before timing, and the compiled numbers are *steady-state*:
+  the prepared query is warmed up first, which is the compile-once-
+  evaluate-many contract the engine optimizes for.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py             # full run
+    PYTHONPATH=src python benchmarks/run_all.py --quick     # CI smoke run
+    PYTHONPATH=src python benchmarks/run_all.py --no-pytest # speedups only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+if str(SRC_DIR) not in sys.path:
+    sys.path.insert(0, str(SRC_DIR))
+
+from repro.paperdata import (  # noqa: E402
+    figure1_query,
+    figure1_source,
+    figure4_query,
+    figure4_source,
+)
+from repro.semirings import NATURAL, PROVENANCE  # noqa: E402
+from repro.uxquery import prepare_query  # noqa: E402
+from repro.workloads import random_forest, standard_query_suite  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# Section 1: the pytest-benchmark suite (every bench_*.py)
+# ---------------------------------------------------------------------------
+def run_pytest_benchmarks(quick: bool) -> list[dict]:
+    """Run the ``bench_*.py`` files and return per-test wall-time statistics."""
+    # bench_*.py does not match pytest's default test-file pattern, so the
+    # files are passed explicitly (which is also how they are run by hand).
+    bench_files = sorted(str(path) for path in (REPO_ROOT / "benchmarks").glob("bench_*.py"))
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "pytest_benchmark.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *bench_files,
+            "-q",
+            "--benchmark-json",
+            str(json_path),
+        ]
+        if quick:
+            command += [
+                "-k",
+                "figure1 or figure4",
+                "--benchmark-min-rounds",
+                "1",
+                "--benchmark-max-time",
+                "0.1",
+                "--benchmark-warmup",
+                "off",
+            ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        if completed.returncode != 0:
+            raise SystemExit(f"benchmark suite failed (exit code {completed.returncode})")
+        payload = json.loads(json_path.read_text())
+    results = []
+    for entry in sorted(payload.get("benchmarks", []), key=lambda item: item["fullname"]):
+        stats = entry["stats"]
+        results.append(
+            {
+                "name": entry["fullname"],
+                "mean_s": stats["mean"],
+                "min_s": stats["min"],
+                "stddev_s": stats["stddev"],
+                "rounds": stats["rounds"],
+            }
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Section 2: compiled evaluator vs interpreter baseline
+# ---------------------------------------------------------------------------
+def _time_call(fn, repetitions: int, batches: int = 5) -> float:
+    """Best batch-mean wall time of ``fn`` in seconds (min over batches)."""
+    best = float("inf")
+    for _ in range(batches):
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            fn()
+        elapsed = (time.perf_counter() - start) / repetitions
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _speedup_case(name: str, query, semiring, env: dict, repetitions: int) -> dict:
+    prepared = prepare_query(query, semiring, env)
+    compiled_answer = prepared.evaluate(env)
+    interpreted_answer = prepared.evaluate(env, method="nrc-interp")
+    if compiled_answer != interpreted_answer:
+        raise SystemExit(f"{name}: compiled and interpreted answers disagree")
+    interpreter_s = _time_call(
+        lambda: prepared.evaluate(env, method="nrc-interp"), repetitions
+    )
+    compiled_s = _time_call(lambda: prepared.evaluate(env), repetitions)
+    return {
+        "name": name,
+        "interpreter_s": interpreter_s,
+        "compiled_s": compiled_s,
+        "speedup": interpreter_s / compiled_s if compiled_s else float("inf"),
+    }
+
+
+def measure_speedups(quick: bool) -> list[dict]:
+    repetitions = 30 if quick else 200
+    cases = [
+        ("figure1_iteration", figure1_query(), PROVENANCE, {"S": figure1_source()}),
+        ("figure4_descendant", figure4_query(), PROVENANCE, {"T": figure4_source()}),
+    ]
+    if not quick:
+        forest = random_forest(NATURAL, num_trees=4, depth=4, fanout=3, seed=17)
+        for query_name, query in standard_query_suite().items():
+            cases.append((f"suite_{query_name}_natural", query, NATURAL, {"S": forest}))
+        small_forest = random_forest(PROVENANCE, num_trees=3, depth=3, fanout=2, seed=17)
+        cases.append(
+            ("suite_descendant_provenance", standard_query_suite()["descendant"], PROVENANCE, {"S": small_forest})
+        )
+    results = []
+    for name, query, semiring, env in cases:
+        result = _speedup_case(name, query, semiring, env, repetitions)
+        results.append(result)
+        print(
+            f"{name:32s} interpreter {result['interpreter_s'] * 1e6:9.1f}us  "
+            f"compiled {result['compiled_s'] * 1e6:9.1f}us  "
+            f"speedup {result['speedup']:6.2f}x"
+        )
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode: figures only, few rounds")
+    parser.add_argument("--no-pytest", action="store_true", help="skip the pytest-benchmark section")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_results.json",
+        help="where to write the JSON report (default: BENCH_results.json)",
+    )
+    args = parser.parse_args()
+
+    report = {
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "quick": args.quick,
+        "methodology": {
+            "speedups": "steady-state best-of-5 batch means over a warmed PreparedQuery; "
+            "baseline is method='nrc-interp' (the Figure 8 reference interpreter running "
+            "the unsimplified compilation output), so the speedup covers the whole "
+            "prepared pipeline: Appendix A simplification + closure compilation + memoization",
+        },
+        "speedups": measure_speedups(args.quick),
+    }
+    if not args.no_pytest:
+        report["benchmarks"] = run_pytest_benchmarks(args.quick)
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

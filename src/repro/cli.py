@@ -49,7 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--semiring", "-k", default="provenance-polynomials", help="annotation semiring (see `repro semirings`)")
     query.add_argument("--annot-attr", default="annot", help="attribute carrying annotations (default: annot)")
     query.add_argument("--format", choices=("paper", "xml"), default="paper", help="output format")
-    query.add_argument("--method", choices=("nrc", "direct"), default="nrc", help="evaluation semantics")
+    query.add_argument(
+        "--method",
+        choices=("nrc", "nrc-interp", "direct"),
+        default="nrc",
+        help="evaluation semantics (nrc = compiled, nrc-interp = Figure 8 interpreter)",
+    )
 
     specialize = subparsers.add_parser(
         "specialize", help="apply a token valuation to a provenance-annotated document"

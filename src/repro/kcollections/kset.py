@@ -22,6 +22,20 @@ The free-semimodule structure (Appendix A) is exposed as:
 Instances are immutable and hashable provided that both the member values and
 the annotations are hashable; zero-annotated members are dropped on
 construction so structural equality coincides with semantic equality.
+
+Construction paths
+------------------
+The public constructor is *defensive*: it coerces, normalizes and zero-checks
+every annotation, so arbitrary user input always yields a canonical K-set.
+The algebra methods (:meth:`KSet.union`, :meth:`KSet.bind`, :meth:`KSet.scale`,
+:meth:`KSet.map`, ...) instead route their results through the *trusted*
+constructor :meth:`KSet._from_normalized`: their inputs are annotations taken
+from existing K-sets (hence already coerced and normalized), and for every
+shipped semiring ``add``/``mul`` preserve canonical form
+(:attr:`~repro.semirings.base.Semiring.ops_preserve_normal_form`), so only a
+cheap structural comparison against the normalized zero is needed.  Semirings
+that declare ``ops_preserve_normal_form = False`` transparently fall back to
+the defensive path.
 """
 
 from __future__ import annotations
@@ -68,15 +82,60 @@ class KSet:
 
     # ----------------------------------------------------------- constructors
     @classmethod
+    def _from_normalized(cls, semiring: Semiring, items: dict[Any, Any]) -> "KSet":
+        """Trusted constructor: wrap ``items`` without re-checking annotations.
+
+        The caller guarantees that ``items`` is a fresh dict (ownership is
+        transferred), that every annotation is a coerced, normalized,
+        *non-zero* element of ``semiring``, and that no two keys collapse.
+        All internal algebra goes through this path; external input must use
+        the defensive ``KSet(...)`` constructor.
+        """
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "_semiring", semiring)
+        object.__setattr__(instance, "_items", items)
+        object.__setattr__(instance, "_hash", None)
+        return instance
+
+    @classmethod
+    def _accumulate_normalized(
+        cls, semiring: Semiring, pairs: Iterable[Tuple[Any, Any]]
+    ) -> "KSet":
+        """Trusted n-ary sum: merge already-normalized ``(value, annotation)`` pairs.
+
+        Duplicate values have their annotations added; sums that collapse to
+        zero are dropped.  Falls back to the defensive constructor for
+        semirings whose operations do not preserve canonical form.
+        """
+        if not semiring.ops_preserve_normal_form:
+            return cls(semiring, pairs)
+        add = semiring.add
+        zero = semiring.normalize(semiring.zero)
+        collected: dict[Any, Any] = {}
+        for value, annotation in pairs:
+            if value in collected:
+                total = add(collected[value], annotation)
+                if total == zero:
+                    del collected[value]
+                else:
+                    collected[value] = total
+            else:
+                collected[value] = annotation
+        return cls._from_normalized(semiring, collected)
+
+    @classmethod
     def empty(cls, semiring: Semiring) -> "KSet":
         """The empty K-collection ``{}``."""
-        return cls(semiring)
+        return cls._from_normalized(semiring, {})
 
     @classmethod
     def singleton(cls, semiring: Semiring, value: Any, annotation: Any | None = None) -> "KSet":
         """The singleton ``{value}`` with the given annotation (default ``1``)."""
         if annotation is None:
-            annotation = semiring.one
+            one = semiring.normalize(semiring.one)
+            if semiring.is_zero(one):  # the trivial semiring: {} == {v^0}
+                return cls._from_normalized(semiring, {})
+            return cls._from_normalized(semiring, {value: one})
         return cls(semiring, [(value, annotation)])
 
     @classmethod
@@ -142,14 +201,30 @@ class KSet:
             return self
         if not self._items:
             return other
-        merged = dict(self._items)
         semiring = self._semiring
+        if not semiring.ops_preserve_normal_form:
+            merged = dict(self._items)
+            for value, annotation in other._items.items():
+                if value in merged:
+                    merged[value] = semiring.add(merged[value], annotation)
+                else:
+                    merged[value] = annotation
+            return KSet(semiring, merged)
+        # Fast path: both operands carry normalized non-zero annotations, so
+        # only colliding values need an addition and a zero check.
+        add = semiring.add
+        zero = semiring.normalize(semiring.zero)
+        merged = dict(self._items)
         for value, annotation in other._items.items():
             if value in merged:
-                merged[value] = semiring.add(merged[value], annotation)
+                total = add(merged[value], annotation)
+                if total == zero:
+                    del merged[value]
+                else:
+                    merged[value] = total
             else:
                 merged[value] = annotation
-        return KSet(semiring, merged)
+        return KSet._from_normalized(semiring, merged)
 
     def __or__(self, other: "KSet") -> "KSet":
         return self.union(other)
@@ -162,10 +237,19 @@ class KSet:
             return KSet.empty(semiring)
         if semiring.is_one(scalar):
             return self
-        return KSet(
-            semiring,
-            [(value, semiring.mul(scalar, annotation)) for value, annotation in self._items.items()],
-        )
+        if not semiring.ops_preserve_normal_form:
+            return KSet(
+                semiring,
+                [(value, semiring.mul(scalar, annotation)) for value, annotation in self._items.items()],
+            )
+        mul = semiring.mul
+        zero = semiring.normalize(semiring.zero)
+        scaled: dict[Any, Any] = {}
+        for value, annotation in self._items.items():
+            product = mul(scalar, annotation)
+            if product != zero:  # e.g. lattice meets can annihilate
+                scaled[value] = product
+        return KSet._from_normalized(semiring, scaled)
 
     def bind(self, fn: Callable[[Any], "KSet"]) -> "KSet":
         """The big-union operator: ``U(x in self) fn(x)``.
@@ -175,33 +259,41 @@ class KSet:
         This is exactly the semantics of ``U(x in e1) e2`` in Figure 8.
         """
         semiring = self._semiring
+        fast = semiring.ops_preserve_normal_form
+        add, mul = semiring.add, semiring.mul
+        one = semiring.normalize(semiring.one)
+        zero = semiring.normalize(semiring.zero)
         accumulated: dict[Any, Any] = {}
         for value, outer_annotation in self._items.items():
             inner = fn(value)
             if not isinstance(inner, KSet):
                 raise SemiringError("bind expects the function to return a KSet")
             self._require_same_semiring(inner)
+            outer_is_one = fast and outer_annotation == one
             for inner_value, inner_annotation in inner._items.items():
-                contribution = semiring.mul(outer_annotation, inner_annotation)
+                contribution = (
+                    inner_annotation if outer_is_one else mul(outer_annotation, inner_annotation)
+                )
                 if inner_value in accumulated:
-                    accumulated[inner_value] = semiring.add(accumulated[inner_value], contribution)
+                    accumulated[inner_value] = add(accumulated[inner_value], contribution)
                 else:
                     accumulated[inner_value] = contribution
-        return KSet(semiring, accumulated)
+        if not fast:
+            return KSet(semiring, accumulated)
+        cleaned = {value: annotation for value, annotation in accumulated.items() if annotation != zero}
+        return KSet._from_normalized(semiring, cleaned)
 
     def map(self, fn: Callable[[Any], Any]) -> "KSet":
         """Apply ``fn`` to every member, summing annotations of collapsing members."""
-        return KSet(
+        return KSet._accumulate_normalized(
             self._semiring,
-            [(fn(value), annotation) for value, annotation in self._items.items()],
+            ((fn(value), annotation) for value, annotation in self._items.items()),
         )
 
     def filter(self, predicate: Callable[[Any], bool]) -> "KSet":
         """Keep only the members satisfying ``predicate``."""
-        return KSet(
-            self._semiring,
-            [(value, annotation) for value, annotation in self._items.items() if predicate(value)],
-        )
+        kept = {value: annotation for value, annotation in self._items.items() if predicate(value)}
+        return KSet._from_normalized(self._semiring, kept)
 
     def flatten(self) -> "KSet":
         """Flatten a K-set of K-sets (the paper's ``flatten W = U(w in W) w``)."""
@@ -236,8 +328,9 @@ class KSet:
 
     def restrict(self, values: Iterable[Any]) -> "KSet":
         """Keep only the listed values (with their current annotations)."""
-        wanted = set(values)
-        return self.filter(lambda value: value in wanted)
+        wanted = values if isinstance(values, (set, frozenset)) else set(values)
+        kept = {value: annotation for value, annotation in self._items.items() if value in wanted}
+        return KSet._from_normalized(self._semiring, kept)
 
     # ------------------------------------------------------------- comparison
     def __eq__(self, other: object) -> bool:

@@ -2,6 +2,18 @@
 
 This is the paper's Section 6: the compilation target of K-UXQuery and the
 setting of the commutation-with-homomorphisms theorem (Theorem 1).
+
+Two evaluators implement the Figure 8 semantics and agree on every expression:
+
+* :func:`repro.nrc.eval.evaluate` — the *reference* interpreter, a direct
+  transcription of the semantic equations.  Use it when reading the code next
+  to the paper, and as the baseline that every optimization is checked
+  against (``tests/nrc/test_compile_eval_equiv.py``).
+* :func:`repro.nrc.compile_eval.compile_expr` — the *production* evaluator:
+  walks the AST once and emits a tree of Python closures with slot-based
+  environments, pre-bound semiring operations and memoized structural
+  recursion.  Compile once, evaluate many times; this is what
+  :class:`repro.uxquery.engine.PreparedQuery` uses.
 """
 
 from repro.nrc.ast import (
@@ -41,6 +53,7 @@ from repro.nrc.builders import (
     union_all,
     value_to_tuple,
 )
+from repro.nrc.compile_eval import CompiledExpr, compile_expr, evaluate_compiled
 from repro.nrc.eval import evaluate
 from repro.nrc.rewrite import count_nodes, map_scalars, rewrite_once, simplify
 from repro.nrc.typecheck import typecheck
@@ -99,6 +112,9 @@ __all__ = [
     "value_to_str",
     # evaluation / typing / rewriting
     "evaluate",
+    "CompiledExpr",
+    "compile_expr",
+    "evaluate_compiled",
     "typecheck",
     "simplify",
     "rewrite_once",

@@ -190,28 +190,46 @@ class ProductExpr(AlgebraExpr):
 # ---------------------------------------------------------------------------
 # Evaluation and schema inference
 # ---------------------------------------------------------------------------
+# Dispatch-by-type table: evaluation of a deep algebra tree over a large
+# database visits each node once per call, so resolving the node kind with one
+# dict lookup (instead of a chain of isinstance checks) keeps the per-node
+# overhead flat.  The K-relation methods called here construct their results
+# through the trusted fast paths of :class:`KRelation`.
+_ALGEBRA_EVALUATORS = {
+    RelationRef: lambda expr, db: _base_relation(expr, db),
+    Selection: lambda expr, db: evaluate_algebra(expr.source, db).select_eq(
+        expr.attribute, expr.value
+    ),
+    AttributeSelection: lambda expr, db: evaluate_algebra(expr.source, db).select_attr_eq(
+        expr.left, expr.right
+    ),
+    Projection: lambda expr, db: evaluate_algebra(expr.source, db).project(expr.attributes),
+    NaturalJoin: lambda expr, db: evaluate_algebra(expr.left, db).join(
+        evaluate_algebra(expr.right, db)
+    ),
+    UnionExpr: lambda expr, db: evaluate_algebra(expr.left, db).union(
+        evaluate_algebra(expr.right, db)
+    ),
+    RenameExpr: lambda expr, db: evaluate_algebra(expr.source, db).rename(dict(expr.mapping)),
+    ProductExpr: lambda expr, db: evaluate_algebra(expr.left, db).product(
+        evaluate_algebra(expr.right, db)
+    ),
+}
+
+
+def _base_relation(expr: RelationRef, database: Database) -> KRelation:
+    try:
+        return database[expr.name]
+    except KeyError:
+        raise RelationalError(f"unknown relation {expr.name!r}") from None
+
+
 def evaluate_algebra(expr: AlgebraExpr, database: Database) -> KRelation:
     """Evaluate a positive RA expression over a database of K-relations."""
-    if isinstance(expr, RelationRef):
-        try:
-            return database[expr.name]
-        except KeyError:
-            raise RelationalError(f"unknown relation {expr.name!r}") from None
-    if isinstance(expr, Selection):
-        return evaluate_algebra(expr.source, database).select_eq(expr.attribute, expr.value)
-    if isinstance(expr, AttributeSelection):
-        return evaluate_algebra(expr.source, database).select_attr_eq(expr.left, expr.right)
-    if isinstance(expr, Projection):
-        return evaluate_algebra(expr.source, database).project(expr.attributes)
-    if isinstance(expr, NaturalJoin):
-        return evaluate_algebra(expr.left, database).join(evaluate_algebra(expr.right, database))
-    if isinstance(expr, UnionExpr):
-        return evaluate_algebra(expr.left, database).union(evaluate_algebra(expr.right, database))
-    if isinstance(expr, RenameExpr):
-        return evaluate_algebra(expr.source, database).rename(dict(expr.mapping))
-    if isinstance(expr, ProductExpr):
-        return evaluate_algebra(expr.left, database).product(evaluate_algebra(expr.right, database))
-    raise RelationalError(f"unknown algebra node {expr!r}")
+    evaluator = _ALGEBRA_EVALUATORS.get(type(expr))
+    if evaluator is None:
+        raise RelationalError(f"unknown algebra node {expr!r}")
+    return evaluator(expr, database)
 
 
 def schema_of(expr: AlgebraExpr, schemas: Mapping[str, Sequence[str]]) -> tuple[str, ...]:

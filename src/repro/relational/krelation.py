@@ -60,6 +60,47 @@ class KRelation:
         object.__setattr__(self, "_rows", cleaned)
         object.__setattr__(self, "_hash", None)
 
+    @classmethod
+    def _from_normalized(
+        cls, semiring: Semiring, attributes: tuple[str, ...], rows: dict[Row, Any]
+    ) -> "KRelation":
+        """Trusted constructor mirroring :meth:`repro.kcollections.kset.KSet._from_normalized`.
+
+        ``rows`` ownership transfers to the relation; every annotation must be
+        a coerced, normalized, non-zero element of ``semiring``, every key a
+        tuple matching ``attributes`` in arity.
+        """
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "_semiring", semiring)
+        object.__setattr__(instance, "_attributes", attributes)
+        object.__setattr__(instance, "_rows", rows)
+        object.__setattr__(instance, "_hash", None)
+        return instance
+
+    @classmethod
+    def _accumulate_normalized(
+        cls,
+        semiring: Semiring,
+        attributes: tuple[str, ...],
+        pairs: Iterable[Tuple[Row, Any]],
+    ) -> "KRelation":
+        """Trusted n-ary sum over already-normalized ``(row, annotation)`` pairs."""
+        if not semiring.ops_preserve_normal_form:
+            return cls(semiring, attributes, pairs)
+        add = semiring.add
+        zero = semiring.normalize(semiring.zero)
+        collected: dict[Row, Any] = {}
+        for row, annotation in pairs:
+            if row in collected:
+                total = add(collected[row], annotation)
+                if total == zero:
+                    del collected[row]
+                else:
+                    collected[row] = total
+            else:
+                collected[row] = annotation
+        return cls._from_normalized(semiring, attributes, collected)
+
     # ------------------------------------------------------------- accessors
     @property
     def semiring(self) -> Semiring:
@@ -116,50 +157,70 @@ class KRelation:
                 f"union of incompatible schemas {self._attributes} and {other._attributes}"
             )
         merged = dict(self._rows)
+        semiring = self._semiring
+        if not semiring.ops_preserve_normal_form:
+            for row, annotation in other._rows.items():
+                if row in merged:
+                    merged[row] = semiring.add(merged[row], annotation)
+                else:
+                    merged[row] = annotation
+            return KRelation(semiring, self._attributes, merged)
+        add = semiring.add
+        zero = semiring.normalize(semiring.zero)
         for row, annotation in other._rows.items():
             if row in merged:
-                merged[row] = self._semiring.add(merged[row], annotation)
+                total = add(merged[row], annotation)
+                if total == zero:
+                    del merged[row]
+                else:
+                    merged[row] = total
             else:
                 merged[row] = annotation
-        return KRelation(self._semiring, self._attributes, merged)
+        return KRelation._from_normalized(semiring, self._attributes, merged)
 
     def project(self, attributes: Sequence[str]) -> "KRelation":
         """Projection: annotations of collapsing tuples are added."""
         indices = [self._index_of(attribute) for attribute in attributes]
-        projected: list[Tuple[Row, Any]] = []
-        for row, annotation in self._rows.items():
-            projected.append((tuple(row[index] for index in indices), annotation))
-        return KRelation(self._semiring, tuple(attributes), projected)
+        return KRelation._accumulate_normalized(
+            self._semiring,
+            tuple(attributes),
+            (
+                (tuple(row[index] for index in indices), annotation)
+                for row, annotation in self._rows.items()
+            ),
+        )
 
     def select(self, predicate: Callable[[dict[str, Any]], bool]) -> "KRelation":
         """Selection by an arbitrary (boolean) predicate on the named fields."""
-        kept = [
-            (row, annotation)
+        kept = {
+            row: annotation
             for row, annotation in self._rows.items()
             if predicate(dict(zip(self._attributes, row)))
-        ]
-        return KRelation(self._semiring, self._attributes, kept)
+        }
+        return KRelation._from_normalized(self._semiring, self._attributes, kept)
 
     def select_eq(self, attribute: str, value: Any) -> "KRelation":
         """Selection ``attribute = value``."""
         index = self._index_of(attribute)
-        kept = [(row, annotation) for row, annotation in self._rows.items() if row[index] == value]
-        return KRelation(self._semiring, self._attributes, kept)
+        kept = {row: annotation for row, annotation in self._rows.items() if row[index] == value}
+        return KRelation._from_normalized(self._semiring, self._attributes, kept)
 
     def select_attr_eq(self, left: str, right: str) -> "KRelation":
         """Selection ``left = right`` comparing two attributes."""
         left_index, right_index = self._index_of(left), self._index_of(right)
-        kept = [
-            (row, annotation)
+        kept = {
+            row: annotation
             for row, annotation in self._rows.items()
             if row[left_index] == row[right_index]
-        ]
-        return KRelation(self._semiring, self._attributes, kept)
+        }
+        return KRelation._from_normalized(self._semiring, self._attributes, kept)
 
     def rename(self, mapping: Mapping[str, str]) -> "KRelation":
         """Rename attributes according to ``mapping`` (missing names unchanged)."""
         renamed = tuple(mapping.get(attribute, attribute) for attribute in self._attributes)
-        return KRelation(self._semiring, renamed, dict(self._rows))
+        if len(set(renamed)) != len(renamed):
+            raise SchemaError(f"duplicate attribute names in schema {renamed}")
+        return KRelation._from_normalized(self._semiring, renamed, dict(self._rows))
 
     def product(self, other: "KRelation") -> "KRelation":
         """Cartesian product: annotations multiply (schemas must be disjoint)."""
@@ -168,13 +229,25 @@ class KRelation:
         if overlap:
             raise SchemaError(f"cartesian product with overlapping attributes {overlap}")
         semiring = self._semiring
-        combined: list[Tuple[Row, Any]] = []
+        # Distinct row pairs produce distinct concatenations, so only the
+        # multiplied annotations need a zero check on the trusted path.
+        if not semiring.ops_preserve_normal_form:
+            combined: list[Tuple[Row, Any]] = []
+            for left_row, left_annotation in self._rows.items():
+                for right_row, right_annotation in other._rows.items():
+                    combined.append(
+                        (left_row + right_row, semiring.mul(left_annotation, right_annotation))
+                    )
+            return KRelation(semiring, self._attributes + other._attributes, combined)
+        mul = semiring.mul
+        zero = semiring.normalize(semiring.zero)
+        rows: dict[Row, Any] = {}
         for left_row, left_annotation in self._rows.items():
             for right_row, right_annotation in other._rows.items():
-                combined.append(
-                    (left_row + right_row, semiring.mul(left_annotation, right_annotation))
-                )
-        return KRelation(semiring, self._attributes + other._attributes, combined)
+                annotation = mul(left_annotation, right_annotation)
+                if annotation != zero:
+                    rows[left_row + right_row] = annotation
+        return KRelation._from_normalized(semiring, self._attributes + other._attributes, rows)
 
     def join(self, other: "KRelation") -> "KRelation":
         """Natural join on the common attributes: annotations multiply."""
@@ -193,15 +266,30 @@ class KRelation:
             key = tuple(right_row[position] for position in right_common)
             index.setdefault(key, []).append((right_row, right_annotation))
 
-        joined: list[Tuple[Row, Any]] = []
+        # A joined row determines its (left, right) source pair, so the
+        # concatenations are distinct and only multiplied annotations need a
+        # zero check on the trusted path.
+        if not semiring.ops_preserve_normal_form:
+            joined: list[Tuple[Row, Any]] = []
+            for left_row, left_annotation in self._rows.items():
+                key = tuple(left_row[position] for position in left_common)
+                for right_row, right_annotation in index.get(key, ()):
+                    extension = tuple(right_row[position] for position in right_only_indices)
+                    joined.append(
+                        (left_row + extension, semiring.mul(left_annotation, right_annotation))
+                    )
+            return KRelation(semiring, result_attrs, joined)
+        mul = semiring.mul
+        zero = semiring.normalize(semiring.zero)
+        rows: dict[Row, Any] = {}
         for left_row, left_annotation in self._rows.items():
             key = tuple(left_row[position] for position in left_common)
             for right_row, right_annotation in index.get(key, ()):
                 extension = tuple(right_row[position] for position in right_only_indices)
-                joined.append(
-                    (left_row + extension, semiring.mul(left_annotation, right_annotation))
-                )
-        return KRelation(semiring, result_attrs, joined)
+                annotation = mul(left_annotation, right_annotation)
+                if annotation != zero:
+                    rows[left_row + extension] = annotation
+        return KRelation._from_normalized(semiring, result_attrs, rows)
 
     # --------------------------------------------------- annotation rewriting
     def map_annotations(self, fn: Callable[[Any], Any], target: Semiring | None = None) -> "KRelation":

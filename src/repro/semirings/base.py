@@ -50,6 +50,19 @@ class Semiring(ABC):
     #: True if ``a * a == a`` for all elements (lattice-like semirings).
     idempotent_mul: bool = False
 
+    #: True if :meth:`add` and :meth:`mul` return *normalized* elements when
+    #: given normalized elements.  Every semiring shipped with the library
+    #: keeps its elements in canonical form (the default :meth:`normalize` is
+    #: the identity, and the semirings with non-trivial canonical forms —
+    #: PosBool, Why, N[X] — re-canonicalize inside their operations), which
+    #: lets :class:`~repro.kcollections.kset.KSet` and
+    #: :class:`~repro.relational.krelation.KRelation` skip re-coercion and
+    #: re-normalization of annotations that flow from one collection into
+    #: another.  A user-defined semiring whose operations can produce
+    #: non-canonical representatives must set this to ``False`` to keep the
+    #: defensive construction path.
+    ops_preserve_normal_form: bool = True
+
     # ------------------------------------------------------------------ core
     @property
     @abstractmethod

@@ -15,6 +15,13 @@ The implementation keeps polynomials in a canonical form:
 
 Both classes are immutable and hashable so they can be used directly as
 annotations inside K-sets and as dictionary keys.
+
+Because query evaluation multiplies and adds the *same* small polynomials over
+and over (annotations of a document are fixed while a query iterates over it),
+the module keeps bounded interning caches for the hot construction paths:
+provenance tokens (:meth:`Polynomial.variable`), small constants, monomial
+products and pairwise polynomial sums/products.  The caches are transparent —
+they only ever return values that the uncached code would have produced.
 """
 
 from __future__ import annotations
@@ -82,13 +89,33 @@ class Monomial:
         return 0
 
     # ------------------------------------------------------------ operations
+    @classmethod
+    def _from_canonical(cls, powers: tuple[tuple[str, int], ...]) -> "Monomial":
+        """Trusted constructor: ``powers`` is already sorted, validated, positive."""
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "_powers", powers)
+        object.__setattr__(instance, "_hash", hash(powers))
+        return instance
+
     def __mul__(self, other: "Monomial") -> "Monomial":
         if not isinstance(other, Monomial):
             return NotImplemented
+        if not self._powers:
+            return other
+        if not other._powers:
+            return self
+        key = (self._powers, other._powers)
+        cached = _MONOMIAL_MUL_CACHE.get(key)
+        if cached is not None:
+            return cached
         merged = dict(self._powers)
         for var, exp in other._powers:
             merged[var] = merged.get(var, 0) + exp
-        return Monomial(merged)
+        result = Monomial._from_canonical(tuple(sorted(merged.items())))
+        if len(_MONOMIAL_MUL_CACHE) >= _CACHE_LIMIT:
+            _MONOMIAL_MUL_CACHE.clear()
+        _MONOMIAL_MUL_CACHE[key] = result
+        return result
 
     def __pow__(self, n: int) -> "Monomial":
         if not isinstance(n, int) or n < 0:
@@ -144,6 +171,14 @@ class Monomial:
 
 _UNIT_MONOMIAL = Monomial()
 
+#: Bounded interning caches for the hot construction paths.  Entries are pure
+#: functions of their keys, so clearing a full cache is always safe.
+_CACHE_LIMIT = 16384
+_MONOMIAL_MUL_CACHE: dict[tuple, "Monomial"] = {}
+_POLY_ADD_CACHE: dict[tuple, "Polynomial"] = {}
+_POLY_MUL_CACHE: dict[tuple, "Polynomial"] = {}
+_VARIABLE_CACHE: dict[str, "Polynomial"] = {}
+
 
 class Polynomial:
     """A multivariate polynomial with coefficients in ``N`` — an element of ``N[X]``."""
@@ -181,12 +216,29 @@ class Polynomial:
             raise ValueError("constants in N[X] must be natural numbers")
         if n == 0:
             return _ZERO
+        if n == 1:
+            return _ONE
         return cls({_UNIT_MONOMIAL: n})
 
     @classmethod
+    def _from_canonical(cls, terms: tuple) -> "Polynomial":
+        """Trusted constructor: ``terms`` is already sorted, validated, positive."""
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "_terms", terms)
+        object.__setattr__(instance, "_hash", hash(terms))
+        return instance
+
+    @classmethod
     def variable(cls, name: str) -> "Polynomial":
-        """The polynomial consisting of the single provenance token ``name``."""
-        return cls({Monomial({name: 1}): 1})
+        """The polynomial consisting of the single provenance token ``name``
+        (interned: repeated lookups of the same token share one instance)."""
+        cached = _VARIABLE_CACHE.get(name)
+        if cached is None:
+            cached = cls({Monomial({name: 1}): 1})
+            if len(_VARIABLE_CACHE) >= _CACHE_LIMIT:
+                _VARIABLE_CACHE.clear()
+            _VARIABLE_CACHE[name] = cached
+        return cached
 
     @classmethod
     def from_monomial(cls, monomial: Monomial, coeff: int = 1) -> "Polynomial":
@@ -252,22 +304,52 @@ class Polynomial:
     def __add__(self, other: "Polynomial") -> "Polynomial":
         if not isinstance(other, Polynomial):
             return NotImplemented
+        if not self._terms:
+            return other
+        if not other._terms:
+            return self
+        key = (self._terms, other._terms)
+        cached = _POLY_ADD_CACHE.get(key)
+        if cached is not None:
+            return cached
         merged = dict(self._terms)
         for monomial, coeff in other._terms:
             merged[monomial] = merged.get(monomial, 0) + coeff
-        return Polynomial(merged)
+        result = Polynomial._from_canonical(
+            tuple(sorted(merged.items(), key=lambda kv: kv[0].sort_key()))
+        )
+        if len(_POLY_ADD_CACHE) >= _CACHE_LIMIT:
+            _POLY_ADD_CACHE.clear()
+        _POLY_ADD_CACHE[key] = result
+        return result
 
     def __mul__(self, other: "Polynomial | int") -> "Polynomial":
         if isinstance(other, int):
             return self.scale(other)
         if not isinstance(other, Polynomial):
             return NotImplemented
+        if not self._terms or not other._terms:
+            return _ZERO
+        if self._terms == _ONE_TERMS:
+            return other
+        if other._terms == _ONE_TERMS:
+            return self
+        key = (self._terms, other._terms)
+        cached = _POLY_MUL_CACHE.get(key)
+        if cached is not None:
+            return cached
         product: dict[Monomial, int] = {}
         for mono_a, coeff_a in self._terms:
             for mono_b, coeff_b in other._terms:
                 combined = mono_a * mono_b
                 product[combined] = product.get(combined, 0) + coeff_a * coeff_b
-        return Polynomial(product)
+        result = Polynomial._from_canonical(
+            tuple(sorted(product.items(), key=lambda kv: kv[0].sort_key()))
+        )
+        if len(_POLY_MUL_CACHE) >= _CACHE_LIMIT:
+            _POLY_MUL_CACHE.clear()
+        _POLY_MUL_CACHE[key] = result
+        return result
 
     def __rmul__(self, other: int) -> "Polynomial":
         if isinstance(other, int):
@@ -288,7 +370,12 @@ class Polynomial:
             raise ValueError("scalars in N[X] must be natural numbers")
         if n == 0:
             return _ZERO
-        return Polynomial({monomial: coeff * n for monomial, coeff in self._terms})
+        if n == 1:
+            return self
+        # Scaling keeps the monomials (and hence the canonical order) intact.
+        return Polynomial._from_canonical(
+            tuple((monomial, coeff * n) for monomial, coeff in self._terms)
+        )
 
     # -------------------------------------------------- valuation / analysis
     def evaluate(self, valuation: Mapping[str, Any], semiring: Semiring) -> Any:
@@ -398,6 +485,7 @@ class Polynomial:
 
 _ZERO = Polynomial()
 _ONE = Polynomial({_UNIT_MONOMIAL: 1})
+_ONE_TERMS = _ONE._terms
 
 
 def variable(name: str) -> Polynomial:

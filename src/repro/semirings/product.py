@@ -28,6 +28,9 @@ class ProductSemiring(Semiring):
         self.name = name or "product(" + ", ".join(factor.name for factor in factors) + ")"
         self.idempotent_add = all(factor.idempotent_add for factor in factors)
         self.idempotent_mul = all(factor.idempotent_mul for factor in factors)
+        self.ops_preserve_normal_form = all(
+            factor.ops_preserve_normal_form for factor in factors
+        )
 
     @property
     def factors(self) -> tuple[Semiring, ...]:

@@ -110,7 +110,10 @@ def reachable_facts(facts: Mapping[Tuple[Any, Any, str], Any], semiring: Semirin
         annotation = facts[key]
         if semiring.is_zero(annotation):
             continue
-        reachable[key] = annotation
+        # Coercing (validate + normalize) here lets unshred rebuild the
+        # forest through the trusted K-set constructors while still rejecting
+        # invalid annotations in caller-supplied fact mappings.
+        reachable[key] = semiring.coerce(annotation)
         frontier.extend(children_of.get(key[1], []))
     return reachable
 
@@ -139,9 +142,11 @@ def unshred(
         for child_pid, child_nid, child_label in children_of.get(node_id, []):
             child_tree = build(child_nid, child_label)
             members.append((child_tree, live[(child_pid, child_nid, child_label)]))
-        return UTree(label, KSet(semiring, members))
+        # The annotations were normalized and zero-filtered by
+        # reachable_facts, so the trusted accumulating constructor applies.
+        return UTree(label, KSet._accumulate_normalized(semiring, members))
 
     roots = []
     for pid, nid, label in children_of.get(ROOT_PID, []):
         roots.append((build(nid, label), live[(pid, nid, label)]))
-    return KSet(semiring, roots)
+    return KSet._accumulate_normalized(semiring, roots)

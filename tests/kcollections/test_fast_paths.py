@@ -1,0 +1,124 @@
+"""The trusted (fast-path) constructors must preserve K-set semantics.
+
+These tests pin down the invariants the fast paths rely on: annotations that
+flow between collections stay canonical, zero results of ``mul`` (e.g. empty
+lattice meets) are dropped, and a semiring that declares
+``ops_preserve_normal_form = False`` transparently falls back to the
+defensive constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.kcollections.kset import KSet
+from repro.relational.krelation import KRelation
+from repro.semirings import NATURAL, PROVENANCE
+from repro.semirings.base import Semiring
+from repro.semirings.lattice import SubsetLatticeSemiring
+from repro.semirings.polynomial import variables
+
+
+def test_union_merges_and_drops_nothing_for_natural():
+    left = KSet(NATURAL, [("a", 2), ("b", 1)])
+    right = KSet(NATURAL, [("b", 3), ("c", 4)])
+    union = left.union(right)
+    assert dict(union.items()) == {"a": 2, "b": 4, "c": 4}
+
+
+def test_scale_drops_annihilated_members_in_lattice():
+    lattice = SubsetLatticeSemiring({"r1", "r2"})
+    collection = KSet(lattice, [("a", frozenset({"r1"})), ("b", frozenset({"r1", "r2"}))])
+    scaled = collection.scale(frozenset({"r2"}))
+    # meet(r2, r1) = {} is the lattice zero: "a" must vanish.
+    assert "a" not in scaled
+    assert scaled.annotation("b") == frozenset({"r2"})
+
+
+def test_bind_drops_annihilated_contributions_in_lattice():
+    lattice = SubsetLatticeSemiring({"r1", "r2"})
+    outer = KSet(lattice, [("x", frozenset({"r1"}))])
+    inner = KSet(lattice, [("y", frozenset({"r2"}))])
+    assert outer.bind(lambda _: inner).is_empty()
+
+
+def test_map_merges_collapsing_members():
+    x, y = variables("x", "y")
+    collection = KSet(PROVENANCE, [("a", x), ("b", y)])
+    collapsed = collection.map(lambda _: "same")
+    assert collapsed.annotation("same") == x + y
+
+
+def test_restrict_keeps_annotations_and_accepts_sets():
+    collection = KSet(NATURAL, [("a", 1), ("b", 2), ("c", 3)])
+    assert dict(collection.restrict({"b", "c"}).items()) == {"b": 2, "c": 3}
+    assert dict(collection.restrict(["a", "a"]).items()) == {"a": 1}
+
+
+def test_filter_preserves_annotations():
+    collection = KSet(NATURAL, [("a", 1), ("bb", 2)])
+    assert dict(collection.filter(lambda v: len(v) == 2).items()) == {"bb": 2}
+
+
+class _SloppySemiring(Semiring):
+    """Integers mod nothing — but ``add``/``mul`` return floats, so the
+    canonical (int) form is *not* preserved and the defensive path must run."""
+
+    name = "sloppy-natural"
+    ops_preserve_normal_form = False
+
+    @property
+    def zero(self) -> Any:
+        return 0
+
+    @property
+    def one(self) -> Any:
+        return 1
+
+    def add(self, a: Any, b: Any) -> Any:
+        return float(a) + float(b)
+
+    def mul(self, a: Any, b: Any) -> Any:
+        return float(a) * float(b)
+
+    def is_valid(self, a: Any) -> bool:
+        return isinstance(a, (int, float)) and not isinstance(a, bool) and a >= 0
+
+    def normalize(self, a: Any) -> Any:
+        return int(a)
+
+    def sample_elements(self) -> Sequence[Any]:
+        return [0, 1, 2]
+
+
+def test_non_preserving_semiring_falls_back_to_defensive_path():
+    sloppy = _SloppySemiring()
+    left = KSet(sloppy, [("a", 1)])
+    right = KSet(sloppy, [("a", 1)])
+    union = left.union(right)
+    # The defensive constructor re-normalizes the float sum back to int.
+    assert union.annotation("a") == 2
+    assert isinstance(union.annotation("a"), int)
+    bound = union.bind(lambda _: KSet(sloppy, [("b", 2)]))
+    assert bound.annotation("b") == 4
+    assert isinstance(bound.annotation("b"), int)
+
+
+def test_krelation_fast_paths_match_defensive_semantics():
+    r = KRelation(NATURAL, ("A", "B"), [(("1", "x"), 2), (("2", "y"), 3)])
+    s = KRelation(NATURAL, ("A", "B"), [(("1", "x"), 1)])
+    assert r.union(s).annotation(("1", "x")) == 3
+    projected = r.union(s).project(("B",))
+    assert projected.annotation(("x",)) == 3
+    joined = r.join(KRelation(NATURAL, ("B", "C"), [(("x", "z"), 5)]))
+    assert joined.annotation(("1", "x", "z")) == 10
+    renamed = r.rename({"A": "Z"})
+    assert renamed.attributes == ("Z", "B")
+    assert renamed.annotation(("1", "x")) == 2
+
+
+def test_krelation_join_drops_annihilated_rows_in_lattice():
+    lattice = SubsetLatticeSemiring({"r1", "r2"})
+    r = KRelation(lattice, ("A",), [(("1",), frozenset({"r1"}))])
+    s = KRelation(lattice, ("A",), [(("1",), frozenset({"r2"}))])
+    assert r.join(s).is_empty()
