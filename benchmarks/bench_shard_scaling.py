@@ -1,0 +1,48 @@
+"""Shard scaling: one query over one large forest, split across workers.
+
+Measures the sharded executor at 1/2/4 shards (inline and on a thread pool)
+against the single-shot evaluation of the same prepared query, asserting
+exact agreement each time — the partition-merge machinery must be free of
+duplication or loss for the non-idempotent N semiring used here.
+
+Threads share the GIL, so for this pure-Python evaluator the interesting
+numbers are the partition+merge *overhead* (inline sharding vs single-shot)
+and the executor dispatch cost; the same harness measures true scaling when
+the per-shard work releases the GIL or runs in processes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.exec import ShardedEvaluator
+from repro.semirings import NATURAL
+from repro.uxquery import prepare_query
+from repro.workloads import random_forest
+
+QUERY = "($S)//c"
+FOREST = random_forest(NATURAL, num_trees=48, depth=4, fanout=3, seed=900)
+PREPARED = prepare_query(QUERY, NATURAL, {"S": FOREST})
+EXPECTED = PREPARED.evaluate({"S": FOREST})
+
+
+def test_shard_single_shot(benchmark):
+    result = benchmark(lambda: PREPARED.evaluate({"S": FOREST}))
+    assert result == EXPECTED
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_shard_inline(benchmark, num_shards):
+    evaluator = ShardedEvaluator(PREPARED, num_shards=num_shards)
+    result = benchmark(lambda: evaluator.evaluate(FOREST))
+    assert result == EXPECTED
+
+
+@pytest.mark.parametrize("num_shards", [2, 4])
+def test_shard_thread_pool(benchmark, num_shards):
+    evaluator = ShardedEvaluator(PREPARED, num_shards=num_shards)
+    with ThreadPoolExecutor(max_workers=num_shards) as executor:
+        result = benchmark(lambda: evaluator.evaluate(FOREST, executor=executor))
+    assert result == EXPECTED

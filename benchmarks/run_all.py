@@ -44,8 +44,9 @@ from repro.paperdata import (  # noqa: E402
     figure4_query,
     figure4_source,
 )
+from repro.exec import BatchEvaluator, PlanCache, ShardedEvaluator  # noqa: E402
 from repro.semirings import NATURAL, PROVENANCE  # noqa: E402
-from repro.uxquery import prepare_query  # noqa: E402
+from repro.uxquery import evaluate_query, prepare_query  # noqa: E402
 from repro.workloads import random_forest, standard_query_suite  # noqa: E402
 
 
@@ -71,7 +72,7 @@ def run_pytest_benchmarks(quick: bool) -> list[dict]:
         if quick:
             command += [
                 "-k",
-                "figure1 or figure4",
+                "figure1 or figure4 or batch or shard",
                 "--benchmark-min-rounds",
                 "1",
                 "--benchmark-max-time",
@@ -162,6 +163,104 @@ def measure_speedups(quick: bool) -> list[dict]:
     return results
 
 
+# ---------------------------------------------------------------------------
+# Section 3: the execution layer (plan cache + batch + shard)
+# ---------------------------------------------------------------------------
+def measure_exec(quick: bool) -> dict:
+    """Throughput of the repro.exec subsystem, answers pinned to single-shot."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    num_docs = 12 if quick else 48
+    repetitions = 3 if quick else 10
+    query = "($S)/*/*"
+    docs = [
+        random_forest(NATURAL, num_trees=3, depth=3, fanout=3, seed=700 + index)
+        for index in range(num_docs)
+    ]
+    prepared = prepare_query(query, NATURAL, {"S": docs[0]})
+    evaluator = BatchEvaluator(prepared)
+    expected = [prepared.evaluate({"S": doc}) for doc in docs]
+    if evaluator.evaluate_many(docs) != expected:
+        raise SystemExit("batch_throughput: batch and single-shot answers disagree")
+
+    single_shot_s = _time_call(
+        lambda: [evaluate_query(query, NATURAL, {"S": doc}) for doc in docs], repetitions
+    )
+    prepared_loop_s = _time_call(
+        lambda: [prepared.evaluate({"S": doc}) for doc in docs], repetitions
+    )
+    batch_s = _time_call(lambda: evaluator.evaluate_many(docs), repetitions)
+    cache = PlanCache(maxsize=8)
+
+    def cached_request() -> list:
+        plan = cache.get(query, NATURAL, env={"S": docs[0]})
+        return BatchEvaluator(plan).evaluate_many(docs)
+
+    cached_s = _time_call(cached_request, repetitions)
+    batch_throughput = {
+        "query": query,
+        "documents": num_docs,
+        "single_shot_loop_s": single_shot_s,
+        "prepared_loop_s": prepared_loop_s,
+        "batch_s": batch_s,
+        "plan_cache_batch_s": cached_s,
+        "docs_per_s_single_shot": num_docs / single_shot_s,
+        "docs_per_s_batch": num_docs / batch_s,
+        "speedup_vs_single_shot_loop": single_shot_s / batch_s,
+        "speedup_vs_prepared_loop": prepared_loop_s / batch_s,
+    }
+    print(
+        f"{'batch_throughput':32s} single-shot {single_shot_s * 1e3:8.2f}ms  "
+        f"batch {batch_s * 1e3:8.2f}ms  "
+        f"speedup {batch_throughput['speedup_vs_single_shot_loop']:6.2f}x"
+    )
+
+    shard_query = "($S)//c"
+    forest = random_forest(
+        NATURAL, num_trees=16 if quick else 48, depth=4, fanout=3, seed=900
+    )
+    shard_prepared = prepare_query(shard_query, NATURAL, {"S": forest})
+    single_answer = shard_prepared.evaluate({"S": forest})
+    single_s = _time_call(lambda: shard_prepared.evaluate({"S": forest}), repetitions)
+    shard_scaling = {
+        "query": shard_query,
+        "forest_trees": len(forest),
+        "single_shot_s": single_s,
+        "runs": [],
+    }
+    for num_shards, mode in ((1, "inline"), (2, "inline"), (4, "inline"), (4, "threads")):
+        sharded = ShardedEvaluator(shard_prepared, num_shards=num_shards)
+        if mode == "threads":
+            pool = ThreadPoolExecutor(max_workers=num_shards)
+            run = lambda: sharded.evaluate(forest, executor=pool)  # noqa: E731
+        else:
+            pool = None
+            run = lambda: sharded.evaluate(forest)  # noqa: E731
+        try:
+            if run() != single_answer:
+                raise SystemExit(
+                    f"shard_scaling: {num_shards}-shard ({mode}) answer disagrees"
+                )
+            wall_s = _time_call(run, repetitions)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        shard_scaling["runs"].append(
+            {
+                "shards": num_shards,
+                "mode": mode,
+                "wall_s": wall_s,
+                "vs_single_shot": single_s / wall_s if wall_s else float("inf"),
+            }
+        )
+        print(
+            f"{'shard_scaling':32s} {num_shards} shard(s) [{mode:7s}] "
+            f"{wall_s * 1e6:9.1f}us  vs single-shot "
+            f"{shard_scaling['runs'][-1]['vs_single_shot']:6.2f}x"
+        )
+    return {"batch_throughput": batch_throughput, "shard_scaling": shard_scaling}
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke mode: figures only, few rounds")
@@ -183,8 +282,14 @@ def main() -> None:
             "baseline is method='nrc-interp' (the Figure 8 reference interpreter running "
             "the unsimplified compilation output), so the speedup covers the whole "
             "prepared pipeline: Appendix A simplification + closure compilation + memoization",
+            "exec": "batch_throughput compares a stateless single-shot loop "
+            "(evaluate_query per document, re-preparing every time) against one "
+            "BatchEvaluator.evaluate_many call over the same documents; shard_scaling "
+            "times ShardedEvaluator at 1/2/4 shards against single-shot evaluation of "
+            "the same prepared query; all answers are asserted equal before timing",
         },
         "speedups": measure_speedups(args.quick),
+        "exec": measure_exec(args.quick),
     }
     if not args.no_pytest:
         report["benchmarks"] = run_pytest_benchmarks(args.quick)

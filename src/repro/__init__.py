@@ -31,6 +31,8 @@ __all__ = [
     "uxml",
     "nrc",
     "uxquery",
+    # repro.exec is importable as usual but kept out of __all__ so that
+    # `from repro import *` does not shadow the exec() builtin.
     "relational",
     "shredding",
     "security",

@@ -4,6 +4,8 @@ A small front end so the library can be used without writing Python:
 
 * ``python -m repro semirings`` — list the available annotation semirings;
 * ``python -m repro query`` — run a K-UXQuery over an annotated XML document;
+* ``python -m repro batch`` — run one K-UXQuery over every document in a
+  directory (plan-cached, optionally multi-threaded, optionally merged);
 * ``python -m repro specialize`` — apply a token valuation to an annotated
   document (Corollary 1: specialize provenance to a concrete semiring);
 * ``python -m repro shred`` — print the ``E(pid, nid, label)`` edge relation
@@ -28,6 +30,7 @@ from repro.shredding import edge_relation, shred_forest
 from repro.uxml import forest_to_xml, parse_document, to_paper_notation, to_xml
 from repro.uxml.tree import UTree, map_forest_annotations
 from repro.uxquery import evaluate_query
+from repro.uxquery.engine import VALID_METHODS
 
 __all__ = ["main", "build_parser"]
 
@@ -51,9 +54,33 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--format", choices=("paper", "xml"), default="paper", help="output format")
     query.add_argument(
         "--method",
-        choices=("nrc", "nrc-interp", "direct"),
+        choices=VALID_METHODS,
         default="nrc",
         help="evaluation semantics (nrc = compiled, nrc-interp = Figure 8 interpreter)",
+    )
+
+    batch = subparsers.add_parser(
+        "batch", help="run one K-UXQuery over every annotated XML document in a directory"
+    )
+    batch.add_argument("--query", "-q", required=True, help="K-UXQuery text, or @file to read it from a file")
+    batch.add_argument("--dir", "-d", required=True, help="directory of annotated XML documents")
+    batch.add_argument("--glob", default="*.xml", help="document filename pattern (default: *.xml)")
+    batch.add_argument("--var", default="S", help="variable each document is bound to (default: S)")
+    batch.add_argument("--semiring", "-k", default="provenance-polynomials", help="annotation semiring (see `repro semirings`)")
+    batch.add_argument("--annot-attr", default="annot", help="attribute carrying annotations (default: annot)")
+    batch.add_argument("--format", choices=("paper", "xml"), default="paper", help="output format")
+    batch.add_argument(
+        "--method",
+        choices=VALID_METHODS,
+        default="nrc",
+        help="evaluation semantics (nrc = compiled, nrc-interp = Figure 8 interpreter)",
+    )
+    batch.add_argument("--jobs", "-j", type=int, default=1, help="worker threads (default: 1 = inline)")
+    batch.add_argument(
+        "--merge",
+        action="store_true",
+        help="print the single merged K-set of all per-document results "
+        "(requires a forest-valued query) instead of one result per file",
     )
 
     specialize = subparsers.add_parser(
@@ -118,6 +145,39 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_batch(args: argparse.Namespace) -> int:
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.exec import BatchEvaluator, cached_prepare
+
+    semiring = get_semiring(args.semiring)
+    paths = sorted(Path(args.dir).glob(args.glob))
+    if not paths:
+        raise ReproError(f"no documents matching {args.glob!r} in {args.dir}")
+    documents = [_load_document(str(path), semiring, args.annot_attr) for path in paths]
+    prepared = cached_prepare(
+        _read_query(args.query),
+        semiring,
+        env={args.var: documents[0]},
+        method=args.method,
+    )
+    evaluator = BatchEvaluator(prepared, var=args.var)
+    executor = ThreadPoolExecutor(max_workers=args.jobs) if args.jobs > 1 else None
+    try:
+        if args.merge:
+            merged = evaluator.evaluate_merged(documents, method=args.method, executor=executor)
+            print(_render(merged, args.format))
+        else:
+            results = evaluator.evaluate_many(documents, method=args.method, executor=executor)
+            for path, result in zip(paths, results):
+                print(f"== {path.name}")
+                print(_render(result, args.format))
+    finally:
+        if executor is not None:
+            executor.shutdown()
+    return 0
+
+
 def _command_specialize(args: argparse.Namespace) -> int:
     target = get_semiring(args.semiring)
     document = _load_document(args.input, PROVENANCE, args.annot_attr)
@@ -146,6 +206,7 @@ def _command_shred(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "semirings": _command_semirings,
     "query": _command_query,
+    "batch": _command_batch,
     "specialize": _command_specialize,
     "shred": _command_shred,
 }

@@ -90,3 +90,7 @@ class PossibleWorldsError(ReproError):
 
 class WorkloadError(ReproError):
     """Errors in the synthetic workload generators."""
+
+
+class ExecError(ReproError):
+    """Errors in the batched / sharded query-execution layer (:mod:`repro.exec`)."""

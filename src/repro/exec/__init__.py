@@ -1,0 +1,71 @@
+"""repro.exec — the production execution layer above :mod:`repro.uxquery`.
+
+The engine's :class:`~repro.uxquery.engine.PreparedQuery` gives one caller
+compile-once-evaluate-many behavior for one query.  This package scales that
+contract to a service: many callers, many documents, many cores.
+
+Three cooperating pieces
+------------------------
+* :mod:`repro.exec.plan_cache` — a bounded, thread-safe LRU cache in front of
+  :func:`~repro.uxquery.engine.prepare_query`, keyed by (query text, semiring,
+  environment types), with coalesced concurrent compilation and
+  hit/miss/eviction stats.  Stateless callers get compile-once for free, and
+  one cached plan serves every evaluation method.
+* :mod:`repro.exec.batch` — :class:`~repro.exec.batch.BatchEvaluator` runs one
+  prepared query against many documents in a single call, reusing one frame
+  template and the compiled form's persistent ``srt`` memo, and merging K-set
+  results through the trusted ``KSet._accumulate_normalized`` fast path.
+* :mod:`repro.exec.shard` — :class:`~repro.exec.shard.ShardedEvaluator`
+  partitions one large forest (hash or round-robin over root members),
+  evaluates the shards on a worker pool, and merges the per-shard K-sets
+  exactly.  A static linearity check guards correctness for non-idempotent
+  semirings.
+
+Which one do I want?
+--------------------
+* **Plain** ``prepared.evaluate(env)`` — one query, one document, you hold the
+  :class:`PreparedQuery` yourself.  Also the only option for queries whose
+  result is a single tree or label.
+* **Plan cache** — you receive query *text* per request (a stateless service,
+  the CLI): call :func:`~repro.exec.plan_cache.cached_prepare` instead of
+  ``prepare_query`` and evaluate as usual.
+* **Batch** — one query, *many documents*: amortizes frame setup and shares
+  ``srt`` memo tables across the whole batch; add an executor to fan out when
+  documents are numerous or evaluation is heavy.
+* **Shard** — one query, *one huge document*: splits the forest across
+  workers.  Requires a forest-valued query that is linear in the document
+  variable (checked statically; element-wrapped results and self-joins are
+  rejected).  Batch parallelizes across documents, shard parallelizes within
+  one.
+
+Thread pools are the default worker model (compiled programs are reusable and
+thread-safe); ``ProcessPoolExecutor`` is optionally supported for registry
+semirings, with workers re-preparing from query text through their own plan
+cache.
+"""
+
+from repro.errors import ExecError
+from repro.exec.batch import BatchEvaluator, infer_document_var
+from repro.exec.plan_cache import CacheStats, PlanCache, cached_prepare, default_plan_cache
+from repro.exec.shard import (
+    PARTITION_SCHEMES,
+    ShardedEvaluator,
+    is_linear_in,
+    partition_forest,
+    shard_evaluate,
+)
+
+__all__ = [
+    "ExecError",
+    "PlanCache",
+    "CacheStats",
+    "cached_prepare",
+    "default_plan_cache",
+    "BatchEvaluator",
+    "infer_document_var",
+    "ShardedEvaluator",
+    "shard_evaluate",
+    "partition_forest",
+    "is_linear_in",
+    "PARTITION_SCHEMES",
+]

@@ -1,0 +1,224 @@
+"""A bounded, thread-safe LRU plan cache in front of :func:`prepare_query`.
+
+Preparation is by far the most expensive step of the pipeline (parse,
+normalize, typecheck, compile to NRC_K + srt, simplify, closure-compile), and
+:class:`~repro.uxquery.engine.PreparedQuery` instances are immutable and safe
+to share between threads.  A stateless service that receives query *text* on
+every request therefore wants exactly one data structure: a map from query
+text to the prepared plan, bounded, thread-safe, and guaranteeing that a plan
+is compiled **once** no matter how many requests race on a cold key.
+
+:class:`PlanCache` is that map.  Keys are ``(query text, semiring, env-types
+signature)`` — query *text*, so lookups never parse; textually distinct
+spellings of one query (``$S/*`` vs ``$S/child::*``) are distinct keys, and
+a :class:`~repro.uxquery.ast.Query` AST keys by its canonical ``str()``.
+The evaluation ``method`` is validated but deliberately **not** part of the
+key: a :class:`PreparedQuery` carries all three evaluation methods, so one
+compile serves ``nrc``, ``nrc-interp`` and ``direct`` callers alike.
+Concurrent misses on the same key are coalesced so only the first caller
+compiles while the others block on the in-flight compilation and share its
+result.  Hit / miss / eviction / compile counts are tracked for
+observability (:meth:`PlanCache.stats`).
+
+The module also hosts a process-wide default cache (:func:`default_plan_cache`)
+and the convenience wrapper :func:`cached_prepare`, used by the CLI ``batch``
+subcommand and by process-pool shard workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Mapping, NamedTuple
+
+from repro.errors import ExecError
+from repro.semirings.base import Semiring
+from repro.uxquery.ast import Query
+from repro.uxquery.engine import (
+    PreparedQuery,
+    env_types_of,
+    prepare_query,
+    validate_method,
+)
+
+__all__ = ["CacheStats", "PlanCache", "default_plan_cache", "cached_prepare"]
+
+
+class CacheStats(NamedTuple):
+    """A consistent snapshot of a :class:`PlanCache`'s counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    compiles: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _InFlight:
+    """A compilation in progress; waiters block on :attr:`done`."""
+
+    __slots__ = ("done", "plan", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.plan: PreparedQuery | None = None
+        self.error: BaseException | None = None
+
+
+class PlanCache:
+    """A bounded LRU cache of :class:`PreparedQuery` plans.
+
+    ``maxsize`` bounds the number of *completed* plans kept; the least
+    recently used plan is evicted when the bound is exceeded.  ``prepare``
+    may be overridden (e.g. with a counting wrapper in tests); it must have
+    the :func:`repro.uxquery.engine.prepare_query` signature.
+
+    Thread-safety contract: lookups and bookkeeping run under an internal
+    lock, compilation runs outside it, and concurrent misses on one key are
+    coalesced into a single compilation whose result (or exception) is shared
+    by every waiter.  Waiters served by an in-flight compilation count as
+    hits: they did not compile.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 128,
+        prepare: Callable[..., PreparedQuery] = prepare_query,
+    ):
+        if maxsize < 1:
+            raise ExecError("plan cache maxsize must be at least 1")
+        self._maxsize = maxsize
+        self._prepare = prepare
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[tuple, PreparedQuery] = OrderedDict()
+        self._inflight: dict[tuple, _InFlight] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._compiles = 0
+
+    # ---------------------------------------------------------------- lookup
+    def _key(
+        self,
+        query: str | Query,
+        semiring: Semiring,
+        env_types: Mapping[str, str],
+    ) -> tuple:
+        text = query if isinstance(query, str) else str(query)
+        return (text, semiring, tuple(sorted(env_types.items())))
+
+    def get(
+        self,
+        query: str | Query,
+        semiring: Semiring,
+        env: Mapping[str, Any] | None = None,
+        env_types: Mapping[str, str] | None = None,
+        method: str = "nrc",
+    ) -> PreparedQuery:
+        """The prepared plan for ``query``, compiling (once) on a cold key.
+
+        ``method`` is validated for early failure but does not affect the
+        key — the returned plan supports every evaluation method.
+        """
+        validate_method(method)
+        types = dict(env_types) if env_types is not None else env_types_of(env)
+        key = self._key(query, semiring, types)
+        owner = False
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self._hits += 1
+                return plan
+            pending = self._inflight.get(key)
+            if pending is not None:
+                # Another thread is compiling this key: share its outcome.
+                self._hits += 1
+            else:
+                pending = self._inflight[key] = _InFlight()
+                self._misses += 1
+                owner = True
+        if not owner:
+            pending.done.wait()
+            if pending.error is not None:
+                raise pending.error
+            assert pending.plan is not None
+            return pending.plan
+        try:
+            plan = self._prepare(query, semiring, env=env, env_types=types)
+        except BaseException as error:
+            with self._lock:
+                del self._inflight[key]
+            pending.error = error
+            pending.done.set()
+            raise
+        with self._lock:
+            self._compiles += 1
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self._maxsize:
+                self._plans.popitem(last=False)
+                self._evictions += 1
+            del self._inflight[key]
+        pending.plan = plan
+        pending.done.set()
+        return plan
+
+    # ------------------------------------------------------------ maintenance
+    def clear(self) -> None:
+        """Drop every cached plan (in-flight compilations are unaffected)."""
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the hit/miss/eviction/compile counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                compiles=self._compiles,
+                size=len(self._plans),
+                maxsize=self._maxsize,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats()
+        return (
+            f"<PlanCache size={stats.size}/{stats.maxsize} "
+            f"hits={stats.hits} misses={stats.misses} evictions={stats.evictions}>"
+        )
+
+
+_DEFAULT_CACHE = PlanCache(maxsize=256)
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide plan cache used by the CLI and shard workers."""
+    return _DEFAULT_CACHE
+
+
+def cached_prepare(
+    query: str | Query,
+    semiring: Semiring,
+    env: Mapping[str, Any] | None = None,
+    env_types: Mapping[str, str] | None = None,
+    method: str = "nrc",
+) -> PreparedQuery:
+    """:func:`prepare_query` through the process-wide :class:`PlanCache`."""
+    return _DEFAULT_CACHE.get(query, semiring, env=env, env_types=env_types, method=method)

@@ -1,0 +1,202 @@
+"""Sharded evaluation: partition a large forest, evaluate shards, merge.
+
+A K-UXQuery result over a huge document can be computed piecewise whenever
+the query is a **linear** function of the document variable over the free
+semimodule structure of K-collections (Appendix A): writing the query as
+``f($S)``, linearity means ``f(e1 U e2) = f(e1) U f(e2)`` and ``f({}) = {}``.
+Then for any partition ``S = S_1 U ... U S_n``::
+
+    f(S)  =  f(S_1) U ... U f(S_n)
+
+and the shards can be evaluated independently — by a worker pool — and merged
+with one pass of the trusted
+:meth:`~repro.kcollections.kset.KSet._accumulate_normalized` n-ary sum.
+Because the partition never duplicates a member and the merge is the semiring
+addition itself, this is *exact* for every semiring, including non-idempotent
+ones (``N`` multiplicities, ``N[X]`` provenance polynomials) where a
+duplicated or replicated member would corrupt the result.
+
+Linearity is checked **statically** on the simplified NRC_K + srt form by
+:func:`is_linear_in`, using the semimodule laws node by node (union and
+scaling are linear; ``BigUnion`` is linear in its source and in its body;
+tree/pair/singleton constructors are not).  Queries that fail the check —
+e.g. ``element out { ... }`` wrappers, which build one tree around the whole
+result, or self-joins, which are bilinear in ``$S`` — raise
+:class:`~repro.errors.ExecError` instead of silently returning wrong answers.
+
+The check is *sufficient*, not complete: a rejected query may still happen to
+distribute, but every accepted query provably does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import ExecError
+from repro.kcollections.kset import KSet
+from repro.nrc.ast import (
+    BigUnion,
+    EmptySet,
+    Expr,
+    IfEq,
+    Let,
+    Scale,
+    Union,
+    Var,
+    free_variables,
+)
+from repro.uxquery.engine import PreparedQuery
+from repro.uxquery.typecheck import FOREST
+from repro.exec.batch import BatchEvaluator, infer_document_var
+
+__all__ = [
+    "is_linear_in",
+    "partition_forest",
+    "ShardedEvaluator",
+    "shard_evaluate",
+]
+
+#: Partition schemes understood by :func:`partition_forest` / :meth:`KSet.partition`.
+PARTITION_SCHEMES = ("hash", "round-robin")
+
+
+def is_linear_in(expr: Expr, var: str) -> bool:
+    """True if ``expr`` is provably a linear function of the variable ``var``.
+
+    Linear means ``expr[var := e1 U e2] == expr[var := e1] U expr[var := e2]``
+    and ``expr[var := {}] == {}`` — the property that makes shard-and-merge
+    exact.  The analysis is structural:
+
+    * ``var`` itself and ``{}`` are linear;
+    * a union is linear when both operands are (a var-free operand is a
+      *constant*, which union would contribute once per shard — rejected);
+    * scaling preserves linearity (``k (e1 U e2) = k e1 U k e2``);
+    * ``U(x in source) body`` is linear in its source (the big union
+      distributes over unions of the source) and, independently, in its body
+      (bind is bilinear) — but not in both at once, which would be quadratic;
+    * a conditional is linear when ``var`` stays out of the compared labels
+      and both branches are linear;
+    * ``let`` is linear in its body when the bound value is var-free;
+    * every value *constructor* (singleton, tree, pair, projection, srt, ...)
+      is rejected: wrapping the result means merging wraps twice.
+    """
+    if isinstance(expr, Var):
+        return expr.name == var
+    if isinstance(expr, EmptySet):
+        return True
+    if isinstance(expr, Union):
+        return is_linear_in(expr.left, var) and is_linear_in(expr.right, var)
+    if isinstance(expr, Scale):
+        return is_linear_in(expr.expr, var)
+    if isinstance(expr, BigUnion):
+        in_source = var in free_variables(expr.source)
+        in_body = expr.var != var and var in free_variables(expr.body)
+        if in_source and in_body:
+            return False
+        if in_source:
+            return is_linear_in(expr.source, var)
+        if in_body:
+            return is_linear_in(expr.body, var)
+        return False
+    if isinstance(expr, IfEq):
+        if var in free_variables(expr.left) or var in free_variables(expr.right):
+            return False
+        return is_linear_in(expr.then, var) and is_linear_in(expr.orelse, var)
+    if isinstance(expr, Let):
+        if var in free_variables(expr.value) or expr.var == var:
+            return False
+        return is_linear_in(expr.body, var)
+    return False
+
+
+def partition_forest(forest: KSet, num_shards: int, scheme: str = "hash") -> list[KSet]:
+    """Split a forest into ``num_shards`` disjoint shards covering it exactly."""
+    if not isinstance(forest, KSet):
+        raise ExecError(f"can only partition a K-set forest, got {forest!r}")
+    return forest.partition(num_shards, scheme)
+
+
+class ShardedEvaluator:
+    """Evaluate a forest-linear prepared query shard by shard.
+
+    Construction validates the contract once — the result type must be a
+    forest and the simplified NRC form must pass :func:`is_linear_in` for the
+    document variable — so :meth:`evaluate` only pays for partition, the
+    per-shard batch, and the trusted merge.
+    """
+
+    def __init__(
+        self,
+        prepared: PreparedQuery,
+        var: str | None = None,
+        num_shards: int = 4,
+        scheme: str = "hash",
+    ):
+        if num_shards < 1:
+            raise ExecError("num_shards must be at least 1")
+        if scheme not in PARTITION_SCHEMES:
+            raise ExecError(
+                f"unknown partition scheme {scheme!r}; "
+                f"valid schemes: {', '.join(PARTITION_SCHEMES)}"
+            )
+        self.prepared = prepared
+        self.var = var if var is not None else infer_document_var(prepared)
+        self.num_shards = num_shards
+        self.scheme = scheme
+        if prepared.result_type != FOREST:
+            raise ExecError(
+                f"sharded execution needs a forest-valued query; this one returns "
+                f"{prepared.result_type!r} (drop the top-level element constructor)"
+            )
+        if not is_linear_in(prepared.nrc_simplified, self.var):
+            raise ExecError(
+                f"query is not linear in ${self.var}, so per-shard results cannot "
+                "be merged exactly (element constructors around the result and "
+                "repeated uses of the document variable both break linearity); "
+                "evaluate it single-shot instead"
+            )
+        self._batch = BatchEvaluator(prepared, var=self.var)
+
+    def evaluate(
+        self,
+        document: KSet,
+        env: Mapping[str, Any] | None = None,
+        method: str = "nrc",
+        executor: Any | None = None,
+    ) -> KSet:
+        """Partition ``document``, evaluate every shard, merge the K-sets."""
+        if not isinstance(document, KSet):
+            raise ExecError(f"sharded execution needs a K-set forest, got {document!r}")
+        shards = document.partition(self.num_shards, self.scheme)
+        # f({}) = {} by linearity, so empty shards cannot contribute.
+        shards = [shard for shard in shards if not shard.is_empty()]
+        if not shards:
+            return self.prepared.evaluate(_with_var(env, self.var, document), method=method)
+        return self._batch.evaluate_merged(shards, env=env, method=method, executor=executor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ShardedEvaluator var=${self.var} shards={self.num_shards} "
+            f"scheme={self.scheme} of {self.prepared!r}>"
+        )
+
+
+def _with_var(env: Mapping[str, Any] | None, var: str, value: Any) -> dict[str, Any]:
+    bindings = dict(env) if env else {}
+    bindings[var] = value
+    return bindings
+
+
+def shard_evaluate(
+    prepared: PreparedQuery,
+    document: KSet,
+    env: Mapping[str, Any] | None = None,
+    var: str | None = None,
+    num_shards: int = 4,
+    scheme: str = "hash",
+    method: str = "nrc",
+    executor: Any | None = None,
+) -> KSet:
+    """One-shot convenience wrapper around :class:`ShardedEvaluator`."""
+    evaluator = ShardedEvaluator(prepared, var=var, num_shards=num_shards, scheme=scheme)
+    return evaluator.evaluate(document, env=env, method=method, executor=executor)

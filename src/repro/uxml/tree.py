@@ -136,6 +136,20 @@ class UTree:
     def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover - safety
         raise AttributeError("UTree instances are immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks pickle's default slot-state restore.
+        # The pickled parts already satisfy the constructor invariants, so
+        # restoring skips the per-child re-validation.
+        return (_unpickle_utree, (self._label, self._children))
+
+
+def _unpickle_utree(label: str, children: KSet) -> "UTree":
+    instance = object.__new__(UTree)
+    object.__setattr__(instance, "_label", label)
+    object.__setattr__(instance, "_children", children)
+    object.__setattr__(instance, "_hash", None)
+    return instance
+
 
 # ----------------------------------------------------------------- builders
 def leaf(semiring: Semiring, label: str) -> UTree:

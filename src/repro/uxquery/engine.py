@@ -26,9 +26,9 @@ test-suite checks this):
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
-from repro.errors import UXQueryEvalError
+from repro.errors import UXQueryEvalError, UXQueryTypeError
 from repro.kcollections.kset import KSet
 from repro.nrc.ast import Expr, expression_size
 from repro.nrc.compile_eval import CompiledExpr, compile_expr
@@ -43,7 +43,27 @@ from repro.uxquery.normalize import normalize
 from repro.uxquery.parser import parse_query
 from repro.uxquery.typecheck import FOREST, LABEL, TREE, infer_type
 
-__all__ = ["PreparedQuery", "prepare_query", "evaluate_query", "env_types_of"]
+__all__ = [
+    "PreparedQuery",
+    "prepare_query",
+    "evaluate_query",
+    "env_types_of",
+    "VALID_METHODS",
+    "validate_method",
+]
+
+#: The evaluation methods understood by :meth:`PreparedQuery.evaluate`.
+VALID_METHODS = ("nrc", "nrc-interp", "direct")
+
+
+def validate_method(method: str) -> str:
+    """Check an evaluation-method name, raising a listing error if unknown."""
+    if method not in VALID_METHODS:
+        valid = ", ".join(repr(name) for name in VALID_METHODS)
+        raise UXQueryEvalError(
+            f"unknown evaluation method {method!r}; valid methods: {valid}"
+        )
+    return method
 
 
 def env_types_of(env: Mapping[str, Any] | None) -> dict[str, str]:
@@ -93,15 +113,36 @@ class PreparedQuery:
         self.compiled: CompiledExpr = compile_expr(self.nrc_simplified, semiring)
 
     # ------------------------------------------------------------ evaluation
-    def evaluate(self, env: Mapping[str, Any] | None = None, method: str = "nrc") -> Any:
-        """Evaluate the prepared query in the given environment."""
+    def evaluate(
+        self,
+        env: Mapping[str, Any] | None = None,
+        method: str = "nrc",
+        *,
+        documents: Iterable[Any] | None = None,
+        document_var: str | None = None,
+        executor: Any | None = None,
+    ) -> Any:
+        """Evaluate the prepared query in the given environment.
+
+        With ``documents=`` the query is run once per document in a single
+        batched call (see :class:`repro.exec.batch.BatchEvaluator`): each
+        document is bound to the document variable (``document_var``, inferred
+        when omitted), ``env`` supplies the remaining bindings, and a list of
+        per-document results is returned, optionally fanned out over a
+        ``concurrent.futures`` ``executor``.
+        """
+        validate_method(method)
+        if documents is not None:
+            from repro.exec.batch import BatchEvaluator
+
+            return BatchEvaluator(self, var=document_var).evaluate_many(
+                documents, env=env, method=method, executor=executor
+            )
         if method == "nrc":
             return self.compiled.evaluate(env)
         if method == "nrc-interp":
             return evaluate_nrc(self.nrc, self.semiring, dict(env) if env else {})
-        if method == "direct":
-            return evaluate_direct(self.core, self.semiring, dict(env) if env else {})
-        raise UXQueryEvalError(f"unknown evaluation method {method!r}")
+        return evaluate_direct(self.core, self.semiring, dict(env) if env else {})
 
     # --------------------------------------------------------------- metrics
     @property
@@ -144,7 +185,47 @@ def evaluate_query(
     semiring: Semiring,
     env: Mapping[str, Any] | None = None,
     method: str = "nrc",
+    *,
+    documents: Iterable[Any] | None = None,
+    document_var: str | None = None,
+    executor: Any | None = None,
 ) -> Any:
-    """Parse, compile and evaluate a K-UXQuery in one call."""
+    """Parse, compile and evaluate a K-UXQuery in one call.
+
+    ``documents=``/``document_var=``/``executor=`` are forwarded to
+    :meth:`PreparedQuery.evaluate` for batched execution over many documents.
+    """
+    if documents is not None:
+        # The document variable is typed from the first document, so callers
+        # need not repeat a (representative) document in ``env``.  The
+        # variable defaults to the conventional ``S``; the batch evaluator
+        # rejects a document variable that is not free in the query, so a
+        # differently-named variable fails loudly instead of being ignored.
+        documents = list(documents)
+        var = document_var or "S"
+        types = env_types_of(env)
+        if not documents:
+            # Still fail loudly on a bad method or query; the document
+            # variable cannot be typed without a document, so typechecking
+            # is deferred unless env covers it.
+            validate_method(method)
+            ast = parse_query(query) if isinstance(query, str) else query
+            if var in types:
+                prepare_query(ast, semiring, env_types=types)
+            return []
+        if var not in types:
+            types.update(env_types_of({var: documents[0]}))
+        try:
+            prepared = prepare_query(query, semiring, env_types=types)
+        except UXQueryTypeError as error:
+            # The usual cause: the query names its document variable
+            # something other than the default ``S``.
+            raise UXQueryTypeError(
+                f"{error} (documents are bound to ${var}; a query using a "
+                "different variable needs document_var=)"
+            ) from error
+        return prepared.evaluate(
+            env, method=method, documents=documents, document_var=var, executor=executor
+        )
     prepared = prepare_query(query, semiring, env)
     return prepared.evaluate(env, method=method)

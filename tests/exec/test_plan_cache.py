@@ -1,0 +1,147 @@
+"""The plan cache: LRU behavior, stats, and concurrent compile coalescing."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ExecError, UXQueryEvalError
+from repro.exec import PlanCache, cached_prepare, default_plan_cache
+from repro.semirings import NATURAL, PROVENANCE
+from repro.uxquery.engine import prepare_query
+from repro.workloads import random_forest
+
+
+@pytest.fixture
+def forest():
+    return random_forest(NATURAL, num_trees=3, depth=3, fanout=2, seed=7)
+
+
+class TestPlanCacheBasics:
+    def test_hit_returns_same_plan(self, forest):
+        cache = PlanCache(maxsize=4)
+        first = cache.get("($S)/*", NATURAL, env={"S": forest})
+        second = cache.get("($S)/*", NATURAL, env={"S": forest})
+        assert first is second
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1 and stats.compiles == 1
+
+    def test_distinct_keys_compile_separately(self, forest):
+        cache = PlanCache(maxsize=8)
+        by_query = cache.get("($S)/*", NATURAL, env={"S": forest})
+        by_semiring = cache.get("($S)/*", PROVENANCE, env_types={"S": "forest"})
+        assert by_query is not by_semiring
+        assert cache.stats().compiles == 2
+
+    def test_methods_share_one_plan(self, forest):
+        """Plans are method-independent: one compile serves every method."""
+        cache = PlanCache(maxsize=8)
+        nrc_plan = cache.get("($S)/*", NATURAL, env={"S": forest})
+        interp_plan = cache.get("($S)/*", NATURAL, env={"S": forest}, method="nrc-interp")
+        direct_plan = cache.get("($S)/*", NATURAL, env={"S": forest}, method="direct")
+        assert nrc_plan is interp_plan is direct_plan
+        assert cache.stats().compiles == 1
+
+    def test_query_ast_keys_by_its_canonical_text(self, forest):
+        from repro.uxquery import parse_query
+
+        cache = PlanCache(maxsize=4)
+        ast = parse_query("($S)/*")
+        ast_plan = cache.get(ast, NATURAL, env={"S": forest})
+        text_plan = cache.get(str(ast), NATURAL, env={"S": forest})
+        assert text_plan is ast_plan
+        assert cache.stats().compiles == 1
+
+    def test_lru_eviction(self, forest):
+        cache = PlanCache(maxsize=2)
+        cache.get("($S)/*", NATURAL, env={"S": forest})
+        cache.get("($S)//c", NATURAL, env={"S": forest})
+        cache.get("($S)/*", NATURAL, env={"S": forest})  # refresh recency
+        cache.get("($S)/*/*", NATURAL, env={"S": forest})  # evicts ($S)//c
+        assert cache.stats().evictions == 1
+        cache.get("($S)/*", NATURAL, env={"S": forest})
+        assert cache.stats().hits == 2  # the refreshed plan survived
+        cache.get("($S)//c", NATURAL, env={"S": forest})
+        assert cache.stats().compiles == 4  # the evicted plan recompiled
+
+    def test_clear_resets_contents_not_counters(self, forest):
+        cache = PlanCache(maxsize=4)
+        cache.get("($S)/*", NATURAL, env={"S": forest})
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().compiles == 1
+        cache.get("($S)/*", NATURAL, env={"S": forest})
+        assert cache.stats().compiles == 2
+
+    def test_rejects_bad_maxsize_and_method(self, forest):
+        with pytest.raises(ExecError):
+            PlanCache(maxsize=0)
+        with pytest.raises(UXQueryEvalError, match="valid methods"):
+            PlanCache(maxsize=2).get("($S)/*", NATURAL, env={"S": forest}, method="turbo")
+
+    def test_error_during_compile_is_not_cached(self, forest):
+        cache = PlanCache(maxsize=4)
+        with pytest.raises(Exception):
+            cache.get("for $x in", NATURAL, env={"S": forest})
+        assert len(cache) == 0
+        # A valid query under the same cache still works afterwards.
+        cache.get("($S)/*", NATURAL, env={"S": forest})
+        assert len(cache) == 1
+
+    def test_default_cache_and_cached_prepare(self, forest):
+        before = default_plan_cache().stats().compiles
+        plan_a = cached_prepare("($S)/*/*/*", NATURAL, env={"S": forest})
+        plan_b = cached_prepare("($S)/*/*/*", NATURAL, env={"S": forest})
+        assert plan_a is plan_b
+        assert default_plan_cache().stats().compiles == before + 1
+
+
+class TestPlanCacheConcurrency:
+    def test_one_compile_per_key_under_hammering(self, forest):
+        """N threads x M keys: every key compiles exactly once."""
+        compiles: dict[tuple, int] = {}
+        compile_lock = threading.Lock()
+
+        def counting_prepare(query, semiring, env=None, env_types=None):
+            with compile_lock:
+                key = (str(query), semiring.name)
+                compiles[key] = compiles.get(key, 0) + 1
+            return prepare_query(query, semiring, env=env, env_types=env_types)
+
+        cache = PlanCache(maxsize=32, prepare=counting_prepare)
+        queries = ["($S)/*", "($S)/*/*", "($S)//c", "($S)//d"]
+        num_threads = 16
+        iterations = 25
+        start = threading.Barrier(num_threads)
+        plans: list[dict[str, object]] = [dict() for _ in range(num_threads)]
+        errors: list[BaseException] = []
+
+        def hammer(worker: int) -> None:
+            try:
+                start.wait()
+                for i in range(iterations):
+                    text = queries[(worker + i) % len(queries)]
+                    plan = cache.get(text, NATURAL, env={"S": forest})
+                    previous = plans[worker].setdefault(text, plan)
+                    assert previous is plan
+            except BaseException as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(n,)) for n in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert all(count == 1 for count in compiles.values()), compiles
+        assert len(compiles) == len(queries)
+        stats = cache.stats()
+        assert stats.compiles == len(queries)
+        assert stats.misses == len(queries)
+        assert stats.hits == num_threads * iterations - len(queries)
+        # Every thread saw the same shared plan per query.
+        for text in queries:
+            distinct = {id(per_thread[text]) for per_thread in plans}
+            assert len(distinct) == 1

@@ -1,0 +1,160 @@
+"""Sharded evaluation: partitions cover exactly, shard-merge equals single-shot."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ExecError, SemiringError
+from repro.exec import ShardedEvaluator, is_linear_in, partition_forest, shard_evaluate
+from repro.kcollections import KSet
+from repro.nrc.ast import BigUnion, EmptySet, Kids, Singleton, Union, Var
+from repro.semirings import NATURAL, PROVENANCE, standard_semirings
+from repro.uxquery import prepare_query
+from repro.workloads import random_forest
+
+REGISTRY_SEMIRINGS = list(standard_semirings())
+
+#: Forest-valued queries that are linear in $S and therefore shardable.
+LINEAR_QUERIES = [
+    "($S)/*",
+    "($S)/*/*",
+    "($S)//c",
+    "for $x in $S return ($x)/*",
+]
+
+
+def _forest(semiring, num_trees=12, seed=23):
+    return random_forest(semiring, num_trees=num_trees, depth=3, fanout=2, seed=seed)
+
+
+class TestPartition:
+    @pytest.mark.parametrize("scheme", ["hash", "round-robin"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5, 64])
+    def test_partition_covers_exactly(self, scheme, num_shards):
+        forest = _forest(PROVENANCE)
+        shards = partition_forest(forest, num_shards, scheme)
+        assert len(shards) == num_shards
+        rebuilt = KSet.empty(PROVENANCE)
+        seen = 0
+        for shard in shards:
+            seen += len(shard)
+            rebuilt = rebuilt.union(shard)
+        assert seen == len(forest)  # disjoint: no member duplicated
+        assert rebuilt == forest
+
+    def test_round_robin_balances(self):
+        forest = _forest(NATURAL, num_trees=10)
+        sizes = sorted(len(shard) for shard in forest.partition(5, "round-robin"))
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_rejects_bad_arguments(self):
+        forest = _forest(NATURAL, num_trees=4)
+        with pytest.raises(SemiringError):
+            forest.partition(0)
+        with pytest.raises(SemiringError, match="valid schemes"):
+            forest.partition(2, "zigzag")
+
+
+class TestLinearity:
+    def test_structural_cases(self):
+        s = Var("S")
+        assert is_linear_in(s, "S")
+        assert is_linear_in(EmptySet(), "S")
+        assert is_linear_in(Union(s, EmptySet()), "S")
+        assert is_linear_in(BigUnion("x", s, Singleton(Var("x"))), "S")
+        assert is_linear_in(BigUnion("x", Var("T"), s), "S")  # linear in the body
+        # Bilinear (self-join shaped) and constructor-wrapped forms refused.
+        assert not is_linear_in(BigUnion("x", s, Kids(s)), "S")
+        assert not is_linear_in(Singleton(s), "S")
+        assert not is_linear_in(Union(s, Var("T")), "S")  # constant union side
+        assert not is_linear_in(Var("T"), "S")
+        # Shadowing: the inner S is the binder, not the document.
+        assert not is_linear_in(BigUnion("S", Var("T"), Var("S")), "S")
+
+    def test_rejects_element_wrapper(self):
+        forest = _forest(NATURAL)
+        prepared = prepare_query("element out { ($S)/* }", NATURAL, {"S": forest})
+        with pytest.raises(ExecError, match="forest-valued"):
+            ShardedEvaluator(prepared)
+
+    def test_rejects_self_join(self):
+        forest = _forest(NATURAL)
+        prepared = prepare_query(
+            "for $x in $S, $y in $S where $x = $y return ($x)", NATURAL, {"S": forest}
+        )
+        with pytest.raises(ExecError, match="not linear"):
+            ShardedEvaluator(prepared)
+
+
+class TestShardMergeEqualsSingleShot:
+    @pytest.mark.parametrize("semiring", REGISTRY_SEMIRINGS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("query", LINEAR_QUERIES)
+    def test_every_registry_semiring(self, semiring, query):
+        """The acceptance gate: exact shard-merge for every registry semiring,
+        including the non-idempotent ones (N multiplicities, N[X] polynomials)."""
+        forest = _forest(semiring)
+        prepared = prepare_query(query, semiring, {"S": forest})
+        single = prepared.evaluate({"S": forest})
+        for scheme in ("hash", "round-robin"):
+            sharded = shard_evaluate(
+                prepared, forest, num_shards=4, scheme=scheme
+            )
+            assert sharded == single
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 8, 100])
+    def test_shard_counts_including_more_than_members(self, num_shards):
+        forest = _forest(NATURAL, num_trees=8)
+        prepared = prepare_query("($S)//c", NATURAL, {"S": forest})
+        single = prepared.evaluate({"S": forest})
+        assert shard_evaluate(prepared, forest, num_shards=num_shards) == single
+
+    def test_thread_pool_matches_inline(self):
+        forest = _forest(PROVENANCE, num_trees=16)
+        prepared = prepare_query("($S)/*/*", PROVENANCE, {"S": forest})
+        single = prepared.evaluate({"S": forest})
+        evaluator = ShardedEvaluator(prepared, num_shards=4)
+        with ThreadPoolExecutor(max_workers=4) as executor:
+            assert evaluator.evaluate(forest, executor=executor) == single
+
+    def test_process_pool_matches_inline(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        forest = _forest(NATURAL, num_trees=8)
+        prepared = prepare_query("($S)/*/*", NATURAL, {"S": forest})
+        single = prepared.evaluate({"S": forest})
+        evaluator = ShardedEvaluator(prepared, num_shards=4)
+        with ProcessPoolExecutor(max_workers=2) as executor:
+            assert evaluator.evaluate(forest, executor=executor) == single
+
+    def test_empty_document(self):
+        forest = _forest(NATURAL)
+        prepared = prepare_query("($S)/*", NATURAL, {"S": forest})
+        empty = KSet.empty(NATURAL)
+        assert shard_evaluate(prepared, empty) == prepared.evaluate({"S": empty})
+
+    def test_interpreter_method_agrees(self):
+        forest = _forest(NATURAL)
+        prepared = prepare_query("($S)//c", NATURAL, {"S": forest})
+        single = prepared.evaluate({"S": forest})
+        assert shard_evaluate(prepared, forest, method="nrc-interp") == single
+
+    def test_constructor_validation(self):
+        forest = _forest(NATURAL)
+        prepared = prepare_query("($S)/*", NATURAL, {"S": forest})
+        with pytest.raises(ExecError, match="at least 1"):
+            ShardedEvaluator(prepared, num_shards=0)
+        with pytest.raises(ExecError, match="valid schemes"):
+            ShardedEvaluator(prepared, scheme="zigzag")
+        with pytest.raises(ExecError, match="K-set forest"):
+            ShardedEvaluator(prepared).evaluate("not a forest")
+
+
+def test_documents_round_trip_through_pickle():
+    """KSet/UTree __reduce__: what process-pool sharding ships to workers."""
+    import pickle
+
+    for semiring in (NATURAL, PROVENANCE):
+        forest = _forest(semiring, num_trees=4)
+        assert pickle.loads(pickle.dumps(forest)) == forest
