@@ -6,6 +6,11 @@ A small front end so the library can be used without writing Python:
 * ``python -m repro query`` — run a K-UXQuery over an annotated XML document;
 * ``python -m repro batch`` — run one K-UXQuery over every document in a
   directory (plan-cached, optionally multi-threaded, optionally merged);
+* ``python -m repro maintain`` — materialize a query over a document, replay
+  an update script through the incremental view-maintenance layer and report
+  maintain-vs-recompute timings;
+* ``python -m repro cache-stats`` — show the process-wide plan-cache
+  counters (``--stats`` on query/batch/maintain prints them after a run);
 * ``python -m repro specialize`` — apply a token valuation to an annotated
   document (Corollary 1: specialize provenance to a concrete semiring);
 * ``python -m repro shred`` — print the ``E(pid, nid, label)`` edge relation
@@ -29,7 +34,6 @@ from repro.semirings.polynomial import PROVENANCE
 from repro.shredding import edge_relation, shred_forest
 from repro.uxml import forest_to_xml, parse_document, to_paper_notation, to_xml
 from repro.uxml.tree import UTree, map_forest_annotations
-from repro.uxquery import evaluate_query
 from repro.uxquery.engine import VALID_METHODS
 
 __all__ = ["main", "build_parser"]
@@ -58,6 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="nrc",
         help="evaluation semantics (nrc = compiled, nrc-interp = Figure 8 interpreter)",
     )
+    query.add_argument(
+        "--stats", action="store_true", help="print plan-cache statistics after the run"
+    )
 
     batch = subparsers.add_parser(
         "batch", help="run one K-UXQuery over every annotated XML document in a directory"
@@ -81,6 +88,55 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the single merged K-set of all per-document results "
         "(requires a forest-valued query) instead of one result per file",
+    )
+    batch.add_argument(
+        "--stats", action="store_true", help="print plan-cache statistics after the run"
+    )
+
+    maintain = subparsers.add_parser(
+        "maintain",
+        help="materialize a query over a document, replay an update script "
+        "incrementally and report maintain-vs-recompute timings",
+        description="Materialize QUERY over the INPUT document as an "
+        "incrementally maintained view, then replay the UPDATES script "
+        "(one JSON object per line: "
+        '{"op": "insert"|"delete"|"reannotate", "tree": "<xml>", '
+        '"annot": "...", "old": "..."}; '
+        "blank lines and lines starting with # are skipped).  Inserted "
+        "trees take their annotation from the XML annot attribute unless "
+        "an explicit \"annot\" field overrides it; \"delete\" without "
+        "\"annot\" removes the member's entire annotation; \"reannotate\" "
+        "replaces \"old\" (default: the current annotation) by \"annot\".  "
+        "Every update is applied through the compiled delta plan when the "
+        "query admits one, and the result is verified against (and timed "
+        "versus) full recomputation.",
+    )
+    maintain.add_argument("--query", "-q", required=True, help="K-UXQuery text, or @file to read it from a file")
+    maintain.add_argument("--input", "-i", required=True, help="initial annotated XML document")
+    maintain.add_argument("--updates", "-u", required=True, help="update script (one JSON object per line)")
+    maintain.add_argument("--var", default="S", help="variable the document is bound to (default: S)")
+    maintain.add_argument("--semiring", "-k", default="provenance-polynomials", help="annotation semiring (see `repro semirings`)")
+    maintain.add_argument("--annot-attr", default="annot", help="attribute carrying annotations (default: annot)")
+    maintain.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the per-update recompute comparison (faster replay; "
+        "no recompute timings in the report)",
+    )
+    maintain.add_argument(
+        "--print-result",
+        action="store_true",
+        help="print the final maintained result after the summary",
+    )
+    maintain.add_argument("--format", choices=("paper", "xml"), default="paper", help="output format for --print-result")
+    maintain.add_argument(
+        "--stats", action="store_true", help="print plan-cache statistics after the run"
+    )
+
+    subparsers.add_parser(
+        "cache-stats",
+        help="show the process-wide plan-cache counters "
+        "(hits, misses, evictions, compiles)",
     )
 
     specialize = subparsers.add_parser(
@@ -135,13 +191,29 @@ def _command_semirings(_: argparse.Namespace) -> int:
     return 0
 
 
+def _print_plan_cache_stats() -> None:
+    from repro.exec import default_plan_cache
+
+    stats = default_plan_cache().stats()
+    print(
+        f"plan cache: size {stats.size}/{stats.maxsize}  hits {stats.hits}  "
+        f"misses {stats.misses}  evictions {stats.evictions}  "
+        f"compiles {stats.compiles}  hit-rate {stats.hit_rate:.0%}"
+    )
+
+
 def _command_query(args: argparse.Namespace) -> int:
+    from repro.exec import cached_prepare
+
     semiring = get_semiring(args.semiring)
     document = _load_document(args.input, semiring, args.annot_attr)
-    answer = evaluate_query(
-        _read_query(args.query), semiring, {args.var: document}, method=args.method
+    prepared = cached_prepare(
+        _read_query(args.query), semiring, env={args.var: document}, method=args.method
     )
+    answer = prepared.evaluate({args.var: document}, method=args.method)
     print(_render(answer, args.format))
+    if args.stats:
+        _print_plan_cache_stats()
     return 0
 
 
@@ -175,6 +247,120 @@ def _command_batch(args: argparse.Namespace) -> int:
     finally:
         if executor is not None:
             executor.shutdown()
+    if args.stats:
+        _print_plan_cache_stats()
+    return 0
+
+
+def _iter_update_specs(path: Path):
+    import json
+
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"{path}:{line_number}: bad JSON in update script: {error}")
+        if not isinstance(spec, dict) or "op" not in spec or "tree" not in spec:
+            raise ReproError(
+                f"{path}:{line_number}: updates need at least \"op\" and \"tree\" fields"
+            )
+        yield line_number, spec
+
+
+def _spec_to_delta(spec: dict, semiring, annot_attr: str, document: KSet):
+    """One update-script entry as a Delta against the current document."""
+    from repro.ivm import Delta
+
+    op = spec["op"]
+    members = parse_document(spec["tree"], semiring, annot_attr)
+    explicit = (
+        semiring.parse_element(str(spec["annot"])) if "annot" in spec else None
+    )
+    delta = Delta(semiring)
+    for tree, xml_annotation in members.items():
+        annotation = explicit if explicit is not None else xml_annotation
+        if op == "insert":
+            change = Delta.insertion(semiring, tree, annotation)
+        elif op == "delete":
+            removed = explicit
+            if removed is None:
+                if tree not in document:
+                    raise ReproError(
+                        f"cannot delete {tree!r}: not a member of the document"
+                    )
+                removed = document.annotation(tree)
+            change = Delta.deletion(semiring, tree, removed)
+        elif op == "reannotate":
+            if tree not in document:
+                raise ReproError(
+                    f"cannot reannotate {tree!r}: not a member of the document"
+                )
+            old = (
+                semiring.parse_element(str(spec["old"]))
+                if "old" in spec
+                else document.annotation(tree)
+            )
+            change = Delta.reannotation(semiring, tree, old, annotation)
+        else:
+            raise ReproError(
+                f"unknown update op {op!r}; valid: insert, delete, reannotate"
+            )
+        delta = delta.merge(change)
+    return delta
+
+
+def _command_maintain(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.exec import cached_prepare
+
+    semiring = get_semiring(args.semiring)
+    document = _load_document(args.input, semiring, args.annot_attr)
+    prepared = cached_prepare(
+        _read_query(args.query), semiring, env={args.var: document}
+    )
+    view = prepared.materialize(document, document_var=args.var)
+    maintain_s = 0.0
+    recompute_s = 0.0
+    count = 0
+    for line_number, spec in _iter_update_specs(Path(args.updates)):
+        delta = _spec_to_delta(spec, semiring, args.annot_attr, view.document)
+        start = time.perf_counter()
+        view.apply(delta)
+        maintain_s += time.perf_counter() - start
+        count += 1
+        if not args.no_verify:
+            start = time.perf_counter()
+            expected = prepared.evaluate({args.var: view.document})
+            recompute_s += time.perf_counter() - start
+            if expected != view.result:
+                raise ReproError(
+                    f"{args.updates}:{line_number}: maintained result diverged "
+                    "from recomputation (this is a bug — please report it)"
+                )
+    stats = view.stats()
+    print(
+        f"applied {count} update(s): {stats.incremental} incremental, "
+        f"{stats.recomputes} recomputed (plan: {stats.classification})"
+    )
+    if count:
+        print(f"maintain   total {maintain_s * 1e3:9.2f}ms  ({maintain_s / count * 1e6:9.1f}us/update)")
+        if not args.no_verify:
+            print(f"recompute  total {recompute_s * 1e3:9.2f}ms  ({recompute_s / count * 1e6:9.1f}us/update)")
+            if maintain_s > 0:
+                print(f"speedup    {recompute_s / maintain_s:9.1f}x")
+    if args.print_result:
+        print(_render(view.result, args.format))
+    if args.stats:
+        _print_plan_cache_stats()
+    return 0
+
+
+def _command_cache_stats(_: argparse.Namespace) -> int:
+    _print_plan_cache_stats()
     return 0
 
 
@@ -207,6 +393,8 @@ _COMMANDS = {
     "semirings": _command_semirings,
     "query": _command_query,
     "batch": _command_batch,
+    "maintain": _command_maintain,
+    "cache-stats": _command_cache_stats,
     "specialize": _command_specialize,
     "shred": _command_shred,
 }

@@ -94,3 +94,7 @@ class WorkloadError(ReproError):
 
 class ExecError(ReproError):
     """Errors in the batched / sharded query-execution layer (:mod:`repro.exec`)."""
+
+
+class IVMError(ReproError):
+    """Errors in the incremental view-maintenance layer (:mod:`repro.ivm`)."""

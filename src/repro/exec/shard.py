@@ -44,7 +44,9 @@ from repro.nrc.ast import (
     Union,
     Var,
     free_variables,
+    substitute,
 )
+from repro.semirings.base import Semiring
 from repro.uxquery.engine import PreparedQuery
 from repro.uxquery.typecheck import FOREST
 from repro.exec.batch import BatchEvaluator, infer_document_var
@@ -60,7 +62,7 @@ __all__ = [
 PARTITION_SCHEMES = ("hash", "round-robin")
 
 
-def is_linear_in(expr: Expr, var: str) -> bool:
+def is_linear_in(expr: Expr, var: str, semiring: Semiring | None = None) -> bool:
     """True if ``expr`` is provably a linear function of the variable ``var``.
 
     Linear means ``expr[var := e1 U e2] == expr[var := e1] U expr[var := e2]``
@@ -68,15 +70,21 @@ def is_linear_in(expr: Expr, var: str) -> bool:
     exact.  The analysis is structural:
 
     * ``var`` itself and ``{}`` are linear;
-    * a union is linear when both operands are (a var-free operand is a
-      *constant*, which union would contribute once per shard — rejected);
+    * a union is linear when both operands are.  A var-free operand is a
+      *constant*, which shard-merge would contribute once per shard — allowed
+      only when ``semiring`` is supplied and its addition is idempotent, so
+      the repeated contributions collapse (strictly this makes the query
+      *affine*: ``f({})`` is the constant, not ``{}`` — exact for sharding
+      because the single-shot fallback covers the all-shards-empty case);
     * scaling preserves linearity (``k (e1 U e2) = k e1 U k e2``);
     * ``U(x in source) body`` is linear in its source (the big union
       distributes over unions of the source) and, independently, in its body
       (bind is bilinear) — but not in both at once, which would be quadratic;
     * a conditional is linear when ``var`` stays out of the compared labels
       and both branches are linear;
-    * ``let`` is linear in its body when the bound value is var-free;
+    * ``let`` is linear in its body when the bound value is var-free; a
+      ``let``-bound *alias* of ``var`` itself is inlined and analysed as
+      ``var``;
     * every value *constructor* (singleton, tree, pair, projection, srt, ...)
       is rejected: wrapping the result means merging wraps twice.
     """
@@ -85,27 +93,43 @@ def is_linear_in(expr: Expr, var: str) -> bool:
     if isinstance(expr, EmptySet):
         return True
     if isinstance(expr, Union):
-        return is_linear_in(expr.left, var) and is_linear_in(expr.right, var)
+        left_ok = is_linear_in(expr.left, var, semiring)
+        right_ok = is_linear_in(expr.right, var, semiring)
+        if left_ok and right_ok:
+            return True
+        if semiring is None or not semiring.idempotent_add:
+            return False
+        # Under +-idempotent addition a var-free side is an admissible
+        # constant (the affine case); a side that mentions var must still be
+        # linear on its own.
+        return (left_ok or var not in free_variables(expr.left)) and (
+            right_ok or var not in free_variables(expr.right)
+        )
     if isinstance(expr, Scale):
-        return is_linear_in(expr.expr, var)
+        return is_linear_in(expr.expr, var, semiring)
     if isinstance(expr, BigUnion):
         in_source = var in free_variables(expr.source)
         in_body = expr.var != var and var in free_variables(expr.body)
         if in_source and in_body:
             return False
         if in_source:
-            return is_linear_in(expr.source, var)
+            return is_linear_in(expr.source, var, semiring)
         if in_body:
-            return is_linear_in(expr.body, var)
+            return is_linear_in(expr.body, var, semiring)
         return False
     if isinstance(expr, IfEq):
         if var in free_variables(expr.left) or var in free_variables(expr.right):
             return False
-        return is_linear_in(expr.then, var) and is_linear_in(expr.orelse, var)
+        return is_linear_in(expr.then, var, semiring) and is_linear_in(
+            expr.orelse, var, semiring
+        )
     if isinstance(expr, Let):
+        if isinstance(expr.value, Var) and expr.value.name == var:
+            # A let-bound alias of the document variable: inline and re-check.
+            return is_linear_in(substitute(expr.body, expr.var, Var(var)), var, semiring)
         if var in free_variables(expr.value) or expr.var == var:
             return False
-        return is_linear_in(expr.body, var)
+        return is_linear_in(expr.body, var, semiring)
     return False
 
 
@@ -148,7 +172,7 @@ class ShardedEvaluator:
                 f"sharded execution needs a forest-valued query; this one returns "
                 f"{prepared.result_type!r} (drop the top-level element constructor)"
             )
-        if not is_linear_in(prepared.nrc_simplified, self.var):
+        if not is_linear_in(prepared.nrc_simplified, self.var, prepared.semiring):
             raise ExecError(
                 f"query is not linear in ${self.var}, so per-shard results cannot "
                 "be merged exactly (element constructors around the result and "
@@ -168,7 +192,10 @@ class ShardedEvaluator:
         if not isinstance(document, KSet):
             raise ExecError(f"sharded execution needs a K-set forest, got {document!r}")
         shards = document.partition(self.num_shards, self.scheme)
-        # f({}) = {} by linearity, so empty shards cannot contribute.
+        # Empty shards cannot contribute: f({}) = {} for strictly linear
+        # queries, and the affine case (a var-free union side, admitted only
+        # under +-idempotent addition) contributes a constant that any kept
+        # shard already supplies.  All-empty falls through to single-shot.
         shards = [shard for shard in shards if not shard.is_empty()]
         if not shards:
             return self.prepared.evaluate(_with_var(env, self.var, document), method=method)

@@ -14,6 +14,7 @@ Public API
 
 from repro.semirings.base import Semiring, check_semiring_axioms
 from repro.semirings.boolean import BOOLEAN, BooleanSemiring
+from repro.semirings.diff import DiffPair, DiffSemiring, diff_of
 from repro.semirings.homomorphism import (
     SemiringHomomorphism,
     check_homomorphism,
@@ -79,6 +80,9 @@ __all__ = [
     "check_semiring_axioms",
     "BooleanSemiring",
     "BOOLEAN",
+    "DiffPair",
+    "DiffSemiring",
+    "diff_of",
     "NaturalSemiring",
     "NATURAL",
     "Monomial",

@@ -63,6 +63,14 @@ class Semiring(ABC):
     #: defensive construction path.
     ops_preserve_normal_form: bool = True
 
+    #: True if addition is cancellative and :meth:`subtract` implements exact
+    #: subtraction.  Semirings have no additive inverses in general, but some
+    #: (``N``, ``N[X]``) embed into their ring completion, where ``b + c = a``
+    #: has at most one solution ``c``.  The incremental view-maintenance layer
+    #: (:mod:`repro.ivm`) uses this to apply deletions exactly; semirings that
+    #: leave it ``False`` fall back to recomputation on deleting updates.
+    supports_subtraction: bool = False
+
     # ------------------------------------------------------------------ core
     @property
     @abstractmethod
@@ -137,6 +145,21 @@ class Semiring(ABC):
         for _ in range(n):
             acc = self.add(acc, self.one)
         return acc
+
+    def subtract(self, a: Any, b: Any) -> Any:
+        """Exact partial subtraction: the unique ``c`` with ``b + c = a``.
+
+        Only meaningful when :attr:`supports_subtraction` is ``True`` (``+`` is
+        cancellative); the default implementation supports the one case every
+        semiring has — subtracting zero — and raises :class:`SemiringError`
+        otherwise.  Overrides must raise :class:`SemiringError` whenever no
+        exact ``c`` exists (e.g. ``2 - 3`` in ``N``), never approximate.
+        """
+        if self.is_zero(b):
+            return self.normalize(a)
+        raise SemiringError(
+            f"semiring {self.name} does not support exact subtraction"
+        )
 
     def power(self, a: Any, n: int) -> Any:
         """The n-fold product ``a . a . ... . a`` (``a ** 0 == 1``)."""

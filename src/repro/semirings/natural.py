@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro.errors import SemiringError
 from repro.semirings.base import Semiring
 
 __all__ = ["NaturalSemiring", "NATURAL"]
@@ -17,6 +18,9 @@ class NaturalSemiring(Semiring):
     """``(N, +, *, 0, 1)`` — bag (multiplicity) semantics."""
 
     name = "natural"
+
+    #: Addition on N is cancellative, so deletions can be applied exactly.
+    supports_subtraction = True
 
     @property
     def zero(self) -> int:
@@ -34,6 +38,11 @@ class NaturalSemiring(Semiring):
 
     def is_valid(self, a: Any) -> bool:
         return isinstance(a, int) and not isinstance(a, bool) and a >= 0
+
+    def subtract(self, a: int, b: int) -> int:
+        if b > a:
+            raise SemiringError(f"cannot subtract {b} from {a} in N (no negatives)")
+        return a - b
 
     def parse_element(self, text: str) -> int:
         value = int(text.strip())

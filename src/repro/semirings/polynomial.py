@@ -503,6 +503,9 @@ class ProvenancePolynomialSemiring(Semiring):
 
     name = "provenance-polynomials"
 
+    #: Addition in N[X] is coefficient-wise on N, hence cancellative.
+    supports_subtraction = True
+
     @property
     def zero(self) -> Polynomial:
         return _ZERO
@@ -519,6 +522,24 @@ class ProvenancePolynomialSemiring(Semiring):
 
     def is_valid(self, a: Any) -> bool:
         return isinstance(a, Polynomial)
+
+    def subtract(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        """Coefficient-wise exact subtraction (raises if any coefficient would go negative)."""
+        remaining = dict(a._terms)
+        for monomial, coeff in b._terms:
+            left = remaining.get(monomial, 0) - coeff
+            if left < 0:
+                raise SemiringError(
+                    f"cannot subtract {b} from {a} in N[X] "
+                    f"(coefficient of {monomial} would be negative)"
+                )
+            if left:
+                remaining[monomial] = left
+            else:
+                remaining.pop(monomial, None)
+        return Polynomial._from_canonical(
+            tuple(sorted(remaining.items(), key=lambda kv: kv[0].sort_key()))
+        )
 
     def from_int(self, n: int) -> Polynomial:
         return Polynomial.constant(n)

@@ -31,6 +31,9 @@ class ProductSemiring(Semiring):
         self.ops_preserve_normal_form = all(
             factor.ops_preserve_normal_form for factor in factors
         )
+        self.supports_subtraction = all(
+            factor.supports_subtraction for factor in factors
+        )
 
     @property
     def factors(self) -> tuple[Semiring, ...]:
@@ -63,6 +66,11 @@ class ProductSemiring(Semiring):
 
     def normalize(self, a: tuple) -> tuple:
         return tuple(factor.normalize(x) for factor, x in zip(self._factors, a, strict=True))
+
+    def subtract(self, a: tuple, b: tuple) -> tuple:
+        return tuple(
+            factor.subtract(x, y) for factor, x, y in zip(self._factors, a, b, strict=True)
+        )
 
     def project(self, a: tuple, index: int) -> Any:
         """The ``index``-th component of a product annotation."""

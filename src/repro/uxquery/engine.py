@@ -144,6 +144,24 @@ class PreparedQuery:
             return evaluate_nrc(self.nrc, self.semiring, dict(env) if env else {})
         return evaluate_direct(self.core, self.semiring, dict(env) if env else {})
 
+    # ---------------------------------------------------------- materialization
+    def materialize(
+        self,
+        document: Any,
+        env: Mapping[str, Any] | None = None,
+        document_var: str | None = None,
+    ) -> Any:
+        """Materialize this query over ``document`` as an incrementally
+        maintained view (see :class:`repro.ivm.view.MaterializedView`).
+
+        The returned view caches the evaluated result and keeps it exactly
+        equal to re-evaluation as deltas are applied — through the compiled
+        delta plan when the query admits one, by recomputation otherwise.
+        """
+        from repro.ivm.view import MaterializedView
+
+        return MaterializedView(self, document, env=env, var=document_var)
+
     # --------------------------------------------------------------- metrics
     @property
     def surface_size(self) -> int:

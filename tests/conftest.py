@@ -18,10 +18,13 @@ from repro.semirings import (
     DivisorLatticeSemiring,
     ProductSemiring,
     SubsetLatticeSemiring,
+    diff_of,
 )
 from repro.uxml import TreeBuilder
 
 #: Every shipped semiring, used by parametrized axiom / lifting tests.
+#: The Diff(K) ring-completion constructions ride along so the IVM layer's
+#: difference pairs are held to the same laws as every other semiring.
 ALL_SEMIRINGS = [
     BOOLEAN,
     NATURAL,
@@ -36,6 +39,9 @@ ALL_SEMIRINGS = [
     SubsetLatticeSemiring({"r1", "r2", "r3"}),
     DivisorLatticeSemiring(30),
     ProductSemiring(BOOLEAN, NATURAL),
+    diff_of(BOOLEAN),
+    diff_of(NATURAL),
+    diff_of(PROVENANCE),
 ]
 
 #: Semirings whose elements are convenient for exact query-result comparisons.

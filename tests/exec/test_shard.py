@@ -9,8 +9,8 @@ import pytest
 from repro.errors import ExecError, SemiringError
 from repro.exec import ShardedEvaluator, is_linear_in, partition_forest, shard_evaluate
 from repro.kcollections import KSet
-from repro.nrc.ast import BigUnion, EmptySet, Kids, Singleton, Union, Var
-from repro.semirings import NATURAL, PROVENANCE, standard_semirings
+from repro.nrc.ast import BigUnion, EmptySet, Kids, Let, Singleton, Union, Var
+from repro.semirings import BOOLEAN, NATURAL, PROVENANCE, standard_semirings
 from repro.uxquery import prepare_query
 from repro.workloads import random_forest
 
@@ -72,6 +72,55 @@ class TestLinearity:
         assert not is_linear_in(Var("T"), "S")
         # Shadowing: the inner S is the binder, not the document.
         assert not is_linear_in(BigUnion("S", Var("T"), Var("S")), "S")
+
+    def test_let_bound_alias_is_inlined(self):
+        # let D := S in U(x in D) {x}  — linear via the alias.
+        s = Var("S")
+        aliased = Let("D", s, BigUnion("x", Var("D"), Singleton(Var("x"))))
+        assert is_linear_in(aliased, "S")
+        # A let binding a non-alias value of S is still rejected.
+        wrapped = Let("D", Singleton(s), BigUnion("x", Var("D"), Singleton(Var("x"))))
+        assert not is_linear_in(wrapped, "S")
+        # Chained aliases resolve too.
+        chained = Let("D", s, Let("E", Var("D"), BigUnion("x", Var("E"), Singleton(Var("x")))))
+        assert is_linear_in(chained, "S")
+
+    def test_var_free_union_side_needs_idempotent_addition(self):
+        s = Var("S")
+        affine = Union(s, Var("T"))
+        # Without a semiring (or with non-idempotent addition) the constant
+        # side would be contributed once per shard — rejected.
+        assert not is_linear_in(affine, "S")
+        assert not is_linear_in(affine, "S", NATURAL)
+        assert not is_linear_in(affine, "S", PROVENANCE)
+        # Under idempotent addition the repeats collapse — accepted.
+        assert is_linear_in(affine, "S", BOOLEAN)
+        assert is_linear_in(Union(Var("T"), s), "S", BOOLEAN)
+        # The var side must still be linear on its own.
+        assert not is_linear_in(Union(Singleton(s), Var("T")), "S", BOOLEAN)
+
+    def test_affine_shard_merge_matches_single_shot_boolean(self):
+        """Shard-merge of `($S/*, $T/*)` (constant side) is exact over B."""
+        forest = _forest(BOOLEAN, num_trees=10)
+        constant = _forest(BOOLEAN, num_trees=3, seed=77)
+        prepared = prepare_query(
+            "( ($S)/*, ($T)/* )", BOOLEAN, {"S": forest, "T": constant}
+        )
+        single = prepared.evaluate({"S": forest, "T": constant})
+        for num_shards in (1, 2, 4, 32):
+            sharded = shard_evaluate(
+                prepared, forest, env={"T": constant}, num_shards=num_shards
+            )
+            assert sharded == single
+
+    def test_affine_shard_rejected_for_non_idempotent(self):
+        forest = _forest(NATURAL, num_trees=6)
+        constant = _forest(NATURAL, num_trees=2, seed=78)
+        prepared = prepare_query(
+            "( ($S)/*, ($T)/* )", NATURAL, {"S": forest, "T": constant}
+        )
+        with pytest.raises(ExecError, match="not linear"):
+            ShardedEvaluator(prepared)
 
     def test_rejects_element_wrapper(self):
         forest = _forest(NATURAL)

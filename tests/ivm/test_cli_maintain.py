@@ -1,0 +1,173 @@
+"""The CLI maintain / cache-stats surfaces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DOCUMENT_XML = """
+<a annot="z">
+  <b annot="x1"> <d annot="y1"/> </b>
+  <c annot="x2"> <d annot="y2"/> <e annot="y3"/> </c>
+</a>
+"""
+
+UPDATES = [
+    {"op": "insert", "tree": '<b annot="n1"><d annot="n2"/></b>'},
+    {"op": "insert", "tree": '<c annot="m1"><d annot="m2"/></c>'},
+    {"op": "reannotate", "tree": '<b annot="n1"><d annot="n2"/></b>', "annot": "n1 + q"},
+    {"op": "delete", "tree": '<c annot="m1"><d annot="m2"/></c>'},
+]
+
+
+@pytest.fixture
+def document_path(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(DOCUMENT_XML, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def updates_path(tmp_path):
+    path = tmp_path / "updates.jsonl"
+    lines = ["# replay script"] + [json.dumps(spec) for spec in UPDATES]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return str(path)
+
+
+class TestMaintain:
+    def test_replay_reports_and_verifies(self, document_path, updates_path, capsys):
+        exit_code = main(
+            [
+                "maintain",
+                "--query",
+                "($S)//d",
+                "--input",
+                document_path,
+                "--updates",
+                updates_path,
+                "--semiring",
+                "N[X]",
+                "--print-result",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "applied 4 update(s): 4 incremental, 0 recomputed (plan: linear)" in output
+        assert "maintain" in output and "recompute" in output and "speedup" in output
+        # The maintained N[X] result: b's new annotation distributes over its d.
+        assert "n1*n2 + n2*q" in output
+        assert "m1*m2" not in output  # the deleted member's contribution is gone
+
+    def test_no_verify_skips_recompute_timing(self, document_path, updates_path, capsys):
+        exit_code = main(
+            [
+                "maintain",
+                "-q",
+                "($S)//d",
+                "-i",
+                document_path,
+                "-u",
+                updates_path,
+                "-k",
+                "N[X]",
+                "--no-verify",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "maintain" in output
+        assert "recompute  total" not in output
+        assert "speedup" not in output
+
+    def test_non_incremental_query_recomputes(self, document_path, updates_path, capsys):
+        exit_code = main(
+            [
+                "maintain",
+                "-q",
+                "element out { ($S)//d }",
+                "-i",
+                document_path,
+                "-u",
+                updates_path,
+                "-k",
+                "N[X]",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "4 recomputed (plan: non-incremental)" in output
+
+    def test_bad_update_script_fails_loudly(self, document_path, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"op": "warp", "tree": "<b/>"}\n', encoding="utf-8")
+        exit_code = main(
+            ["maintain", "-q", "($S)//d", "-i", document_path, "-u", str(bad)]
+        )
+        assert exit_code == 1
+        assert "unknown update op" in capsys.readouterr().err
+
+    def test_delete_missing_member_fails_loudly(self, document_path, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"op": "delete", "tree": "<zzz/>"}) + "\n", encoding="utf-8")
+        exit_code = main(
+            ["maintain", "-q", "($S)//d", "-i", document_path, "-u", str(bad)]
+        )
+        assert exit_code == 1
+        assert "cannot delete" in capsys.readouterr().err
+
+    def test_reannotate_missing_member_fails_loudly(self, document_path, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            json.dumps({"op": "reannotate", "tree": "<zzz/>", "annot": "q"}) + "\n",
+            encoding="utf-8",
+        )
+        exit_code = main(
+            ["maintain", "-q", "($S)//d", "-i", document_path, "-u", str(bad)]
+        )
+        assert exit_code == 1
+        assert "cannot reannotate" in capsys.readouterr().err
+
+
+class TestStatsSurfaces:
+    def test_cache_stats_command(self, capsys):
+        assert main(["cache-stats"]) == 0
+        output = capsys.readouterr().out
+        assert "plan cache:" in output
+        assert "hits" in output and "misses" in output
+
+    def test_query_stats_flag(self, document_path, capsys):
+        exit_code = main(
+            ["query", "-q", "($S)//d", "-i", document_path, "-k", "N[X]", "--stats"]
+        )
+        assert exit_code == 0
+        assert "plan cache:" in capsys.readouterr().out
+
+    def test_maintain_stats_flag(self, document_path, updates_path, capsys):
+        exit_code = main(
+            [
+                "maintain",
+                "-q",
+                "($S)//d",
+                "-i",
+                document_path,
+                "-u",
+                updates_path,
+                "-k",
+                "N[X]",
+                "--stats",
+            ]
+        )
+        assert exit_code == 0
+        assert "plan cache:" in capsys.readouterr().out
+
+    def test_repeated_query_hits_the_cache(self, document_path, capsys):
+        main(["query", "-q", "($S)//e", "-i", document_path, "-k", "N[X]"])
+        capsys.readouterr()
+        main(["query", "-q", "($S)//e", "-i", document_path, "-k", "N[X]", "--stats"])
+        output = capsys.readouterr().out
+        # Second run of the same text must be served from the plan cache.
+        assert "misses" in output

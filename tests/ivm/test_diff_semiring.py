@@ -1,0 +1,136 @@
+"""The Diff(K) ring-completion construction: laws, lift/lower, subtraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SemiringError
+from repro.semirings import (
+    BOOLEAN,
+    NATURAL,
+    PROVENANCE,
+    DiffPair,
+    DiffSemiring,
+    ProductSemiring,
+    check_semiring_axioms,
+    diff_of,
+    standard_semirings,
+    variables,
+)
+
+REGISTRY_SEMIRINGS = list(standard_semirings())
+
+
+@pytest.mark.parametrize("base", REGISTRY_SEMIRINGS, ids=lambda s: s.name)
+def test_diff_satisfies_semiring_laws(base):
+    """Diff(K) is a commutative semiring for every registry semiring K."""
+    diff = diff_of(base)
+    assert check_semiring_axioms(diff, diff.sample_elements()) == []
+
+
+@pytest.mark.parametrize("base", REGISTRY_SEMIRINGS, ids=lambda s: s.name)
+def test_lift_is_a_homomorphism(base):
+    diff = diff_of(base)
+    samples = list(base.sample_elements())[:4]
+    assert diff.eq(diff.lift(base.zero), diff.zero)
+    assert diff.eq(diff.lift(base.one), diff.one)
+    for a in samples:
+        for b in samples:
+            assert diff.eq(diff.lift(base.add(a, b)), diff.add(diff.lift(a), diff.lift(b)))
+            assert diff.eq(diff.lift(base.mul(a, b)), diff.mul(diff.lift(a), diff.lift(b)))
+
+
+@pytest.mark.parametrize("base", REGISTRY_SEMIRINGS, ids=lambda s: s.name)
+def test_lower_inverts_lift(base):
+    diff = diff_of(base)
+    for a in base.sample_elements():
+        lifted = diff.lift(a)
+        assert diff.is_lifted(lifted)
+        assert base.eq(diff.lower(lifted), a)
+
+
+def test_mul_multiplies_signs():
+    diff = diff_of(NATURAL)
+    # (2 - 1) * (3 - 2) = (2*3 + 1*2) - (2*2 + 1*3) = 8 - 7  (== 1, as pairs would cancel to)
+    product = diff.mul(DiffPair(2, 1), DiffPair(3, 2))
+    assert product == DiffPair(8, 7)
+    assert diff.base.subtract(product.pos, product.neg) == 1
+
+
+def test_negate_swaps_parts():
+    diff = diff_of(NATURAL)
+    assert diff.negate(DiffPair(3, 1)) == DiffPair(1, 3)
+    # a + negate(a) is difference-equivalent to zero, not structurally zero.
+    total = diff.add(DiffPair(3, 1), diff.negate(DiffPair(3, 1)))
+    assert total == DiffPair(4, 4)
+    assert not diff.is_zero(total)
+    assert diff.base.is_zero(diff.lower(total))
+
+
+def test_base_elements_are_accepted_and_lifted():
+    diff = diff_of(NATURAL)
+    assert diff.is_valid(5)
+    assert diff.coerce(5) == DiffPair(5, 0)
+    assert diff.parse_element("5") == DiffPair(5, 0)
+
+
+def test_lower_without_subtraction_needs_zero_negative_part():
+    diff = diff_of(BOOLEAN)
+    assert diff.lower(DiffPair(True, False)) is True
+    with pytest.raises(SemiringError):
+        diff.lower(DiffPair(True, True))
+
+
+def test_diff_of_interns_and_rejects_nesting():
+    assert diff_of(NATURAL) is diff_of(NATURAL)
+    assert diff_of(diff_of(NATURAL)) is diff_of(NATURAL)
+    with pytest.raises(SemiringError):
+        DiffSemiring(diff_of(NATURAL))
+
+
+def test_diff_equality_follows_base():
+    assert diff_of(NATURAL) == diff_of(NATURAL)
+    assert diff_of(NATURAL) != diff_of(BOOLEAN)
+    assert hash(diff_of(NATURAL)) == hash(DiffSemiring(NATURAL))
+
+
+def test_diff_is_never_mul_idempotent():
+    diff = diff_of(BOOLEAN)
+    assert diff.idempotent_add
+    assert not diff.idempotent_mul
+    # The witness: (0 - 1)^2 = (1 - 0).
+    assert diff.mul(DiffPair(False, True), DiffPair(False, True)) == DiffPair(True, False)
+
+
+class TestExactSubtraction:
+    def test_natural_subtract(self):
+        assert NATURAL.supports_subtraction
+        assert NATURAL.subtract(5, 3) == 2
+        assert NATURAL.subtract(5, 0) == 5
+        with pytest.raises(SemiringError):
+            NATURAL.subtract(3, 5)
+
+    def test_polynomial_subtract(self):
+        assert PROVENANCE.supports_subtraction
+        x, y = variables("x", "y")
+        total = x + x + y
+        assert PROVENANCE.subtract(total, x) == x + y
+        assert PROVENANCE.subtract(total, total) == PROVENANCE.zero
+        with pytest.raises(SemiringError):
+            PROVENANCE.subtract(x, y)
+        with pytest.raises(SemiringError):
+            PROVENANCE.subtract(x, x + x)
+
+    def test_boolean_has_no_subtraction(self):
+        assert not BOOLEAN.supports_subtraction
+        assert BOOLEAN.subtract(True, False) is True  # subtracting zero always works
+        with pytest.raises(SemiringError):
+            BOOLEAN.subtract(True, True)
+
+    def test_product_subtracts_componentwise(self):
+        product = ProductSemiring(NATURAL, PROVENANCE)
+        assert product.supports_subtraction
+        x = variables("x")[0]
+        assert product.subtract((5, x + x), (2, x)) == (3, x)
+        mixed = ProductSemiring(BOOLEAN, NATURAL)
+        assert not mixed.supports_subtraction
