@@ -1,0 +1,66 @@
+"""Navigation pushdown vs unindexed scan on the figure-4 descendant workload.
+
+The store's reason to exist: a descendant (``//``) lookup over a stored
+document should be index work — an interval probe per root on the label
+index — not a full annotated tree walk.  Three measured paths, all producing
+the identical K-set (asserted before timing):
+
+* **scan baseline** — ``PreparedQuery.evaluate``: the compiled evaluator
+  walking the in-memory forest (what every query paid before the store);
+* **raw index navigation** — ``StructuralIndex.navigate(use_cache=False)``:
+  interval containment + multiplicity counting, no memoization;
+* **served path** — ``DocumentStore.query``: plan cache + split memo +
+  navigation cache, the store's steady-state serving cost.
+
+``run_all.py`` records the scan-vs-indexed ratio in the ``store`` section of
+``BENCH_results.json``; CI asserts the raw indexed path stays at least 5x
+faster than the scan on this workload.
+"""
+
+from __future__ import annotations
+
+from repro.semirings import PROVENANCE
+from repro.store import DocumentStore
+from repro.uxquery import prepare_query
+from repro.uxquery.ast import Step
+from repro.workloads import random_forest
+
+# The figure-4 shape (descendant search for `c` under provenance
+# annotations), scaled from the paper's worked example to a document where
+# index-vs-scan asymptotics are visible.
+QUERY = "$S//c"
+CHAIN = (Step("descendant-or-self", "*"), Step("child", "c"))
+FOREST = random_forest(PROVENANCE, num_trees=24, depth=4, fanout=3, seed=400)
+
+STORE = DocumentStore(PROVENANCE)
+STORE.ingest("doc", FOREST)
+INDEX = STORE.document("doc").index
+PREPARED = prepare_query(QUERY, PROVENANCE, {"S": FOREST})
+EXPECTED = PREPARED.evaluate({"S": FOREST})
+
+
+def test_store_scan_baseline(benchmark):
+    """The compiled evaluator walking the document (no indexes)."""
+    result = benchmark(lambda: PREPARED.evaluate({"S": FOREST}))
+    assert result == EXPECTED
+
+
+def test_store_indexed_navigation(benchmark):
+    """The raw index path: interval probes, no navigation memo."""
+    result = benchmark(lambda: INDEX.navigate(CHAIN, use_cache=False))
+    assert result == EXPECTED
+
+
+def test_store_served_query(benchmark):
+    """The full serving path: plan cache + split memo + navigation cache."""
+    result = benchmark(lambda: STORE.query(QUERY))
+    assert result == EXPECTED
+
+
+def test_store_child_chain_pushdown(benchmark):
+    """A figure-1-style child chain served through the child index."""
+    query = "$S/*/*"
+    prepared = prepare_query(query, PROVENANCE, {"S": FOREST})
+    expected = prepared.evaluate({"S": FOREST})
+    result = benchmark(lambda: STORE.query(query))
+    assert result == expected

@@ -72,7 +72,7 @@ def run_pytest_benchmarks(quick: bool) -> list[dict]:
         if quick:
             command += [
                 "-k",
-                "figure1 or figure4 or batch or shard or ivm",
+                "figure1 or figure4 or batch or shard or ivm or store",
                 "--benchmark-min-rounds",
                 "1",
                 "--benchmark-max-time",
@@ -319,6 +319,100 @@ def measure_ivm(quick: bool) -> dict:
     return report
 
 
+# ---------------------------------------------------------------------------
+# Section 5: the persistent indexed document store (repro.store)
+# ---------------------------------------------------------------------------
+def measure_store(quick: bool) -> dict:
+    """Pushdown vs scan on the figure-4 workload, plus recovery timings."""
+    import shutil
+    import tempfile
+
+    from repro.ivm import Delta
+    from repro.store import DocumentStore
+    from repro.uxquery.ast import Step
+    from repro.workloads import random_tree
+
+    repetitions = 10 if quick else 50
+    num_trees = 16 if quick else 24
+    forest = random_forest(PROVENANCE, num_trees=num_trees, depth=4, fanout=3, seed=400)
+    query = "$S//c"
+    chain = (Step("descendant-or-self", "*"), Step("child", "c"))
+
+    store = DocumentStore(PROVENANCE)
+    store.ingest("doc", forest)
+    index = store.document("doc").index
+    prepared = prepare_query(query, PROVENANCE, {"S": forest})
+    expected = prepared.evaluate({"S": forest})
+    if index.navigate(chain, use_cache=False) != expected or store.query(query) != expected:
+        raise SystemExit("store_pushdown: indexed and scan answers disagree")
+
+    scan_s = _time_call(lambda: prepared.evaluate({"S": forest}), repetitions)
+    indexed_s = _time_call(lambda: index.navigate(chain, use_cache=False), repetitions)
+    served_s = _time_call(lambda: store.query(query), repetitions)
+    pushdown = {
+        "query": query,
+        "forest_trees": len(forest),
+        "nodes": index.node_count(),
+        "scan_s": scan_s,
+        "indexed_s": indexed_s,
+        "served_s": served_s,
+        "speedup_indexed_vs_scan": scan_s / indexed_s if indexed_s else float("inf"),
+        "speedup_served_vs_scan": scan_s / served_s if served_s else float("inf"),
+    }
+    print(
+        f"{'store_pushdown':32s} scan {scan_s * 1e6:9.1f}us  "
+        f"indexed {indexed_s * 1e6:9.1f}us  "
+        f"speedup {pushdown['speedup_indexed_vs_scan']:6.2f}x  "
+        f"(served: {pushdown['speedup_served_vs_scan']:6.2f}x)"
+    )
+
+    num_updates = 6 if quick else 12
+    updates = [
+        Delta.insertion(NATURAL, random_tree(NATURAL, depth=3, fanout=2, seed=510 + i), 1)
+        for i in range(num_updates)
+    ]
+    base = random_forest(NATURAL, num_trees=num_trees, depth=4, fanout=3, seed=500)
+    workdir = Path(tempfile.mkdtemp(prefix="bench-store-"))
+    try:
+        durable = DocumentStore(NATURAL, directory=workdir / "s")
+        durable.ingest("doc", base)
+        durable.register_view("hits", "$S//c", "doc")
+        for step, delta in enumerate(updates):
+            if step == num_updates // 2:
+                durable.compact()
+            durable.update("doc", delta)
+
+        def recover() -> None:
+            recovered = DocumentStore.open(workdir / "s")
+            if recovered.columns("doc") != durable.columns("doc"):
+                raise SystemExit("store_recovery: recovered columns diverged")
+
+        recover_s = _time_call(recover, max(3, repetitions // 5))
+
+        def rebuild() -> None:
+            fresh = DocumentStore(NATURAL)
+            fresh.ingest("doc", base)
+            fresh.register_view("hits", "$S//c", "doc")
+            for delta in updates:
+                fresh.update("doc", delta)
+
+        rebuild_s = _time_call(rebuild, max(3, repetitions // 5))
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    recovery = {
+        "updates": num_updates,
+        "recover_snapshot_tail_s": recover_s,
+        "cold_rebuild_s": rebuild_s,
+        "speedup_recover_vs_rebuild": rebuild_s / recover_s if recover_s else float("inf"),
+    }
+    print(
+        f"{'store_recovery':32s} recover {recover_s * 1e3:8.2f}ms  "
+        f"rebuild {rebuild_s * 1e3:8.2f}ms  "
+        f"speedup {recovery['speedup_recover_vs_rebuild']:6.2f}x"
+    )
+    return {"pushdown": pushdown, "recovery": recovery}
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke mode: figures only, few rounds")
@@ -350,10 +444,18 @@ def main() -> None:
             "Diff(K) delete, state restored every round) vs re-evaluating the "
             "prepared query on the updated document; answers asserted equal and "
             "the linear plan asserted to never fall back to recomputation",
+            "store": "pushdown compares the raw structural-index path "
+            "(StructuralIndex.navigate, memo bypassed) and the full serving path "
+            "(DocumentStore.query: plan cache + split memo + navigation cache) "
+            "against the compiled evaluator scanning the same document, on the "
+            "figure-4 descendant workload; recovery times DocumentStore.open "
+            "(snapshot + WAL-tail replay) against a cold in-memory rebuild of the "
+            "same update history; all answers/states asserted equal before timing",
         },
         "speedups": measure_speedups(args.quick),
         "exec": measure_exec(args.quick),
         "ivm": measure_ivm(args.quick),
+        "store": measure_store(args.quick),
     }
     if not args.no_pytest:
         report["benchmarks"] = run_pytest_benchmarks(args.quick)

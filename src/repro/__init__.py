@@ -35,6 +35,7 @@ __all__ = [
     # `from repro import *` does not shadow the exec() builtin.
     "relational",
     "shredding",
+    "store",
     "security",
     "incomplete",
     "probabilistic",

@@ -14,7 +14,11 @@ A small front end so the library can be used without writing Python:
 * ``python -m repro specialize`` — apply a token valuation to an annotated
   document (Corollary 1: specialize provenance to a concrete semiring);
 * ``python -m repro shred`` — print the ``E(pid, nid, label)`` edge relation
-  of a document (Section 7).
+  of a document (Section 7);
+* ``python -m repro store ingest|query|update|compact|stats`` — the
+  persistent indexed document store (:mod:`repro.store`): shredded columnar
+  storage with structural indexes, navigation pushdown, and WAL/snapshot
+  durability.
 
 Annotated documents are ordinary XML files whose elements may carry an
 ``annot="..."`` attribute, parsed according to the chosen semiring.
@@ -159,6 +163,83 @@ def build_parser() -> argparse.ArgumentParser:
     shred.add_argument("--input", "-i", required=True, help="annotated XML document")
     shred.add_argument("--semiring", "-k", default="provenance-polynomials", help="annotation semiring")
     shred.add_argument("--annot-attr", default="annot", help="attribute carrying annotations")
+
+    store = subparsers.add_parser(
+        "store",
+        help="the persistent indexed document store (ingest/query/update/compact)",
+        description="Operate a durable repro.store directory: documents are "
+        "kept in shredded columnar form with structural indexes, every "
+        "change is write-ahead-logged, and `compact` snapshots the columns. "
+        "Queries are served through navigation pushdown (index lookups for "
+        "the step-chain prefix) with exact single-shot fallback.",
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+
+    store_ingest = store_commands.add_parser(
+        "ingest",
+        help="shred an annotated XML document into the store (WAL-logged)",
+        description="Parse INPUT as an annotated XML document and store it "
+        "under DOC in shredded columnar form.  A new store directory is "
+        "created with the given semiring; an existing one pins its semiring "
+        "and rejects mismatches.",
+    )
+    store_ingest.add_argument("--dir", "-d", required=True, help="store directory")
+    store_ingest.add_argument("--input", "-i", required=True, help="annotated XML document")
+    store_ingest.add_argument("--doc", required=True, help="document id inside the store")
+    store_ingest.add_argument(
+        "--semiring", "-k", default=None,
+        help="annotation semiring: required semantics — a new store is created "
+        "with it (default: provenance-polynomials); an existing store checks "
+        "it against its pinned semiring and rejects mismatches",
+    )
+    store_ingest.add_argument("--annot-attr", default="annot", help="attribute carrying annotations (default: annot)")
+    store_ingest.add_argument("--replace", action="store_true", help="overwrite an existing document id")
+
+    store_query = store_commands.add_parser(
+        "query",
+        help="run a K-UXQuery over a stored document (navigation pushed to indexes)",
+        description="Evaluate QUERY with the stored document bound to $VAR.  "
+        "The navigation prefix ($S/a//b chains) is answered from the "
+        "structural indexes when recognized — exactly equal to single-shot "
+        "evaluation, which also serves as the fallback.  --stats shows how "
+        "the query was served (pushdown vs fallback) and the plan cache counters.",
+    )
+    store_query.add_argument("--dir", "-d", required=True, help="store directory")
+    store_query.add_argument("--query", "-q", required=True, help="K-UXQuery text, or @file to read it from a file")
+    store_query.add_argument("--doc", help="document id (optional when the store holds exactly one)")
+    store_query.add_argument("--var", default="S", help="variable the document is bound to (default: S)")
+    store_query.add_argument("--format", choices=("paper", "xml"), default="paper", help="output format")
+    store_query.add_argument("--stats", action="store_true", help="print store and plan-cache statistics after the run")
+
+    store_update = store_commands.add_parser(
+        "update",
+        help="apply a JSONL update script to a stored document (WAL-logged deltas)",
+        description="Apply the UPDATES script (the `maintain` format: one "
+        'JSON object per line, {"op": "insert"|"delete"|"reannotate", '
+        '"tree": "<xml>", "annot": "...", "old": "..."}) to the stored '
+        "document.  Every update is journaled to the write-ahead log before "
+        "it is applied, and registered views are maintained through their "
+        "compiled delta plans.",
+    )
+    store_update.add_argument("--dir", "-d", required=True, help="store directory")
+    store_update.add_argument("--doc", required=True, help="document id inside the store")
+    store_update.add_argument("--updates", "-u", required=True, help="update script (one JSON object per line)")
+    store_update.add_argument("--annot-attr", default="annot", help="attribute carrying annotations (default: annot)")
+    store_update.add_argument("--stats", action="store_true", help="print store statistics after the run")
+
+    store_commands.add_parser(
+        "compact",
+        help="snapshot the shredded columns and truncate the write-ahead log",
+        description="Write an atomic snapshot of every stored document's "
+        "columns (plus registered view definitions) and truncate the WAL.  "
+        "Recovery afterwards loads the snapshot and replays only newer "
+        "records; a crash anywhere in the sequence is safe.",
+    ).add_argument("--dir", "-d", required=True, help="store directory")
+
+    store_commands.add_parser(
+        "stats",
+        help="show store counters (documents, pushdowns, WAL/snapshot activity)",
+    ).add_argument("--dir", "-d", required=True, help="store directory")
 
     return parser
 
@@ -389,6 +470,99 @@ def _command_shred(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(directory: str, semiring_name: str | None = None, create: bool = False):
+    """Open an existing store directory, or (``create=True``) make a new one.
+
+    A ``--semiring`` passed for an existing store is checked against the
+    pinned one (mismatch is an error, not silently ignored).
+    """
+    from repro.store import DocumentStore
+
+    if (Path(directory) / "meta.json").exists():
+        semiring = get_semiring(semiring_name) if semiring_name is not None else None
+        return DocumentStore(semiring, directory=directory)
+    if not create:
+        raise ReproError(
+            f"no store at {directory}; run `store ingest` to create one"
+        )
+    return DocumentStore(
+        get_semiring(semiring_name or "provenance-polynomials"), directory=directory
+    )
+
+
+def _print_store_stats(store) -> None:
+    stats = store.stats()
+    print(
+        f"store: {stats.documents} document(s)  {stats.views} view(s)  "
+        f"ingests {stats.ingests}  updates {stats.updates}  queries {stats.queries}"
+    )
+    print(
+        f"pushdown: served {stats.pushdowns} ({stats.full_pushdowns} index-only)  "
+        f"fallbacks {stats.fallbacks}  rate {stats.pushdown_rate:.0%}"
+    )
+    print(
+        f"durability: wal records {stats.wal_records}  snapshots {stats.snapshots}  "
+        f"recovered records {stats.recovered_records}"
+    )
+    cache = store.plan_cache.stats()
+    print(
+        f"plan cache: size {cache.size}/{cache.maxsize}  hits {cache.hits}  "
+        f"misses {cache.misses}  compiles {cache.compiles}"
+    )
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    command = args.store_command
+    if command == "ingest":
+        if (Path(args.dir) / "meta.json").exists():
+            store = _open_store(args.dir, args.semiring)
+            document = _load_document(args.input, store.semiring, args.annot_attr)
+        else:
+            # Parse and validate the input *before* creating the directory:
+            # a failed first ingest must not leave a half-created store
+            # pinned to a semiring no document was ever stored under.
+            semiring = get_semiring(args.semiring or "provenance-polynomials")
+            document = _load_document(args.input, semiring, args.annot_attr)
+            store = _open_store(args.dir, args.semiring, create=True)
+        stored = store.ingest(args.doc, document, replace=args.replace)
+        print(
+            f"ingested {args.doc!r}: {len(stored.columns)} edge rows, "
+            f"{len(stored.index.label_to_nids)} distinct labels"
+        )
+        return 0
+    store = _open_store(args.dir)
+    if command == "query":
+        answer = store.query(_read_query(args.query), args.doc, var=args.var)
+        print(_render(answer, args.format))
+        if args.stats:
+            _print_store_stats(store)
+        return 0
+    if command == "update":
+        count = 0
+        for _line_number, spec in _iter_update_specs(Path(args.updates)):
+            delta = _spec_to_delta(
+                spec, store.semiring, args.annot_attr, store.forest(args.doc)
+            )
+            store.update(args.doc, delta)
+            count += 1
+        print(f"applied {count} update(s) to {args.doc!r} (WAL-logged)")
+        if args.stats:
+            _print_store_stats(store)
+        return 0
+    if command == "compact":
+        store.compact()
+        stats = store.stats()
+        print(
+            f"compacted: snapshot written, WAL truncated "
+            f"({stats.documents} document(s), {stats.views} view(s))"
+        )
+        return 0
+    if command == "stats":
+        _print_store_stats(store)
+        return 0
+    raise ReproError(f"unknown store command {command!r}")  # pragma: no cover
+
+
 _COMMANDS = {
     "semirings": _command_semirings,
     "query": _command_query,
@@ -397,6 +571,7 @@ _COMMANDS = {
     "cache-stats": _command_cache_stats,
     "specialize": _command_specialize,
     "shred": _command_shred,
+    "store": _command_store,
 }
 
 

@@ -98,3 +98,7 @@ class ExecError(ReproError):
 
 class IVMError(ReproError):
     """Errors in the incremental view-maintenance layer (:mod:`repro.ivm`)."""
+
+
+class StoreError(ReproError):
+    """Errors in the persistent indexed document store (:mod:`repro.store`)."""

@@ -8,10 +8,15 @@ every request therefore wants exactly one data structure: a map from query
 text to the prepared plan, bounded, thread-safe, and guaranteeing that a plan
 is compiled **once** no matter how many requests race on a cold key.
 
-:class:`PlanCache` is that map.  Keys are ``(query text, semiring, env-types
-signature)`` — query *text*, so lookups never parse; textually distinct
-spellings of one query (``$S/*`` vs ``$S/child::*``) are distinct keys, and
-a :class:`~repro.uxquery.ast.Query` AST keys by its canonical ``str()``.
+:class:`PlanCache` is that map.  Keys are ``(query, semiring, env-types
+signature)`` — query *text* for textual queries, so lookups never parse
+(textually distinct spellings of one query, ``$S/*`` vs ``$S/child::*``,
+are distinct keys); a :class:`~repro.uxquery.ast.Query` AST keys by its
+structural value (``Query.__eq__``/``__hash__``), **not** by its rendering —
+renderings are not injective (a :class:`~repro.uxquery.ast.LabelExpr` can
+spell out any expression), so a string key could hand one query another
+query's plan.  Text and AST forms of the same query therefore occupy two
+cache entries; callers that want sharing should pick one form.
 The evaluation ``method`` is validated but deliberately **not** part of the
 key: a :class:`PreparedQuery` carries all three evaluation methods, so one
 compile serves ``nrc``, ``nrc-interp`` and ``direct`` callers alike.
@@ -111,8 +116,10 @@ class PlanCache:
         semiring: Semiring,
         env_types: Mapping[str, str],
     ) -> tuple:
-        text = query if isinstance(query, str) else str(query)
-        return (text, semiring, tuple(sorted(env_types.items())))
+        # Text keys textually, an AST keys structurally: Query renderings are
+        # not injective, so collapsing an AST to str(query) could serve one
+        # query another (render-identical) query's plan.
+        return (query, semiring, tuple(sorted(env_types.items())))
 
     def get(
         self,

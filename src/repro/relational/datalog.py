@@ -6,10 +6,26 @@ identifiers for the output document.  This module provides:
 
 * the rule language (:class:`Variable`, :class:`Constant`, :class:`SkolemTerm`,
   :class:`Atom`, :class:`Rule`, :class:`Program`);
-* a bottom-up, naive-iteration evaluator with K-annotation semantics: every
-  derivation of a fact contributes the product of its body annotations, and a
-  fact's annotation is the sum over all derivations.  Iteration proceeds until
-  the annotations reach a fixpoint.
+* a bottom-up evaluator with K-annotation semantics: every derivation of a
+  fact contributes the product of its body annotations, and a fact's
+  annotation is the sum over all derivations.  Iteration proceeds until the
+  annotations reach a fixpoint.
+
+Two iteration strategies implement the same semantics:
+
+* ``method="seminaive"`` (the default) — **semi-naive** iteration: each round
+  only re-derives rule instantiations that involve at least one fact whose
+  annotation changed in the previous round.  A *derivation ledger* keeps the
+  contribution of every rule instantiation (keyed by the body facts it
+  consumed), so when a fact changes, the affected head annotations are
+  re-summed from the surviving contributions — no semiring subtraction is
+  needed, which keeps the strategy exact for **every** commutative semiring.
+  Body atoms are matched through lazily-built hash indexes on bound argument
+  positions, so recursive rules join their frontier against the EDB with
+  lookups instead of table scans.
+* ``method="naive"`` — the reference strategy: every round re-derives every
+  rule from scratch and compares whole fact tables.  Kept as the executable
+  specification; the test-suite asserts both strategies agree.
 
 For the programs produced by the XPath translation the data is a tree, so the
 derivations of every fact are finite and the iteration terminates for every
@@ -35,10 +51,14 @@ __all__ = [
     "Atom",
     "Rule",
     "Program",
+    "EVALUATION_METHODS",
     "evaluate_program",
     "facts_from_relation",
     "relation_from_facts",
 ]
+
+#: Fixpoint strategies understood by :func:`evaluate_program`.
+EVALUATION_METHODS = ("seminaive", "naive")
 
 #: The anonymous variable: matches anything, binds nothing.
 WILDCARD_NAME = "_"
@@ -325,16 +345,21 @@ def evaluate_program(
     edb: Mapping[str, Mapping[Tuple[Any, ...], Any]],
     semiring: Semiring,
     max_iterations: int = 1000,
+    method: str = "seminaive",
 ) -> Facts:
-    """Naive bottom-up evaluation with semiring annotations.
+    """Bottom-up evaluation with semiring annotations.
 
     ``edb`` maps predicate names to fact tables (tuple -> annotation); the
     result contains the EDB predicates unchanged plus the derived (IDB)
     predicates.  A fact's final annotation is the sum, over all of its
     derivation trees, of the product of the leaf (EDB) annotations — the
     standard semiring-Datalog semantics restricted to finitely many
-    derivations.
+    derivations.  ``method`` selects the iteration strategy (see the module
+    docstring); both compute the same fixpoint.
     """
+    if method not in EVALUATION_METHODS:
+        valid = ", ".join(repr(name) for name in EVALUATION_METHODS)
+        raise DatalogError(f"unknown evaluation method {method!r}; valid methods: {valid}")
     base: Facts = {
         predicate: {
             row: semiring.normalize(semiring.coerce(annotation))
@@ -343,6 +368,15 @@ def evaluate_program(
         }
         for predicate, table in edb.items()
     }
+    if method == "seminaive":
+        return _SemiNaiveEvaluation(program, base, semiring).run(max_iterations)
+    return _evaluate_naive(program, base, semiring, max_iterations)
+
+
+def _evaluate_naive(
+    program: Program, base: Facts, semiring: Semiring, max_iterations: int
+) -> Facts:
+    """The reference strategy: re-derive everything, compare whole tables."""
     idb = program.idb_predicates()
     current: Facts = {predicate: dict(table) for predicate, table in base.items()}
     for predicate in idb:
@@ -375,3 +409,254 @@ def evaluate_program(
         f"Datalog evaluation did not reach a fixpoint within {max_iterations} iterations "
         f"(cyclic data over a non-idempotent semiring?)"
     )
+
+
+# ---------------------------------------------------------------------------
+# Semi-naive iteration
+# ---------------------------------------------------------------------------
+class _FactIndex:
+    """Hash indexes over one predicate's fact table, built lazily per
+    bound-position set and maintained incrementally as facts appear.
+
+    ``lookup(positions, values)`` returns the rows whose projection onto
+    ``positions`` equals ``values`` — the rows a body atom can match once its
+    constants and already-bound variables fix those positions.
+    """
+
+    __slots__ = ("rows", "_by_positions")
+
+    def __init__(self, rows: dict):
+        self.rows = rows  # row -> annotation (shared with the fact table)
+        self._by_positions: dict[Tuple[int, ...], dict[Tuple[Any, ...], list]] = {}
+
+    def _build(self, positions: Tuple[int, ...]) -> dict[Tuple[Any, ...], list]:
+        buckets: dict[Tuple[Any, ...], list] = {}
+        for row in self.rows:
+            key = tuple(row[position] for position in positions)
+            buckets.setdefault(key, []).append(row)
+        self._by_positions[positions] = buckets
+        return buckets
+
+    def lookup(self, positions: Tuple[int, ...], values: Tuple[Any, ...]) -> list:
+        buckets = self._by_positions.get(positions)
+        if buckets is None:
+            buckets = self._build(positions)
+        return buckets.get(values, ())
+
+    def add_row(self, row: Tuple[Any, ...]) -> None:
+        """Register a newly derived row with every already-built index."""
+        for positions, buckets in self._by_positions.items():
+            key = tuple(row[position] for position in positions)
+            buckets.setdefault(key, []).append(row)
+
+
+class _SemiNaiveEvaluation:
+    """Semi-naive fixpoint with a derivation ledger (see the module docstring).
+
+    The ledger maps every discovered rule instantiation — keyed by the rule
+    and the exact body rows it consumed — to its current contribution (the
+    product of those rows' annotations).  A head fact's annotation is the sum
+    of its EDB base annotation and all ledger contributions targeting it, so
+    when a body fact's annotation changes the affected heads are *re-summed*
+    from the surviving contributions instead of subtracted from — which is
+    what keeps the strategy exact for semirings without subtraction.
+
+    Each round only (1) recomputes the ledger entries that consume a fact
+    whose annotation changed last round (found through the ``_fact_uses``
+    reverse map) and (2) searches for instantiations not yet in the ledger in
+    which some changed fact participates — the classic semi-naive argument:
+    any genuinely new instantiation must involve a changed fact.  The round
+    reads a frozen fact table and applies all head updates at the end, so the
+    per-round tables coincide with naive iteration's (the test-suite checks
+    this, including the non-termination bound).
+    """
+
+    def __init__(self, program: Program, base: Facts, semiring: Semiring):
+        self.program = program
+        self.semiring = semiring
+        self.base = base
+        self.facts: Facts = {predicate: dict(table) for predicate, table in base.items()}
+        for predicate in program.idb_predicates():
+            self.facts.setdefault(predicate, {})
+        self._indexes: dict[str, _FactIndex] = {
+            predicate: _FactIndex(table) for predicate, table in self.facts.items()
+        }
+        # ledger key: (rule index, ((predicate, row), ...) one per body atom)
+        self._ledger: dict[tuple, Any] = {}
+        self._ledger_heads: dict[tuple, Tuple[str, Tuple[Any, ...]]] = {}
+        self._head_entries: dict[Tuple[str, Tuple[Any, ...]], set] = {}
+        self._fact_uses: dict[Tuple[str, Tuple[Any, ...]], set] = {}
+
+    # ------------------------------------------------------------------ rounds
+    def run(self, max_iterations: int) -> Facts:
+        # Rules with empty bodies have no atom for the delta-driven discovery
+        # to trigger on; seed their (single, constant) instantiation directly,
+        # exactly as the naive strategy derives them every round.
+        seeded: set = set()
+        for rule_index, rule in enumerate(self.program):
+            if not rule.body:
+                self._record_entry(rule_index, rule, (), {}, self.semiring.one, seeded)
+        self._apply_touched(seeded)
+        delta = {
+            (predicate, row)
+            for predicate, table in self.facts.items()
+            for row in table
+        }
+        for _ in range(max_iterations):
+            delta = self._round(delta)
+            if not delta:
+                return self.facts
+        raise DatalogNonTerminationError(
+            f"Datalog evaluation did not reach a fixpoint within {max_iterations} "
+            f"iterations (cyclic data over a non-idempotent semiring?)"
+        )
+
+    def _round(self, delta: set) -> set:
+        touched_heads: set = set()
+        # (1) Re-derive existing ledger entries that consume a changed fact.
+        for fact in delta:
+            for key in self._fact_uses.get(fact, ()):
+                self._recompute_entry(key, touched_heads)
+        # (2) Discover instantiations that involve a changed fact.
+        delta_by_predicate: dict[str, list] = {}
+        for predicate, row in delta:
+            delta_by_predicate.setdefault(predicate, []).append(row)
+        for rule_index, rule in enumerate(self.program):
+            for position, atom in enumerate(rule.body):
+                changed_rows = delta_by_predicate.get(atom.predicate)
+                if changed_rows:
+                    self._discover(rule_index, rule, position, changed_rows, touched_heads)
+        # (3) Re-sum the touched heads against the frozen-table contributions.
+        return self._apply_touched(touched_heads)
+
+    def _apply_touched(self, touched_heads: set) -> set:
+        """Re-sum the touched heads; returns the facts that actually changed."""
+        next_delta: set = set()
+        semiring = self.semiring
+        for head in touched_heads:
+            predicate, row = head
+            annotation = self.base.get(predicate, {}).get(row, semiring.zero)
+            for key in self._head_entries.get(head, ()):
+                annotation = semiring.add(annotation, self._ledger[key])
+            annotation = semiring.normalize(annotation)
+            table = self.facts[predicate]
+            if semiring.is_zero(annotation):
+                if row in table:
+                    del table[row]
+                    next_delta.add(head)
+            elif row not in table or table[row] != annotation:
+                if row not in table:
+                    self._index_for(predicate).add_row(row)
+                table[row] = annotation
+                next_delta.add(head)
+        return next_delta
+
+    # --------------------------------------------------------------- internals
+    def _index_for(self, predicate: str) -> _FactIndex:
+        index = self._indexes.get(predicate)
+        if index is None:
+            table = self.facts.setdefault(predicate, {})
+            index = self._indexes[predicate] = _FactIndex(table)
+        return index
+
+    def _recompute_entry(self, key: tuple, touched_heads: set) -> None:
+        semiring = self.semiring
+        annotation = semiring.one
+        for predicate, row in key[1]:
+            value = self.facts.get(predicate, {}).get(row)
+            if value is None:
+                annotation = semiring.zero
+                break
+            annotation = semiring.mul(annotation, value)
+        if self._ledger[key] != annotation:
+            self._ledger[key] = annotation
+            touched_heads.add(self._ledger_heads[key])
+
+    def _record_entry(
+        self,
+        rule_index: int,
+        rule: Rule,
+        body_facts: Tuple[Tuple[str, Tuple[Any, ...]], ...],
+        bindings: Mapping[str, Any],
+        annotation: Any,
+        touched_heads: set,
+    ) -> None:
+        key = (rule_index, body_facts)
+        if key in self._ledger:
+            return  # already discovered; step (1) keeps it current
+        head_tuple = tuple(_instantiate(term, bindings) for term in rule.head.args)
+        head = (rule.head.predicate, head_tuple)
+        self._ledger[key] = annotation
+        self._ledger_heads[key] = head
+        self._head_entries.setdefault(head, set()).add(key)
+        for fact in body_facts:
+            self._fact_uses.setdefault(fact, set()).add(key)
+        touched_heads.add(head)
+
+    def _discover(
+        self,
+        rule_index: int,
+        rule: Rule,
+        delta_position: int,
+        changed_rows: list,
+        touched_heads: set,
+    ) -> None:
+        """All instantiations of ``rule`` whose atom at ``delta_position``
+        matches one of ``changed_rows`` (other atoms join the full tables)."""
+        semiring = self.semiring
+
+        def search(index: int, bindings: dict, consumed: tuple, annotation: Any) -> None:
+            if index == len(rule.body):
+                self._record_entry(
+                    rule_index, rule, consumed, bindings, annotation, touched_heads
+                )
+                return
+            atom = rule.body[index]
+            if index == delta_position:
+                candidates = changed_rows
+            else:
+                candidates = self._candidate_rows(atom, bindings)
+            for row in candidates:
+                if len(row) != len(atom.args):
+                    raise DatalogError(
+                        f"arity mismatch: {atom} matched against a fact of arity {len(row)}"
+                    )
+                row_annotation = self.facts.get(atom.predicate, {}).get(row)
+                if row_annotation is None:
+                    continue  # a changed fact may have been removed
+                bound: dict | None = bindings
+                for term, value in zip(atom.args, row):
+                    bound = _match_term(term, value, bound)
+                    if bound is None:
+                        break
+                if bound is None:
+                    continue
+                search(
+                    index + 1,
+                    bound,
+                    consumed + ((atom.predicate, row),),
+                    semiring.mul(annotation, row_annotation),
+                )
+
+        # The search keeps the written body order (like the naive evaluator);
+        # the atom at delta_position ranges over the changed facts only, and
+        # every other atom is matched through a hash index on its bound
+        # positions.
+        search(0, {}, (), semiring.one)
+
+    def _candidate_rows(self, atom: Atom, bindings: Mapping[str, Any]):
+        index = self._indexes.get(atom.predicate)
+        if index is None:
+            return ()
+        positions: list[int] = []
+        values: list[Any] = []
+        for position, term in enumerate(atom.args):
+            if isinstance(term, Constant):
+                positions.append(position)
+                values.append(term.value)
+            elif isinstance(term, Variable) and not term.is_wildcard and term.name in bindings:
+                positions.append(position)
+                values.append(bindings[term.name])
+        if not positions:
+            return list(index.rows)
+        return index.lookup(tuple(positions), tuple(values))

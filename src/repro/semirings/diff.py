@@ -62,6 +62,12 @@ class DiffPair:
     def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover - safety
         raise AttributeError("DiffPair instances are immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks pickle's default slot-state restore
+        # (needed to ship Diff(K)-annotated values to process pools and into
+        # the store's durable formats).
+        return (DiffPair, (self.pos, self.neg))
+
 
 class DiffSemiring(Semiring):
     """``Diff(K)``: pairs over a base semiring with difference semantics.

@@ -122,6 +122,12 @@ class SubsetLatticeSemiring(LatticeSemiring):
     def universe(self) -> frozenset[str]:
         return self._universe
 
+    def __reduce__(self):
+        # The lattice operations are closures, which pickle cannot serialize;
+        # rebuilding from the universe restores an equal instance (needed to
+        # ship lattice-annotated values to process pools and durable stores).
+        return (SubsetLatticeSemiring, (self._universe, self.name))
+
     def parse_element(self, text: str) -> frozenset[str]:
         stripped = text.strip()
         if stripped in ("{}", ""):
@@ -184,6 +190,10 @@ class DivisorLatticeSemiring(LatticeSemiring):
     @property
     def divisors(self) -> tuple[int, ...]:
         return self._divisors
+
+    def __reduce__(self):
+        # See SubsetLatticeSemiring.__reduce__: closures block default pickling.
+        return (DivisorLatticeSemiring, (self._n, self.name))
 
     def parse_element(self, text: str) -> int:
         value = int(text.strip())

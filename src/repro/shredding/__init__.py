@@ -3,6 +3,7 @@
 from repro.shredding.shred import (
     EDGE_ATTRIBUTES,
     ROOT_PID,
+    canonical_member_key,
     edge_relation,
     reachable_facts,
     shred_forest,
@@ -19,6 +20,7 @@ from repro.shredding.xpath_to_datalog import (
 __all__ = [
     "ROOT_PID",
     "EDGE_ATTRIBUTES",
+    "canonical_member_key",
     "shred_forest",
     "shred_tree",
     "unshred",

@@ -24,6 +24,7 @@ from repro.uxml.tree import UTree
 __all__ = [
     "ROOT_PID",
     "EDGE_ATTRIBUTES",
+    "canonical_member_key",
     "shred_forest",
     "shred_tree",
     "unshred",
@@ -38,6 +39,53 @@ ROOT_PID = 0
 EDGE_ATTRIBUTES = ("pid", "nid", "label")
 
 EdgeFacts = dict[Tuple[Any, Any, str], Any]
+
+
+def _canonical_key(tree: UTree, semiring: Semiring, cache: dict) -> Tuple[Any, ...]:
+    """A canonical ordering key for a tree *value*, memoized per tree object.
+
+    The key is a nested tuple ``(label, sorted (child key, annotation
+    rendering) pairs)`` — tuples, not a flat string, so a label or rendered
+    annotation containing would-be delimiter characters cannot collide with
+    a structurally different tree (strings are compared as whole components).
+    Children are sorted, so equal tree values always produce equal keys
+    however their K-sets were built.  The cache (keyed by object identity;
+    the caller keeps the trees alive) makes one shredding pass build every
+    node's key once, instead of once per ancestor level.
+    """
+    key = id(tree)
+    built = cache.get(key)
+    if built is None:
+        built = (
+            tree.label,
+            tuple(
+                sorted(
+                    (_canonical_key(child, semiring, cache), semiring.repr_element(annotation))
+                    for child, annotation in tree.children.items()
+                )
+            ),
+        )
+        cache[key] = built
+    return built
+
+
+def canonical_member_key(
+    tree: UTree, annotation: Any, semiring: Semiring, _cache: dict | None = None
+) -> Tuple[Any, str]:
+    """A total, document-stable ordering key for an annotated forest member.
+
+    The tree part is a canonical structural key (equal tree values get equal
+    keys however the K-set was built); the rendered annotation keeps members
+    that share a tree value apart.  Shredding sorts members by this key,
+    which makes node-id allocation a function of the forest *value*: equal
+    forests shred to identical columns (the invariant the snapshot/WAL
+    equality of :mod:`repro.store` relies on).
+    """
+    cache = {} if _cache is None else _cache
+    return (
+        _canonical_key(tree, semiring, cache),
+        semiring.repr_element(semiring.normalize(annotation)),
+    )
 
 
 class _IdAllocator:
@@ -59,12 +107,20 @@ def _shred_into(
     allocator: _IdAllocator,
     facts: EdgeFacts,
     semiring: Semiring,
+    key_cache: dict,
 ) -> None:
     node_id = allocator.fresh()
     key = (parent, node_id, tree.label)
     facts[key] = semiring.normalize(annotation)
-    for child, child_annotation in tree.children.items():
-        _shred_into(child, child_annotation, node_id, allocator, facts, semiring)
+    # Children are visited in canonical order too, so ids depend only on the
+    # tree value, not on the insertion order of the children K-set.  One
+    # key cache spans the whole shredding pass, so every subtree is rendered
+    # once no matter how deep the sort recursion goes.
+    for child, child_annotation in sorted(
+        tree.children.items(),
+        key=lambda item: canonical_member_key(item[0], item[1], semiring, key_cache),
+    ):
+        _shred_into(child, child_annotation, node_id, allocator, facts, semiring, key_cache)
 
 
 def shred_forest(forest: KSet) -> EdgeFacts:
@@ -72,15 +128,22 @@ def shred_forest(forest: KSet) -> EdgeFacts:
 
     Every node occurrence gets a fresh identifier, so two occurrences of the
     same subtree value are kept apart (they are merged again, with their
-    annotations added, when the forest is rebuilt).
+    annotations added, when the forest is rebuilt).  Members are shredded in
+    :func:`canonical_member_key` order, so node-id allocation is deterministic
+    and document-stable: equal forests yield identical facts, ids included.
     """
     semiring = forest.semiring
-    allocator = _IdAllocator()
-    facts: EdgeFacts = {}
-    for tree, annotation in sorted(forest.items(), key=lambda item: str(item[0])):
+    for tree in forest:
         if not isinstance(tree, UTree):
             raise ShreddingError(f"cannot shred non-tree member {tree!r}")
-        _shred_into(tree, annotation, ROOT_PID, allocator, facts, semiring)
+    allocator = _IdAllocator()
+    facts: EdgeFacts = {}
+    key_cache: dict = {}
+    for tree, annotation in sorted(
+        forest.items(),
+        key=lambda item: canonical_member_key(item[0], item[1], semiring, key_cache),
+    ):
+        _shred_into(tree, annotation, ROOT_PID, allocator, facts, semiring, key_cache)
     return facts
 
 

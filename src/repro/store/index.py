@@ -1,0 +1,331 @@
+"""Structural indexes over shredded columns: navigation as lookups.
+
+Built once per ingested document, three indexes turn the XPath step
+semantics of Section 7 into dictionary and interval operations instead of
+tree walks or Datalog fixpoints:
+
+* the **label index** ``label -> sorted nids`` (and the sorted list of all
+  nids for the wildcard test);
+* the **child index** ``(pid, label) -> child nids`` (plus ``pid -> child
+  nids`` for wildcard child steps);
+* the **interval index**: node identifiers are allocated in depth-first
+  pre-order by the deterministic shredder, so the descendants of a node
+  ``a`` are exactly the nids in the interval ``(a, subtree_end[a]]`` — a
+  descendant (``//``) step is two :func:`bisect.bisect_right` calls on a
+  label-index list instead of the transitive closure ``Reach`` the Datalog
+  translation computes.
+
+Annotation bookkeeping — the part that makes this *exact* for every
+commutative semiring — rides on one precomputed column: ``prefix[n]``, the
+product of the membership annotations along the path from the top-level root
+down to ``n`` (inclusive).  Navigation per the paper's semantics annotates a
+step result with the sum, over all witnessing paths, of the path products;
+since data is a tree, every contribution via a frontier node ``a`` to a node
+``d`` below it equals ``prefix[d]``, so a navigation frontier never needs
+semiring arithmetic at all: it is a map ``nid -> natural-number multiplicity``
+(how many witnessing frontier ancestors contribute), and the final
+annotation of ``d`` is ``from_int(count) * prefix[d]``.  Equality with the
+direct, NRC and Datalog semantics is asserted by ``tests/store`` for every
+registry semiring.
+
+The index also materializes every node's subtree as a shared
+:class:`~repro.uxml.tree.UTree` (built bottom-up in one pass), so producing
+a navigation result costs only the matched nodes, not a document walk.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import StoreError
+from repro.kcollections.kset import KSet
+from repro.semirings.base import Semiring
+from repro.shredding.shred import ROOT_PID
+from repro.store.columns import ShreddedColumns
+from repro.uxml.tree import UTree
+from repro.uxquery.ast import Step
+
+__all__ = ["StructuralIndex"]
+
+#: Axes servable from the structural indexes (the downward fragment).
+SUPPORTED_AXES = ("self", "child", "descendant", "descendant-or-self")
+
+WILDCARD = "*"
+
+
+class StructuralIndex:
+    """Label, child and pre/post-order interval indexes over one document."""
+
+    __slots__ = (
+        "semiring",
+        "columns",
+        "label_of",
+        "annot_of",
+        "parent_of",
+        "children_of",
+        "child_index",
+        "label_to_nids",
+        "all_nids",
+        "subtree_end",
+        "prefix",
+        "trees",
+        "roots",
+        "_forest",
+        "_nav_cache",
+        "nav_hits",
+        "nav_misses",
+    )
+
+    #: Bound on memoized navigation results per index (small: a serving
+    #: workload repeats a handful of hot chains).
+    NAV_CACHE_SIZE = 64
+
+    def __init__(self, columns: ShreddedColumns):
+        self.semiring = columns.semiring
+        self.columns = columns
+        semiring = self.semiring
+        normalize_products = not semiring.ops_preserve_normal_form
+
+        label_of: Dict[Any, str] = {}
+        annot_of: Dict[Any, Any] = {}
+        parent_of: Dict[Any, Any] = {}
+        children_of: Dict[Any, List[Any]] = {}
+        child_index: Dict[Tuple[Any, str], List[Any]] = {}
+        label_to_nids: Dict[str, List[Any]] = {}
+        all_nids: List[Any] = []
+        prefix: Dict[Any, Any] = {}
+        roots: List[Any] = []
+
+        order: List[Any] = []  # nids in storage (pre-)order
+        for pid, nid, label, annotation in columns.rows():
+            if nid in label_of:
+                raise StoreError(f"duplicate node id {nid!r} in shredded columns")
+            label_of[nid] = label
+            annot_of[nid] = annotation
+            parent_of[nid] = pid
+            order.append(nid)
+            all_nids.append(nid)
+            label_to_nids.setdefault(label, []).append(nid)
+            if pid == ROOT_PID:
+                roots.append(nid)
+                prefix[nid] = annotation
+            else:
+                parent_prefix = prefix.get(pid)
+                if parent_prefix is None:
+                    raise StoreError(
+                        f"row for node {nid!r} precedes its parent {pid!r} "
+                        "(columns are not in shredding order)"
+                    )
+                product = semiring.mul(parent_prefix, annotation)
+                prefix[nid] = semiring.normalize(product) if normalize_products else product
+                children_of.setdefault(pid, []).append(nid)
+                child_index.setdefault((pid, label), []).append(nid)
+
+        # Pre-order allocation makes every nid list above ascending; the
+        # interval index and the bisect lookups below rely on it.
+        for nids in label_to_nids.values():
+            if any(nids[i] >= nids[i + 1] for i in range(len(nids) - 1)):
+                raise StoreError("node ids are not ascending in storage order")
+
+        # Reverse pre-order visits children before parents: one pass computes
+        # subtree intervals and builds every node's (shared) subtree value.
+        # Equal subtree values are *interned* to one object, so merging equal
+        # members during result materialization hits the dict identity fast
+        # path instead of deep structural comparison.
+        subtree_end: Dict[Any, Any] = {}
+        subtree_size: Dict[Any, int] = {}
+        trees: Dict[Any, UTree] = {}
+        intern: Dict[UTree, UTree] = {}
+        for nid in reversed(order):
+            end = subtree_end.setdefault(nid, nid)
+            size = 1 + sum(subtree_size[child] for child in children_of.get(nid, ()))
+            subtree_size[nid] = size
+            # The interval index is sound only for dense DFS pre-order ids:
+            # a subtree must occupy exactly the interval [nid, nid + size).
+            # This rejects e.g. BFS-ordered caller-supplied columns, whose
+            # intervals would silently cover unrelated siblings.
+            try:
+                expected_end = nid + size - 1
+            except TypeError:
+                raise StoreError(f"node ids must be integers, got {nid!r}") from None
+            if end != expected_end:
+                raise StoreError(
+                    f"node ids are not a depth-first pre-order: subtree of "
+                    f"{nid!r} spans ids up to {end!r} but has {size} node(s)"
+                )
+            members = [(trees[child], annot_of[child]) for child in children_of.get(nid, ())]
+            if semiring.ops_preserve_normal_form:
+                children = KSet._accumulate_normalized(semiring, members)
+            else:
+                children = KSet(semiring, members)
+            tree = UTree(label_of[nid], children)
+            trees[nid] = intern.setdefault(tree, tree)
+            pid = parent_of[nid]
+            if pid != ROOT_PID:
+                parent_end = subtree_end.setdefault(pid, pid)
+                if end > parent_end:
+                    subtree_end[pid] = end
+
+        self.label_of = label_of
+        self.annot_of = annot_of
+        self.parent_of = parent_of
+        self.children_of = children_of
+        self.child_index = child_index
+        self.label_to_nids = label_to_nids
+        self.all_nids = all_nids
+        self.subtree_end = subtree_end
+        self.prefix = prefix
+        self.trees = trees
+        self.roots = roots
+        self._forest: KSet | None = None
+        self._nav_cache: Dict[Tuple[Step, ...], KSet] = {}
+        self.nav_hits = 0
+        self.nav_misses = 0
+
+    # ----------------------------------------------------------------- access
+    def forest(self) -> KSet:
+        """The stored document as a K-set of trees (cached; equals unshred)."""
+        cached = self._forest
+        if cached is None:
+            members = [(self.trees[nid], self.annot_of[nid]) for nid in self.roots]
+            if self.semiring.ops_preserve_normal_form:
+                cached = KSet._accumulate_normalized(self.semiring, members)
+            else:
+                cached = KSet(self.semiring, members)
+            self._forest = cached
+        return cached
+
+    def node_count(self) -> int:
+        return len(self.all_nids)
+
+    # ------------------------------------------------------------- navigation
+    def navigate(self, steps: Sequence[Step], use_cache: bool = True) -> KSet:
+        """Evaluate a downward step chain against the indexes.
+
+        The result is exactly the paper's navigation semantics (direct, NRC
+        and Datalog agree on it): a K-set of the matched nodes' subtrees,
+        each annotated with the sum over witnessing paths of the path
+        products.  An empty chain returns the whole document.
+
+        Results are memoized per chain: the index is immutable (the store
+        rebuilds it on update), so cached navigation never goes stale.
+        ``use_cache=False`` bypasses the memo (benchmarks measuring the raw
+        index path).
+        """
+        key = tuple(steps)
+        if use_cache:
+            cached = self._nav_cache.get(key)
+            if cached is not None:
+                self.nav_hits += 1
+                return cached
+            self.nav_misses += 1
+        frontier: Dict[Any, int] = {nid: 1 for nid in self.roots}
+        for step in _fuse_steps(steps):
+            if not frontier:
+                break
+            frontier = self._apply_step(frontier, step)
+        result = self._materialize(frontier)
+        if use_cache and len(self._nav_cache) < self.NAV_CACHE_SIZE:
+            self._nav_cache[key] = result
+        return result
+
+    def _apply_step(self, frontier: Dict[Any, int], step: Step) -> Dict[Any, int]:
+        axis, nodetest = step.axis, step.nodetest
+        result: Dict[Any, int] = {}
+        if axis == "self":
+            label_of = self.label_of
+            for nid, count in frontier.items():
+                if nodetest == WILDCARD or label_of[nid] == nodetest:
+                    result[nid] = result.get(nid, 0) + count
+            return result
+        if axis == "child":
+            if nodetest == WILDCARD:
+                children_of = self.children_of
+                for nid, count in frontier.items():
+                    for child in children_of.get(nid, ()):
+                        result[child] = result.get(child, 0) + count
+            else:
+                child_index = self.child_index
+                for nid, count in frontier.items():
+                    for child in child_index.get((nid, nodetest), ()):
+                        result[child] = result.get(child, 0) + count
+            return result
+        if axis in ("descendant", "descendant-or-self"):
+            include_self = axis == "descendant-or-self"
+            label_of = self.label_of
+            candidates = (
+                self.all_nids if nodetest == WILDCARD else self.label_to_nids.get(nodetest, ())
+            )
+            subtree_end = self.subtree_end
+            for nid, count in frontier.items():
+                if include_self and (nodetest == WILDCARD or label_of[nid] == nodetest):
+                    result[nid] = result.get(nid, 0) + count
+                # Interval containment: descendants of nid are (nid, end].
+                start = bisect_right(candidates, nid)
+                stop = bisect_right(candidates, subtree_end[nid], lo=start)
+                for matched in candidates[start:stop]:
+                    result[matched] = result.get(matched, 0) + count
+            return result
+        raise StoreError(
+            f"axis {axis!r} is not servable from the structural indexes; "
+            f"supported: {SUPPORTED_AXES}"
+        )
+
+    def _materialize(self, frontier: Dict[Any, int]) -> KSet:
+        semiring = self.semiring
+        trees = self.trees
+        prefix = self.prefix
+        pairs = []
+        for nid, count in frontier.items():
+            annotation = prefix[nid]
+            if count != 1:
+                annotation = semiring.mul(
+                    semiring.normalize(semiring.from_int(count)), annotation
+                )
+                annotation = semiring.normalize(annotation)
+            if semiring.is_zero(annotation):
+                continue  # annihilated path products drop out, as in unshred
+            pairs.append((trees[nid], annotation))
+        if semiring.ops_preserve_normal_form:
+            return KSet._accumulate_normalized(semiring, pairs)
+        return KSet(semiring, pairs)
+
+    # ------------------------------------------------------------- statistics
+    def count_label(self, label: str) -> int:
+        """How many nodes carry ``label`` (an O(1) index probe)."""
+        return len(self.label_to_nids.get(label, ()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<StructuralIndex {len(self.all_nids)} nodes, "
+            f"{len(self.label_to_nids)} labels over {self.semiring.name}>"
+        )
+
+
+def _fuse_steps(steps: Sequence[Step]) -> list[Step]:
+    """Peephole: ``descendant-or-self::*/child::nt`` is ``descendant::nt``.
+
+    The parser expands the ``//nt`` shorthand into that two-step form; fusing
+    it back turns the full-frontier expansion of ``descendant-or-self::*``
+    into a single interval probe per frontier node.  Exact because the two
+    chains witness the same paths: a child of a self-or-descendant of ``a``
+    is precisely a strict descendant of ``a`` (each with its unique parent).
+    """
+    fused: list[Step] = []
+    index = 0
+    steps = list(steps)
+    while index < len(steps):
+        step = steps[index]
+        if (
+            step.axis == "descendant-or-self"
+            and step.nodetest == WILDCARD
+            and index + 1 < len(steps)
+            and steps[index + 1].axis == "child"
+        ):
+            fused.append(Step("descendant", steps[index + 1].nodetest))
+            index += 2
+            continue
+        fused.append(step)
+        index += 1
+    return fused

@@ -1,0 +1,153 @@
+"""Snapshots: periodic full images of the shredded columns.
+
+A snapshot is one JSON document holding, for every stored document, its four
+shredded columns (``pid``/``nid``/``label``/annotations — the annotation
+column through the pickle codec), plus the registered view definitions and
+the WAL high-water mark (``wal_lsn``) the image corresponds to.  Recovery
+loads the snapshot and replays only the WAL records **beyond** that mark.
+
+Snapshots are written atomically (temp file + ``os.replace``) so a crash
+during compaction leaves either the old snapshot or the new one, never a
+half-written file; together with the monotone WAL lsns this makes the
+compaction sequence (write snapshot, then truncate the log) crash-safe at
+every intermediate point.
+
+The annotation *semiring* is stored by registry name — durability is a
+registry-semirings feature; exotic user semirings can still use the store
+in-memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.errors import StoreError
+from repro.semirings.base import Semiring
+from repro.semirings.registry import available_semirings, get_semiring
+from repro.store.columns import ShreddedColumns
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "semiring_registry_name",
+    "write_snapshot",
+    "load_snapshot",
+]
+
+SNAPSHOT_FORMAT = 1
+
+
+def _structurally_equal(candidate: Semiring, semiring: Semiring) -> bool:
+    """True when ``candidate`` rebuilds ``semiring`` exactly.
+
+    ``Semiring.__eq__`` compares only type and name, which is too weak here:
+    a parameterized lattice with a non-default universe shares its name with
+    the registry instance, and persisting it by that name would silently
+    reopen as a *different* semiring.  Types that define ``__reduce__``
+    expose their constructor arguments; compare those too.
+    """
+    if candidate != semiring:
+        return False
+    if type(semiring).__dict__.get("__reduce__") is not None:
+        try:
+            return candidate.__reduce__() == semiring.__reduce__()
+        except Exception:
+            return False
+    return True
+
+
+def semiring_registry_name(semiring: Semiring) -> Optional[str]:
+    """The registry name reconstructing ``semiring``, or ``None``.
+
+    Durability serializes the semiring by name; a semiring is persistable
+    only when some registered factory rebuilds a *structurally* equal
+    instance (see :func:`_structurally_equal`).
+    """
+    for name in available_semirings():
+        if _structurally_equal(get_semiring(name), semiring):
+            return name
+    return None
+
+
+def write_snapshot(
+    path: Path | str,
+    *,
+    semiring_name: str,
+    wal_lsn: int,
+    documents: Dict[str, ShreddedColumns],
+    views: list[dict],
+) -> None:
+    """Atomically write a snapshot of the given store state."""
+    path = Path(path)
+    payload = {
+        "format": SNAPSHOT_FORMAT,
+        "semiring": semiring_name,
+        "wal_lsn": wal_lsn,
+        "documents": {
+            doc_id: columns.to_payload() for doc_id, columns in documents.items()
+        },
+        "views": list(views),
+    }
+    handle, temp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as temp:
+            json.dump(payload, temp, sort_keys=True)
+            temp.write("\n")
+            temp.flush()
+            os.fsync(temp.fileno())
+        os.replace(temp_name, path)
+        # Barrier: the rename must be durable before the caller truncates the
+        # WAL, or a power loss could surface the old snapshot alongside an
+        # already-empty log (losing every record since the previous snapshot).
+        directory_fd = os.open(str(path.parent), os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def load_snapshot(path: Path | str) -> Optional[dict]:
+    """Load a snapshot file into ``{semiring, wal_lsn, documents, views}``.
+
+    Returns ``None`` when no snapshot exists.  ``documents`` maps document
+    ids to :class:`ShreddedColumns`; the semiring is resolved through the
+    registry.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise StoreError(f"cannot read snapshot {path}: {error}") from error
+    if not isinstance(payload, dict) or payload.get("format") != SNAPSHOT_FORMAT:
+        format_found = payload.get("format") if isinstance(payload, dict) else payload
+        raise StoreError(
+            f"snapshot {path} has unsupported format {format_found!r}"
+        )
+    try:
+        semiring = get_semiring(payload["semiring"])
+    except KeyError:
+        raise StoreError(f"snapshot {path} names no semiring") from None
+    documents = {
+        doc_id: ShreddedColumns.from_payload(semiring, columns)
+        for doc_id, columns in payload.get("documents", {}).items()
+    }
+    return {
+        "semiring": semiring,
+        "semiring_name": payload["semiring"],
+        "wal_lsn": int(payload.get("wal_lsn", 0)),
+        "documents": documents,
+        "views": list(payload.get("views", [])),
+    }

@@ -43,15 +43,23 @@ class TestPlanCacheBasics:
         assert nrc_plan is interp_plan is direct_plan
         assert cache.stats().compiles == 1
 
-    def test_query_ast_keys_by_its_canonical_text(self, forest):
+    def test_query_ast_keys_structurally(self, forest):
         from repro.uxquery import parse_query
+        from repro.uxquery.ast import LabelExpr
 
         cache = PlanCache(maxsize=4)
         ast = parse_query("($S)/*")
         ast_plan = cache.get(ast, NATURAL, env={"S": forest})
-        text_plan = cache.get(str(ast), NATURAL, env={"S": forest})
-        assert text_plan is ast_plan
+        # An equal AST value shares the plan.
+        assert cache.get(parse_query("($S)/*"), NATURAL, env={"S": forest}) is ast_plan
         assert cache.stats().compiles == 1
+        # Renderings are not injective, so a render-identical but different
+        # AST must NOT share the plan (a label literal spelling the query).
+        label = LabelExpr(str(ast))
+        assert str(label) == str(ast)
+        label_plan = cache.get(label, NATURAL, env={"S": forest})
+        assert label_plan is not ast_plan
+        assert label_plan.evaluate({"S": forest}) == str(ast)
 
     def test_lru_eviction(self, forest):
         cache = PlanCache(maxsize=2)

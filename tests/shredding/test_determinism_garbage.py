@@ -1,0 +1,141 @@
+"""Deterministic node-id allocation and garbage-tolerant round-trips.
+
+Two properties the storage layer builds on:
+
+* **determinism** — shredding is a function of the forest *value*: shredding
+  the same forest twice (or the same value built in a different insertion
+  order) yields identical facts, node ids included.  This is what makes
+  snapshot/WAL column equality meaningful.
+* **garbage tolerance** — ``unshred`` ignores tuples unreachable from the
+  root parent id (the paper's clean-up step after each Datalog-translated
+  navigation step), for every registry semiring and any mix of garbage
+  shapes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.kcollections import KSet
+from repro.semirings import NATURAL
+from repro.semirings.registry import standard_semirings
+from repro.shredding import (
+    ROOT_PID,
+    canonical_member_key,
+    reachable_facts,
+    shred_forest,
+    unshred,
+)
+from repro.workloads import random_forest
+
+REGISTRY = list(standard_semirings())
+
+
+class TestDeterministicNodeIds:
+    @pytest.mark.parametrize("semiring", REGISTRY, ids=lambda s: s.name)
+    def test_shred_twice_identical(self, semiring):
+        forest = random_forest(semiring, num_trees=4, depth=3, fanout=2, seed=2)
+        first = shred_forest(forest)
+        second = shred_forest(forest)
+        assert list(first.items()) == list(second.items())
+
+    @pytest.mark.parametrize("semiring", REGISTRY, ids=lambda s: s.name)
+    def test_insertion_order_does_not_matter(self, semiring):
+        forest = random_forest(semiring, num_trees=5, depth=3, fanout=2, seed=3)
+        items = list(forest.items())
+        for seed in range(3):
+            shuffled_items = items[:]
+            random.Random(seed).shuffle(shuffled_items)
+            shuffled = KSet(semiring, shuffled_items)
+            assert shuffled == forest
+            assert list(shred_forest(shuffled).items()) == list(
+                shred_forest(forest).items()
+            )
+
+    def test_node_ids_are_dense_preorder(self):
+        forest = random_forest(NATURAL, num_trees=3, depth=3, fanout=2, seed=4)
+        facts = shred_forest(forest)
+        nids = [nid for _, nid, _ in facts]
+        assert nids == list(range(1, len(facts) + 1))
+        seen = set()
+        for pid, nid, _ in facts:
+            assert pid == ROOT_PID or pid in seen  # parents precede children
+            seen.add(nid)
+
+    def test_canonical_member_key_orders_members(self, nat_builder):
+        b = nat_builder
+        x, y = b.leaf("x"), b.leaf("y")
+        assert canonical_member_key(x, 1, NATURAL) < canonical_member_key(y, 1, NATURAL)
+        # Equal trees with different annotations are kept apart by the key.
+        assert canonical_member_key(x, 1, NATURAL) != canonical_member_key(x, 2, NATURAL)
+
+    def test_canonical_key_is_structural_not_textual(self, nat_builder):
+        """Labels containing would-be delimiter characters cannot make two
+        distinct tree values collide (the key is nested tuples, not a flat
+        rendering)."""
+        b = nat_builder
+        nested = b.tree("a", b.leaf("p"), b.leaf("q"))
+        # A single leaf whose *label* spells out the nested rendering.
+        tricky = b.tree("a", b.leaf("p[]^1 q"))
+        assert nested != tricky
+        assert canonical_member_key(nested, 1, NATURAL) != canonical_member_key(
+            tricky, 1, NATURAL
+        )
+        # Equal forests built in either insertion order still shred equal.
+        forward = KSet(NATURAL, [(nested, 1), (tricky, 1)])
+        backward = KSet(NATURAL, [(tricky, 1), (nested, 1)])
+        assert list(shred_forest(forward).items()) == list(shred_forest(backward).items())
+
+
+def _garbage_tuples(semiring, next_id: int):
+    """Unreachable tuples of the shapes the Datalog translation produces."""
+    samples = [v for v in semiring.sample_elements() if not semiring.is_zero(v)]
+    annotation = samples[0]
+    orphan_parent = 10_000 + next_id
+    return {
+        # An orphan subtree: parent id never defined.
+        (orphan_parent, orphan_parent + 1, "garbage"): annotation,
+        (orphan_parent + 1, orphan_parent + 2, "garbage-child"): annotation,
+        # A cycle among garbage nodes (never reachable from the root).
+        (orphan_parent + 10, orphan_parent + 11, "loop"): annotation,
+        (orphan_parent + 11, orphan_parent + 10, "loop"): annotation,
+    }
+
+
+class TestGarbageRoundTrips:
+    @pytest.mark.parametrize("semiring", REGISTRY, ids=lambda s: s.name)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_round_trip_with_garbage(self, semiring, seed):
+        forest = random_forest(semiring, num_trees=3, depth=3, fanout=2, seed=seed)
+        facts = dict(shred_forest(forest))
+        facts.update(_garbage_tuples(semiring, len(facts)))
+        assert unshred(facts, semiring) == forest, semiring.name
+
+    @pytest.mark.parametrize("semiring", REGISTRY, ids=lambda s: s.name)
+    def test_reachable_facts_drop_garbage_only(self, semiring):
+        forest = random_forest(semiring, num_trees=2, depth=3, fanout=2, seed=9)
+        clean = shred_forest(forest)
+        polluted = dict(clean)
+        garbage = _garbage_tuples(semiring, len(clean))
+        polluted.update(garbage)
+        live = reachable_facts(polluted, semiring)
+        assert set(live) == set(clean)
+        for key in garbage:
+            assert key not in live
+
+    @pytest.mark.parametrize("semiring", REGISTRY, ids=lambda s: s.name)
+    def test_zero_annotated_tuples_are_dropped(self, semiring):
+        forest = random_forest(semiring, num_trees=2, depth=2, fanout=2, seed=10)
+        facts = dict(shred_forest(forest))
+        # A reachable but zero-annotated member contributes nothing.
+        facts[(ROOT_PID, 90_000, "phantom")] = semiring.zero
+        assert unshred(facts, semiring) == forest
+
+    def test_garbage_annotations_are_not_validated_into_result(self):
+        """Garbage is dropped before validation; live facts are coerced."""
+        forest = random_forest(NATURAL, num_trees=1, depth=2, fanout=1, seed=11)
+        facts = dict(shred_forest(forest))
+        facts[(77_777, 77_778, "junk")] = "not-an-annotation"
+        assert unshred(facts, NATURAL) == forest

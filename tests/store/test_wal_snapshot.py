@@ -1,0 +1,192 @@
+"""WAL and snapshot machinery: lsns, torn tails, atomic images, codecs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import StoreError
+from repro.ivm import Delta
+from repro.semirings import NATURAL, PROVENANCE, Polynomial
+from repro.semirings.registry import standard_semirings
+from repro.store import (
+    ShreddedColumns,
+    WriteAheadLog,
+    delta_to_payload,
+    load_snapshot,
+    payload_to_delta,
+    semiring_registry_name,
+    write_snapshot,
+)
+from repro.semirings.diff import DiffPair
+from repro.workloads import random_forest, random_tree
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_monotone_lsns(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        assert wal.append({"op": "a"}) == 1
+        assert wal.append({"op": "b"}) == 2
+        assert wal.last_lsn == 2
+        assert [record["op"] for _, record in wal.records()] == ["a", "b"]
+
+    def test_reload_continues_lsns(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        WriteAheadLog(path).append({"op": "a"})
+        wal = WriteAheadLog(path)
+        assert wal.append({"op": "b"}) == 2
+        assert len(wal) == 2
+
+    def test_records_after_lsn(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        for op in ("a", "b", "c"):
+            wal.append({"op": op})
+        assert [record["op"] for _, record in wal.records(after_lsn=1)] == ["b", "c"]
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"op": "a"})
+        wal.append({"op": "b"})
+        # Simulate a crash mid-append: a partial record with no newline.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "c", "lsn"')
+        reopened = WriteAheadLog(path)
+        assert [record["op"] for _, record in reopened.records()] == ["a", "b"]
+        assert reopened.torn_bytes > 0
+        # The next append continues cleanly after the torn bytes.
+        assert reopened.append({"op": "d"}) == 3
+
+    def test_append_after_torn_tail_recovery_is_durable(self, tmp_path):
+        """The torn tail is physically truncated, so post-recovery appends
+        land after the last complete record instead of corrupting the file."""
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"op": "a"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "b", "ls')  # crash mid-append
+        recovered = WriteAheadLog(path)
+        recovered.append({"op": "c"})
+        recovered.append({"op": "d"})
+        # Every acknowledged record survives the next recovery.
+        final = WriteAheadLog(path)
+        assert [record["op"] for _, record in final.records()] == ["a", "c", "d"]
+        assert final.torn_bytes == 0
+
+    def test_corrupt_middle_record_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text('not json\n{"lsn": 2, "op": "b"}\n', encoding="utf-8")
+        with pytest.raises(StoreError, match="corrupt WAL record"):
+            WriteAheadLog(path)
+
+    def test_non_object_json_line_is_corrupt_not_a_crash(self, tmp_path):
+        """Valid JSON that is not an object follows the corrupt-record path."""
+        path = tmp_path / "wal.jsonl"
+        path.write_text('42\n{"lsn": 2, "op": "b"}\n', encoding="utf-8")
+        with pytest.raises(StoreError, match="corrupt WAL record"):
+            WriteAheadLog(path)
+
+    def test_corrupt_complete_final_line_refuses_to_load(self, tmp_path):
+        """A newline-terminated line can never be torn (appends write the
+        newline last), so bit-rot in an acknowledged final record must raise
+        rather than be silently truncated away."""
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"op": "a"})
+        wal.append({"op": "b"})
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0xFF  # flip a byte inside the committed final record
+        path.write_bytes(bytes(data))
+        with pytest.raises(StoreError, match="corrupt WAL record"):
+            WriteAheadLog(path)
+        assert b'"op": "a"' in path.read_bytes()  # nothing was truncated
+
+    def test_truncate_keeps_counter(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal.append({"op": "a"})
+        wal.truncate()
+        assert len(wal) == 0
+        assert wal.append({"op": "b"}) == 2  # lsns never repeat
+
+
+class TestDeltaCodec:
+    def test_round_trip_every_registry_semiring(self):
+        for semiring in standard_semirings():
+            tree = random_tree(semiring, depth=2, fanout=2, seed=3)
+            samples = [v for v in semiring.sample_elements() if not semiring.is_zero(v)]
+            annotation = samples[-1]
+            delta = Delta(
+                semiring,
+                [(tree, DiffPair(annotation, semiring.normalize(semiring.zero)))],
+            )
+            payload = delta_to_payload(delta)
+            rebuilt = payload_to_delta(payload, semiring)
+            assert list(rebuilt.items()) == list(delta.items()), semiring.name
+
+    def test_payload_is_json_and_human_annotated(self):
+        tree = random_tree(PROVENANCE, depth=2, fanout=1, seed=1)
+        delta = Delta.insertion(PROVENANCE, tree, Polynomial.variable("x"))
+        payload = delta_to_payload(delta)
+        text = json.dumps(payload)  # must be JSON-serializable
+        assert "pos_repr" in text
+        change = payload["changes"][0]
+        assert change["label"] == tree.label
+        assert change["pos_repr"] == "x"
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(StoreError, match="malformed delta payload"):
+            payload_to_delta({"nope": []}, NATURAL)
+
+
+class TestSnapshot:
+    def test_round_trip(self, tmp_path):
+        forest = random_forest(NATURAL, num_trees=3, depth=3, fanout=2, seed=4)
+        columns = ShreddedColumns.from_forest(forest)
+        path = tmp_path / "snapshot.json"
+        views = [{"op": "view", "name": "v", "doc": "d", "query": "$S//c", "var": "S"}]
+        write_snapshot(
+            path,
+            semiring_name="natural",
+            wal_lsn=7,
+            documents={"d": columns},
+            views=views,
+        )
+        loaded = load_snapshot(path)
+        assert loaded is not None
+        assert loaded["wal_lsn"] == 7
+        assert loaded["semiring"] == NATURAL
+        assert loaded["documents"]["d"] == columns
+        assert loaded["views"] == views
+
+    def test_missing_snapshot_is_none(self, tmp_path):
+        assert load_snapshot(tmp_path / "absent.json") is None
+
+    def test_unsupported_format_raises(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        path.write_text('{"format": 99}', encoding="utf-8")
+        with pytest.raises(StoreError, match="unsupported format"):
+            load_snapshot(path)
+
+    def test_registry_name_resolution(self):
+        for semiring in standard_semirings():
+            name = semiring_registry_name(semiring)
+            assert name is not None, semiring.name
+
+        from repro.semirings import ProductSemiring
+        from repro.semirings.boolean import BOOLEAN
+
+        # A semiring no registered factory reproduces has no durable name.
+        assert semiring_registry_name(ProductSemiring(BOOLEAN, NATURAL)) is None
+
+    def test_name_equal_but_structurally_different_semiring_not_persistable(self):
+        """A parameterized lattice with a non-default universe shares the
+        registry name but is a different semiring; persisting it under that
+        name would silently reopen with the wrong universe."""
+        from repro.semirings import DivisorLatticeSemiring, SubsetLatticeSemiring
+
+        assert semiring_registry_name(SubsetLatticeSemiring({"alice", "bob"})) is None
+        assert semiring_registry_name(DivisorLatticeSemiring(6)) is None
+        # The registry instances themselves still resolve.
+        assert semiring_registry_name(SubsetLatticeSemiring({"r1", "r2", "r3"})) is not None
+        assert semiring_registry_name(DivisorLatticeSemiring(30)) is not None
