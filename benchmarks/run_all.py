@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Run the benchmark suite and emit a machine-readable ``BENCH_results.json``.
 
-Two sections are produced so the performance trajectory can be tracked across
-PRs:
+Several sections are produced so the performance trajectory can be tracked
+across PRs:
 
 * ``benchmarks`` — wall times of every ``bench_*.py`` test, collected by
   running the pytest-benchmark suite with ``--benchmark-json``;
@@ -12,7 +12,15 @@ PRs:
   workload, measured directly with ``time.perf_counter``.  Results are
   asserted equal before timing, and the compiled numbers are *steady-state*:
   the prepared query is warmed up first, which is the compile-once-
-  evaluate-many contract the engine optimizes for.
+  evaluate-many contract the engine optimizes for;
+* ``codegen`` — the source-codegen evaluator (``method="nrc-codegen"``)
+  against both baselines on the figure workloads and deep child chains
+  (CI asserts >= 1.3x over the closure evaluator on child-chain-3);
+* ``exec`` / ``ivm`` / ``store`` — the subsystem serving-path timings.
+
+Every run is archived to ``BENCH_history/`` and compared against the
+previous archived run, so per-benchmark regressions are visible across PRs
+(``--no-history`` skips both).
 
 Usage::
 
@@ -72,7 +80,7 @@ def run_pytest_benchmarks(quick: bool) -> list[dict]:
         if quick:
             command += [
                 "-k",
-                "figure1 or figure4 or batch or shard or ivm or store",
+                "figure1 or figure4 or batch or shard or ivm or store or codegen",
                 "--benchmark-min-rounds",
                 "1",
                 "--benchmark-max-time",
@@ -120,15 +128,17 @@ def _time_call(fn, repetitions: int, batches: int = 5) -> float:
 
 
 def _speedup_case(name: str, query, semiring, env: dict, repetitions: int) -> dict:
+    # Pinned to the closure evaluator so the series stays comparable across
+    # PRs; the codegen-vs-closure trajectory is its own section below.
     prepared = prepare_query(query, semiring, env)
-    compiled_answer = prepared.evaluate(env)
+    compiled_answer = prepared.evaluate(env, method="nrc")
     interpreted_answer = prepared.evaluate(env, method="nrc-interp")
     if compiled_answer != interpreted_answer:
         raise SystemExit(f"{name}: compiled and interpreted answers disagree")
     interpreter_s = _time_call(
         lambda: prepared.evaluate(env, method="nrc-interp"), repetitions
     )
-    compiled_s = _time_call(lambda: prepared.evaluate(env), repetitions)
+    compiled_s = _time_call(lambda: prepared.evaluate(env, method="nrc"), repetitions)
     return {
         "name": name,
         "interpreter_s": interpreter_s,
@@ -161,6 +171,70 @@ def measure_speedups(quick: bool) -> list[dict]:
             f"speedup {result['speedup']:6.2f}x"
         )
     return results
+
+
+# ---------------------------------------------------------------------------
+# Section 2b: the source-codegen evaluator vs closures vs interpreter
+# ---------------------------------------------------------------------------
+def measure_codegen(quick: bool) -> dict:
+    """Three-way timings of nrc-codegen / nrc / nrc-interp on key workloads.
+
+    The CI regression bar reads ``suite_child-chain-3``'s
+    ``speedup_codegen_vs_closure`` (must stay >= 1.3 in quick mode).
+    """
+    repetitions = 30 if quick else 200
+    chain_forest = random_forest(NATURAL, num_trees=4, depth=4, fanout=3, seed=17)
+    deep_forest = random_forest(PROVENANCE, num_trees=3, depth=4, fanout=2, seed=23)
+    cases = [
+        ("figure1_iteration", figure1_query(), PROVENANCE, {"S": figure1_source()}),
+        (
+            "figure4_chain_provenance",
+            "element out { $S/*/*/* }",
+            PROVENANCE,
+            {"S": deep_forest},
+        ),
+        (
+            "suite_child-chain-3",
+            standard_query_suite()["child-chain-3"],
+            NATURAL,
+            {"S": chain_forest},
+        ),
+    ]
+    results = []
+    for name, query, semiring, env in cases:
+        prepared = prepare_query(query, semiring, env)
+        if prepared.generated is None:
+            raise SystemExit(
+                f"codegen: {name} unexpectedly declined: {prepared.codegen_reason}"
+            )
+        codegen_answer = prepared.evaluate(env, method="nrc-codegen")
+        if codegen_answer != prepared.evaluate(env, method="nrc"):
+            raise SystemExit(f"codegen: {name}: generated and closure answers disagree")
+        if codegen_answer != prepared.evaluate(env, method="nrc-interp"):
+            raise SystemExit(f"codegen: {name}: generated and interpreter answers disagree")
+        interpreter_s = _time_call(
+            lambda: prepared.evaluate(env, method="nrc-interp"), repetitions
+        )
+        closure_s = _time_call(lambda: prepared.evaluate(env, method="nrc"), repetitions)
+        codegen_s = _time_call(
+            lambda: prepared.evaluate(env, method="nrc-codegen"), repetitions
+        )
+        result = {
+            "name": name,
+            "interpreter_s": interpreter_s,
+            "closure_s": closure_s,
+            "codegen_s": codegen_s,
+            "speedup_codegen_vs_closure": closure_s / codegen_s if codegen_s else float("inf"),
+            "speedup_codegen_vs_interpreter": interpreter_s / codegen_s if codegen_s else float("inf"),
+        }
+        results.append(result)
+        print(
+            f"{name:32s} closure {closure_s * 1e6:9.1f}us  "
+            f"codegen {codegen_s * 1e6:9.1f}us  "
+            f"speedup {result['speedup_codegen_vs_closure']:6.2f}x "
+            f"(vs interpreter {result['speedup_codegen_vs_interpreter']:6.2f}x)"
+        )
+    return {"cases": results}
 
 
 # ---------------------------------------------------------------------------
@@ -413,10 +487,113 @@ def measure_store(quick: bool) -> dict:
     return {"pushdown": pushdown, "recovery": recovery}
 
 
+# ---------------------------------------------------------------------------
+# Bench trajectory: archive every run, report deltas vs the previous one
+# ---------------------------------------------------------------------------
+HISTORY_DIR = REPO_ROOT / "BENCH_history"
+
+
+def _flatten_metrics(report: dict) -> dict[str, float]:
+    """Per-benchmark headline numbers, keyed for run-over-run comparison.
+
+    Best-effort by design: history entries span PRs, so sections or nested
+    keys a different script version wrote (or omitted) must degrade to a
+    missing metric, never crash the delta report.
+    """
+    metrics: dict[str, float] = {}
+
+    def put(key: str, value) -> None:
+        if isinstance(value, (int, float)):
+            metrics[key] = float(value)
+
+    for entry in report.get("speedups", []) or []:
+        if isinstance(entry, dict) and "name" in entry:
+            put(f"speedups/{entry['name']}", entry.get("speedup"))
+    codegen_section = report.get("codegen") or {}
+    for entry in codegen_section.get("cases", []) or []:
+        if isinstance(entry, dict) and "name" in entry:
+            put(f"codegen/{entry['name']}", entry.get("speedup_codegen_vs_closure"))
+    exec_section = report.get("exec") or {}
+    put(
+        "exec/batch_vs_single_shot",
+        (exec_section.get("batch_throughput") or {}).get("speedup_vs_single_shot_loop"),
+    )
+    ivm_section = report.get("ivm") or {}
+    put("ivm/maintain_vs_recompute", ivm_section.get("speedup_maintain_vs_recompute"))
+    store_section = report.get("store") or {}
+    put(
+        "store/indexed_vs_scan",
+        (store_section.get("pushdown") or {}).get("speedup_indexed_vs_scan"),
+    )
+    put(
+        "store/recover_vs_rebuild",
+        (store_section.get("recovery") or {}).get("speedup_recover_vs_rebuild"),
+    )
+    return metrics
+
+
+def _latest_history_entry(quick: bool) -> dict | None:
+    """The newest archived run of the *same mode* (quick vs full).
+
+    Quick-mode numbers (1 round, tiny workloads) are not comparable to the
+    full suite's — a stray local --quick run must not become the baseline
+    every later full run regresses against.
+    """
+    if not HISTORY_DIR.is_dir():
+        return None
+    for path in sorted(HISTORY_DIR.glob("run-*.json"), reverse=True):
+        try:
+            entry = json.loads(path.read_text())
+        except ValueError:
+            continue
+        if entry.get("quick", False) == quick:
+            return entry
+    return None
+
+
+def print_deltas(previous: dict | None, current: dict) -> None:
+    """Per-benchmark speedup deltas vs the previous archived run."""
+    if previous is None:
+        mode = "quick" if current.get("quick") else "full"
+        print(f"\nno previous {mode}-mode run in BENCH_history/ — trajectory starts here")
+        return
+    before = _flatten_metrics(previous)
+    after = _flatten_metrics(current)
+    stamp = previous.get("generated_at", "?")
+    print(f"\ndelta vs previous run ({stamp}):")
+    for name in sorted(after):
+        now = after[name]
+        then = before.get(name)
+        if then is None:
+            print(f"  {name:44s} {now:7.2f}x  (new)")
+        elif then > 0:
+            change = (now - then) / then * 100.0
+            print(f"  {name:44s} {then:7.2f}x -> {now:7.2f}x  ({change:+5.1f}%)")
+    dropped = sorted(set(before) - set(after))
+    for name in dropped:
+        print(f"  {name:44s} (no longer measured)")
+
+
+def archive_run(report: dict) -> Path:
+    """Append the run to ``BENCH_history/`` (one JSON file per run)."""
+    HISTORY_DIR.mkdir(exist_ok=True)
+    stamp = (
+        report["generated_at"].replace(":", "").replace("-", "").replace("+0000", "Z")
+    )
+    path = HISTORY_DIR / f"run-{stamp}.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke mode: figures only, few rounds")
     parser.add_argument("--no-pytest", action="store_true", help="skip the pytest-benchmark section")
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not archive this run to BENCH_history/ or print deltas",
+    )
     parser.add_argument(
         "--output",
         type=Path,
@@ -434,6 +611,11 @@ def main() -> None:
             "baseline is method='nrc-interp' (the Figure 8 reference interpreter running "
             "the unsimplified compilation output), so the speedup covers the whole "
             "prepared pipeline: Appendix A simplification + closure compilation + memoization",
+            "codegen": "three-way comparison of the source-generated program "
+            "(method='nrc-codegen'), the closure evaluator (method='nrc') and the "
+            "reference interpreter on the figure-1 iteration, a deep provenance "
+            "child chain and the suite child-chain-3 workload; answers asserted "
+            "equal across all three methods before timing",
             "exec": "batch_throughput compares a stateless single-shot loop "
             "(evaluate_query per document, re-preparing every time) against one "
             "BatchEvaluator.evaluate_many call over the same documents; shard_scaling "
@@ -453,6 +635,7 @@ def main() -> None:
             "same update history; all answers/states asserted equal before timing",
         },
         "speedups": measure_speedups(args.quick),
+        "codegen": measure_codegen(args.quick),
         "exec": measure_exec(args.quick),
         "ivm": measure_ivm(args.quick),
         "store": measure_store(args.quick),
@@ -462,6 +645,11 @@ def main() -> None:
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.output}")
+    if not args.no_history:
+        previous = _latest_history_entry(args.quick)
+        print_deltas(previous, report)
+        archived = archive_run(report)
+        print(f"archived to {archived}")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,12 @@ Two collection shapes are offered:
   instead of per-document public constructors (what the sharded executor
   wants).
 
+The frame-template fast path serves both ``method="nrc-codegen"`` (the
+source-generated program, when the plan has one — the default) and
+``method="nrc"`` (the closure tree): the two program kinds share the frame
+protocol, so one batch call runs **one generated function** across all
+documents and bumps its execution counter in bulk.
+
 Both accept a ``concurrent.futures`` executor.  Thread pools work on any
 prepared query (compiled programs are reusable and thread-safe: every
 evaluation gets a fresh frame).  A :class:`~concurrent.futures.ProcessPoolExecutor`
@@ -38,9 +44,10 @@ from typing import Any, Iterable, Mapping
 
 from repro.errors import ExecError, SemiringError
 from repro.kcollections.kset import KSet
+from repro.nrc.codegen import CodegenProgram, _ForeignCollection
 from repro.nrc.compile_eval import _UNBOUND
 from repro.semirings.registry import get_semiring
-from repro.uxquery.engine import PreparedQuery, validate_method
+from repro.uxquery.engine import DEFAULT_METHOD, PreparedQuery, validate_method
 from repro.uxquery.typecheck import FOREST
 
 __all__ = ["BatchEvaluator", "infer_document_var"]
@@ -105,18 +112,28 @@ class BatchEvaluator:
         self.var = var
 
     # ------------------------------------------------------------- execution
-    def _frame_template(self, env: Mapping[str, Any] | None) -> tuple[list, int | None]:
+    def _program(self, method: str):
+        """The frame-protocol program serving ``method`` on this plan.
+
+        Delta-plan adapters expose their (possibly generated) program as
+        ``compiled`` without a ``program_for``; fall through to it.
+        """
+        resolver = getattr(self.prepared, "program_for", None)
+        if resolver is not None:
+            return resolver(method)
+        return self.prepared.compiled
+
+    def _frame_template(self, program, env: Mapping[str, Any] | None) -> tuple[list, int | None]:
         """The shared frame (constant bindings filled in) and the document slot."""
-        compiled = self.prepared.compiled
-        template = [_UNBOUND] * compiled._num_slots
+        template = [_UNBOUND] * program._num_slots
         if env:
-            for name, slot in compiled._free_slots.items():
+            for name, slot in program._free_slots.items():
                 if name == self.var:
                     continue  # documents override any representative binding
                 value = env.get(name, _UNBOUND)
                 if value is not _UNBOUND:
                     template[slot] = value
-        return template, compiled._free_slots.get(self.var)
+        return template, program._free_slots.get(self.var)
 
     def _process_pool_tasks(
         self,
@@ -154,7 +171,7 @@ class BatchEvaluator:
         self,
         documents: Iterable[Any],
         env: Mapping[str, Any] | None = None,
-        method: str = "nrc",
+        method: str = DEFAULT_METHOD,
         executor: Any | None = None,
     ) -> list:
         """Evaluate against every document, returning results in order.
@@ -170,7 +187,7 @@ class BatchEvaluator:
             return []
         if isinstance(executor, ProcessPoolExecutor):
             return self._process_pool_tasks(executor, documents, env, method)
-        if method != "nrc":
+        if method not in ("nrc", "nrc-codegen"):
             # The interpreter baselines take plain environment dicts.
             base = dict(env) if env else {}
             base.pop(self.var, None)
@@ -183,15 +200,29 @@ class BatchEvaluator:
             if executor is not None:
                 return list(executor.map(run_interp, documents))
             return [run_interp(document) for document in documents]
-        template, slot = self._frame_template(env)
-        run = self.prepared.compiled._run
+        program = self._program(method)
+        template, slot = self._frame_template(program, env)
+        run = program._run
+        base_env = dict(env) if env else {}
 
         def run_one(document: Any) -> Any:
             frame = template.copy()
             if slot is not None:
                 frame[slot] = document
-            return run(frame)
+            try:
+                return run(frame)
+            except _ForeignCollection as foreign:
+                # A foreign-semiring document: only a generated program
+                # raises this, and serve_foreign reruns its closure
+                # fallback (uncounting the call from the bulk bump below).
+                bindings = dict(base_env)
+                bindings[self.var] = document
+                return program.serve_foreign(foreign, bindings)
 
+        if isinstance(program, CodegenProgram):
+            # The template path calls _run directly; account the whole batch
+            # so serving layers can observe generated-program execution.
+            program.calls += len(documents)
         if executor is not None:
             return list(executor.map(run_one, documents))
         return [run_one(document) for document in documents]
@@ -200,7 +231,7 @@ class BatchEvaluator:
         self,
         documents: Iterable[Any],
         env: Mapping[str, Any] | None = None,
-        method: str = "nrc",
+        method: str = DEFAULT_METHOD,
         executor: Any | None = None,
     ) -> KSet:
         """The pointwise union of the per-document K-set results.

@@ -18,8 +18,10 @@ spell out any expression), so a string key could hand one query another
 query's plan.  Text and AST forms of the same query therefore occupy two
 cache entries; callers that want sharing should pick one form.
 The evaluation ``method`` is validated but deliberately **not** part of the
-key: a :class:`PreparedQuery` carries all three evaluation methods, so one
-compile serves ``nrc``, ``nrc-interp`` and ``direct`` callers alike.
+key: a :class:`PreparedQuery` carries every evaluation method — including
+the source-generated ``nrc-codegen`` program, produced once at prepare time —
+so one compile serves ``nrc-codegen``, ``nrc``, ``nrc-interp`` and
+``direct`` callers alike.
 Concurrent misses on the same key are coalesced so only the first caller
 compiles while the others block on the in-flight compilation and share its
 result.  Hit / miss / eviction / compile counts are tracked for
@@ -40,6 +42,7 @@ from repro.errors import ExecError
 from repro.semirings.base import Semiring
 from repro.uxquery.ast import Query
 from repro.uxquery.engine import (
+    DEFAULT_METHOD,
     PreparedQuery,
     env_types_of,
     prepare_query,
@@ -127,7 +130,7 @@ class PlanCache:
         semiring: Semiring,
         env: Mapping[str, Any] | None = None,
         env_types: Mapping[str, str] | None = None,
-        method: str = "nrc",
+        method: str = DEFAULT_METHOD,
     ) -> PreparedQuery:
         """The prepared plan for ``query``, compiling (once) on a cold key.
 
@@ -225,7 +228,7 @@ def cached_prepare(
     semiring: Semiring,
     env: Mapping[str, Any] | None = None,
     env_types: Mapping[str, str] | None = None,
-    method: str = "nrc",
+    method: str = DEFAULT_METHOD,
 ) -> PreparedQuery:
     """:func:`prepare_query` through the process-wide :class:`PlanCache`."""
     return _DEFAULT_CACHE.get(query, semiring, env=env, env_types=env_types, method=method)

@@ -47,7 +47,7 @@ from repro.nrc.ast import (
     substitute,
 )
 from repro.semirings.base import Semiring
-from repro.uxquery.engine import PreparedQuery
+from repro.uxquery.engine import DEFAULT_METHOD, PreparedQuery
 from repro.uxquery.typecheck import FOREST
 from repro.exec.batch import BatchEvaluator, infer_document_var
 
@@ -185,7 +185,7 @@ class ShardedEvaluator:
         self,
         document: KSet,
         env: Mapping[str, Any] | None = None,
-        method: str = "nrc",
+        method: str = DEFAULT_METHOD,
         executor: Any | None = None,
     ) -> KSet:
         """Partition ``document``, evaluate every shard, merge the K-sets."""
@@ -221,7 +221,7 @@ def shard_evaluate(
     var: str | None = None,
     num_shards: int = 4,
     scheme: str = "hash",
-    method: str = "nrc",
+    method: str = DEFAULT_METHOD,
     executor: Any | None = None,
 ) -> KSet:
     """One-shot convenience wrapper around :class:`ShardedEvaluator`."""

@@ -37,7 +37,7 @@ from repro.semirings.natural import NATURAL
 from repro.semirings.polynomial import PROVENANCE, Polynomial
 from repro.semirings.posbool import POSBOOL, BoolExpr
 from repro.uxml.tree import UTree, map_forest_annotations
-from repro.uxquery.engine import evaluate_query
+from repro.uxquery.engine import DEFAULT_METHOD, evaluate_query
 
 __all__ = [
     "representation_tokens",
@@ -168,7 +168,7 @@ def check_strong_representation(
     representation: KSet,
     target: Semiring,
     valuations: Iterable[Mapping[str, Any]] | None = None,
-    method: str = "nrc",
+    method: str = DEFAULT_METHOD,
 ) -> dict[str, Any]:
     """Check ``p(Mod_K(v)) == Mod_K(p(v))`` for a finite valuation space.
 

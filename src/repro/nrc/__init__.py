@@ -3,17 +3,24 @@
 This is the paper's Section 6: the compilation target of K-UXQuery and the
 setting of the commutation-with-homomorphisms theorem (Theorem 1).
 
-Two evaluators implement the Figure 8 semantics and agree on every expression:
+Three evaluators implement the Figure 8 semantics and agree on every
+expression (the equivalence corpus and the differential fuzz suite in
+``tests/nrc/`` check this for every registry semiring):
 
 * :func:`repro.nrc.eval.evaluate` — the *reference* interpreter, a direct
   transcription of the semantic equations.  Use it when reading the code next
   to the paper, and as the baseline that every optimization is checked
   against (``tests/nrc/test_compile_eval_equiv.py``).
-* :func:`repro.nrc.compile_eval.compile_expr` — the *production* evaluator:
+* :func:`repro.nrc.compile_eval.compile_expr` — the closure evaluator:
   walks the AST once and emits a tree of Python closures with slot-based
   environments, pre-bound semiring operations and memoized structural
-  recursion.  Compile once, evaluate many times; this is what
-  :class:`repro.uxquery.engine.PreparedQuery` uses.
+  recursion.  Total: every expression compiles, including ``srt``.
+* :func:`repro.nrc.codegen.compile_codegen` — the source-codegen evaluator:
+  prints the straight-line fragment as specialized Python source (fused bind
+  loops, inlined semiring scalar ops) and byte-compiles it.  Partial by
+  design — it declines ``srt`` and non-canonical semirings with a recorded
+  reason, and :class:`repro.uxquery.engine.PreparedQuery` falls back to the
+  closure evaluator automatically.
 """
 
 from repro.nrc.ast import (
@@ -52,6 +59,12 @@ from repro.nrc.builders import (
     tuple_to_value,
     union_all,
     value_to_tuple,
+)
+from repro.nrc.codegen import (
+    CodegenProgram,
+    CodegenUnsupported,
+    compile_codegen,
+    try_compile_codegen,
 )
 from repro.nrc.compile_eval import CompiledExpr, compile_expr, evaluate_compiled
 from repro.nrc.eval import evaluate
@@ -115,6 +128,10 @@ __all__ = [
     "CompiledExpr",
     "compile_expr",
     "evaluate_compiled",
+    "CodegenProgram",
+    "CodegenUnsupported",
+    "compile_codegen",
+    "try_compile_codegen",
     "typecheck",
     "simplify",
     "rewrite_once",

@@ -28,7 +28,7 @@ from repro.semirings.polynomial import PROVENANCE, Polynomial
 from repro.semirings.posbool import BoolExpr
 from repro.semirings.homomorphism import polynomial_to_posbool
 from repro.uxml.tree import UTree
-from repro.uxquery.engine import evaluate_query
+from repro.uxquery.engine import DEFAULT_METHOD, evaluate_query
 
 __all__ = [
     "probability_of_event",
@@ -156,7 +156,7 @@ class ProbabilisticUXML:
         return distribution
 
     # ------------------------------------------------------------------ queries
-    def answer_distribution(self, query: str, variable: str, method: str = "nrc") -> dict[Any, float]:
+    def answer_distribution(self, query: str, variable: str, method: str = DEFAULT_METHOD) -> dict[Any, float]:
         """The probability distribution of the query answer over the worlds.
 
         By the strong-representation property this is computed by querying the
@@ -176,12 +176,12 @@ class ProbabilisticUXML:
             distribution[world_answer] = distribution.get(world_answer, 0.0) + probability
         return distribution
 
-    def annotated_answer(self, query: str, variable: str, method: str = "nrc") -> Any:
+    def annotated_answer(self, query: str, variable: str, method: str = DEFAULT_METHOD) -> Any:
         """The query answer over the ``N[X]`` representation (event-annotated)."""
         return evaluate_query(query, PROVENANCE, {variable: self.representation}, method=method)
 
     def member_probability(
-        self, query: str, variable: str, member: UTree, method: str = "nrc"
+        self, query: str, variable: str, member: UTree, method: str = DEFAULT_METHOD
     ) -> float:
         """The marginal probability that ``member`` appears in the query answer.
 

@@ -32,7 +32,7 @@ from repro.semirings.polynomial import PROVENANCE
 from repro.semirings.security import CLEARANCE, ClearanceSemiring
 from repro.uxml.tree import UTree, map_forest_annotations
 from repro.uxquery.ast import Query
-from repro.uxquery.engine import evaluate_query
+from repro.uxquery.engine import DEFAULT_METHOD, evaluate_query
 
 __all__ = [
     "clearance_view",
@@ -45,7 +45,7 @@ def clearance_view(
     query: str | Query,
     env: Mapping[str, Any],
     semiring: ClearanceSemiring = CLEARANCE,
-    method: str = "nrc",
+    method: str = DEFAULT_METHOD,
 ) -> Any:
     """Evaluate a view over clearance-annotated sources, propagating clearances."""
     return evaluate_query(query, semiring, env, method=method)
@@ -56,7 +56,7 @@ def clearance_view_via_provenance(
     env: Mapping[str, Any],
     valuation: Mapping[str, str],
     semiring: ClearanceSemiring = CLEARANCE,
-    method: str = "nrc",
+    method: str = DEFAULT_METHOD,
 ) -> Any:
     """Evaluate the view over ``N[X]`` and specialize the provenance to clearances.
 

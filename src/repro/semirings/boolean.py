@@ -21,6 +21,11 @@ class BooleanSemiring(Semiring):
     idempotent_add = True
     idempotent_mul = True
 
+    #: Short-circuit operators, inlined by the source-codegen evaluator
+    #: (operands are normalized bools, so or/and return bools).
+    codegen_add = "({a} or {b})"
+    codegen_mul = "({a} and {b})"
+
     @property
     def zero(self) -> bool:
         return False

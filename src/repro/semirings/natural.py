@@ -22,6 +22,10 @@ class NaturalSemiring(Semiring):
     #: Addition on N is cancellative, so deletions can be applied exactly.
     supports_subtraction = True
 
+    #: Machine-int operations, inlined by the source-codegen evaluator.
+    codegen_add = "({a} + {b})"
+    codegen_mul = "({a} * {b})"
+
     @property
     def zero(self) -> int:
         return 0

@@ -42,6 +42,12 @@ class TropicalSemiring(Semiring):
     name = "tropical"
     idempotent_add = True
 
+    #: min/+ on floats, inlined by the source-codegen evaluator (the
+    #: conditional is ``min`` without the builtin call; elements are
+    #: non-negative floats or inf, never NaN).
+    codegen_add = "({a} if {a} <= {b} else {b})"
+    codegen_mul = "({a} + {b})"
+
     @property
     def zero(self) -> float:
         return _INFINITY
@@ -85,6 +91,10 @@ class ViterbiSemiring(Semiring):
     name = "viterbi"
     idempotent_add = True
 
+    #: max/* on floats in [0, 1], inlined by the source-codegen evaluator.
+    codegen_add = "({a} if {a} >= {b} else {b})"
+    codegen_mul = "({a} * {b})"
+
     @property
     def zero(self) -> float:
         return 0.0
@@ -121,6 +131,10 @@ class FuzzySemiring(Semiring):
     name = "fuzzy"
     idempotent_add = True
     idempotent_mul = True
+
+    #: max/min on floats in [0, 1], inlined by the source-codegen evaluator.
+    codegen_add = "({a} if {a} >= {b} else {b})"
+    codegen_mul = "({a} if {a} <= {b} else {b})"
 
     @property
     def zero(self) -> float:

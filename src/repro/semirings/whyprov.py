@@ -104,6 +104,11 @@ class WhySemiring(Semiring):
     name = "why-provenance"
     idempotent_add = True
 
+    #: Witness-set union / pairwise union, inlined by the source-codegen
+    #: evaluator (``|`` and ``&`` are exactly add and mul on WhyProvenance).
+    codegen_add = "({a} | {b})"
+    codegen_mul = "({a} & {b})"
+
     @property
     def zero(self) -> WhyProvenance:
         return _WHY_ZERO
@@ -206,6 +211,10 @@ class LineageSemiring(Semiring):
     name = "lineage"
     idempotent_add = True
     idempotent_mul = True
+
+    #: Token-set merge/combine, inlined by the source-codegen evaluator.
+    codegen_add = "{a}.merge({b})"
+    codegen_mul = "{a}.combine({b})"
 
     @property
     def zero(self) -> Lineage:

@@ -7,21 +7,32 @@ This is the main entry point of the library::
 
     answer = evaluate_query("element p { $S/*/* }", PROVENANCE, {"S": source})
 
-Three evaluation methods are available and agree on every query (the
+Four evaluation methods are available and agree on every query (the
 test-suite checks this):
 
-* ``method="nrc"`` (default) — the paper's semantics, fast: compile into
-  NRC_K + srt (Section 6.3), simplify with the Appendix A axioms, and run the
-  closure-compiled form (:mod:`repro.nrc.compile_eval`).  The compilation
-  happens once, at prepare time — repeated ``PreparedQuery.evaluate()`` calls
-  reuse the compiled closures, their variable slots and their structural-
-  recursion memo tables (compile once, evaluate many);
+* ``method="nrc-codegen"`` (default) — the paper's semantics at full speed:
+  compile into NRC_K + srt (Section 6.3), simplify with the Appendix A
+  axioms, and run the *source-generated* program (:mod:`repro.nrc.codegen`):
+  the straight-line fragment is printed as specialized Python source — bind
+  chains fused into nested loops, semiring operations inlined — and
+  byte-compiled at prepare time.  When generation declines (``srt``
+  recursion, non-canonical semirings), this method **transparently falls
+  back** to the closure-compiled form, so it is always safe;
+* ``method="nrc"`` — the closure-compiled form
+  (:mod:`repro.nrc.compile_eval`) unconditionally: one AST walk emits a tree
+  of Python closures with slot-based frames and pre-bound semiring ops.
+  The fallback target of ``nrc-codegen`` and the production evaluator for
+  recursive (``srt``) plans;
 * ``method="nrc-interp"`` — the *unsimplified* NRC_K + srt compilation output
   run by the reference Figure 8 interpreter (:mod:`repro.nrc.eval`).  Kept as
   the executable specification and as the baseline of the performance suite;
   because it evaluates the pre-simplification program, agreement between the
-  two methods also validates the Appendix A simplifier;
+  methods also validates the Appendix A simplifier;
 * ``method="direct"`` — an independent structural interpreter over K-UXML.
+
+The three-evaluator equivalence contract — ``nrc-interp == nrc ==
+nrc-codegen`` on every expression, every registry semiring — is checked by
+the equivalence corpus and the differential fuzz suite in ``tests/nrc/``.
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ from typing import Any, Iterable, Mapping
 from repro.errors import UXQueryEvalError, UXQueryTypeError
 from repro.kcollections.kset import KSet
 from repro.nrc.ast import Expr, expression_size
+from repro.nrc.codegen import CodegenProgram, compile_program
 from repro.nrc.compile_eval import CompiledExpr, compile_expr
 from repro.nrc.eval import evaluate as evaluate_nrc
 from repro.nrc.rewrite import simplify
@@ -49,11 +61,16 @@ __all__ = [
     "evaluate_query",
     "env_types_of",
     "VALID_METHODS",
+    "DEFAULT_METHOD",
     "validate_method",
 ]
 
 #: The evaluation methods understood by :meth:`PreparedQuery.evaluate`.
-VALID_METHODS = ("nrc", "nrc-interp", "direct")
+VALID_METHODS = ("nrc-codegen", "nrc", "nrc-interp", "direct")
+
+#: The production default: the generated program when codegen succeeded,
+#: the closure-compiled form otherwise (automatic fallback, never an error).
+DEFAULT_METHOD = "nrc-codegen"
 
 
 def validate_method(method: str) -> str:
@@ -111,12 +128,36 @@ class PreparedQuery:
         self.nrc = compile_to_nrc(self.core, semiring, self.env_types)
         self.nrc_simplified = simplify(self.nrc, semiring)
         self.compiled: CompiledExpr = compile_expr(self.nrc_simplified, semiring)
+        # The source-generated program, when the simplified form lies in the
+        # straight-line codegen fragment; ``codegen_reason`` records why
+        # generation declined otherwise (surfaced by ``repro explain``).
+        # ``program`` is the default execution program: generated code (with
+        # the closure tree as runtime foreign-collection fallback) when
+        # available, the closure tree otherwise — the ``nrc-codegen``
+        # fallback rule.
+        self.generated: CodegenProgram | None
+        self.codegen_reason: str | None
+        self.program, self.generated, self.codegen_reason = compile_program(
+            self.nrc_simplified, semiring, self.compiled
+        )
 
     # ------------------------------------------------------------ evaluation
+    def program_for(self, method: str) -> CompiledExpr | CodegenProgram:
+        """The frame-protocol program serving ``method`` (``nrc*`` only).
+
+        ``"nrc-codegen"`` resolves to the generated program with the closure
+        tree as automatic fallback; ``"nrc"`` always resolves to the closure
+        tree.  Both kinds share the frame protocol the batch evaluator's
+        template fast path relies on.
+        """
+        if method == "nrc":
+            return self.compiled
+        return self.program
+
     def evaluate(
         self,
         env: Mapping[str, Any] | None = None,
-        method: str = "nrc",
+        method: str = DEFAULT_METHOD,
         *,
         documents: Iterable[Any] | None = None,
         document_var: str | None = None,
@@ -138,6 +179,8 @@ class PreparedQuery:
             return BatchEvaluator(self, var=document_var).evaluate_many(
                 documents, env=env, method=method, executor=executor
             )
+        if method == "nrc-codegen":
+            return self.program.evaluate(env)
         if method == "nrc":
             return self.compiled.evaluate(env)
         if method == "nrc-interp":
@@ -202,7 +245,7 @@ def evaluate_query(
     query: str | Query,
     semiring: Semiring,
     env: Mapping[str, Any] | None = None,
-    method: str = "nrc",
+    method: str = DEFAULT_METHOD,
     *,
     documents: Iterable[Any] | None = None,
     document_var: str | None = None,

@@ -67,8 +67,23 @@ def test_batch_interpreter_methods_agree():
     prepared = prepare_query("($S)/*/*", NATURAL, {"S": documents[0]})
     evaluator = BatchEvaluator(prepared)
     compiled = evaluator.evaluate_many(documents)
+    assert evaluator.evaluate_many(documents, method="nrc-codegen") == compiled
+    assert evaluator.evaluate_many(documents, method="nrc") == compiled
     assert evaluator.evaluate_many(documents, method="nrc-interp") == compiled
     assert evaluator.evaluate_many(documents, method="direct") == compiled
+
+
+def test_batch_executes_the_generated_program():
+    """The default batch path runs codegen bytecode, observably (calls)."""
+    documents = _documents(NATURAL, count=5)
+    prepared = prepare_query("($S)/*/*", NATURAL, {"S": documents[0]})
+    assert prepared.generated is not None
+    before = prepared.generated.calls
+    BatchEvaluator(prepared).evaluate_many(documents)
+    assert prepared.generated.calls == before + len(documents)
+    # Forcing the closure method leaves the generated counter untouched.
+    BatchEvaluator(prepared).evaluate_many(documents, method="nrc")
+    assert prepared.generated.calls == before + len(documents)
 
 
 def test_batch_env_constants_are_shared():

@@ -286,3 +286,63 @@ class TestBatchedApplication:
         assert view.result == prepared.evaluate({"S": view.document})
         assert view.stats().batched == 0
         assert view.stats().applies == 2
+
+
+class TestCodegenDeltaPlans:
+    """Delta plans compile through the source-codegen pipeline when the
+    derived expression is straight-line, and maintenance runs the generated
+    program — observably via its execution counter."""
+
+    def test_straight_line_delta_plan_executes_generated_code(self):
+        document = random_forest(NATURAL, num_trees=4, depth=3, fanout=2, seed=31)
+        prepared = prepare_query("($S)/*/*", NATURAL, {"S": document})
+        view = prepared.materialize(document)
+        plan = view.plan
+        assert plan.classification == LINEAR
+        assert plan.generated is not None
+        assert plan.program is plan.generated
+        before = plan.generated.calls
+        view.apply(Delta.insertion(NATURAL, random_tree(NATURAL, 2, 2, seed=32)))
+        assert plan.generated.calls == before + 1
+        assert view.result == prepared.evaluate({"S": view.document})
+        assert view.stats().incremental == 1
+
+    def test_diff_compilation_also_goes_through_codegen(self):
+        from repro.nrc.codegen import CodegenProgram
+
+        document = random_forest(NATURAL, num_trees=4, depth=3, fanout=2, seed=33)
+        prepared = prepare_query("($S)/*/*", NATURAL, {"S": document})
+        view = prepared.materialize(document)
+        victim = next(iter(view.document))
+        view.apply(Delta.deletion(NATURAL, victim, view.document.annotation(victim)))
+        assert view.result == prepared.evaluate({"S": view.document})
+        assert view.stats().recomputes == 0
+        assert isinstance(view.plan.compiled_diff, CodegenProgram)
+
+    def test_srt_delta_plans_fall_back_to_closures(self):
+        document = random_forest(NATURAL, num_trees=4, depth=3, fanout=2, seed=34)
+        prepared = prepare_query(LINEAR_QUERY, NATURAL, {"S": document})
+        view = prepared.materialize(document)
+        plan = view.plan
+        assert plan.classification == LINEAR
+        assert plan.generated is None  # //c keeps srt inside the delta
+        assert plan.program is plan.compiled
+        view.apply(Delta.insertion(NATURAL, random_tree(NATURAL, 2, 2, seed=35)))
+        assert view.result == prepared.evaluate({"S": view.document})
+        assert view.stats().incremental == 1
+
+    def test_apply_many_batches_through_the_generated_program(self):
+        document = random_forest(NATURAL, num_trees=4, depth=3, fanout=2, seed=36)
+        prepared = prepare_query("($S)/*/*", NATURAL, {"S": document})
+        view = prepared.materialize(document)
+        plan = view.plan
+        assert plan.generated is not None
+        before = plan.generated.calls
+        deltas = [
+            Delta.insertion(NATURAL, random_tree(NATURAL, 2, 2, seed=40 + i))
+            for i in range(4)
+        ]
+        view.apply_many(deltas)
+        assert plan.generated.calls == before + len(deltas)
+        assert view.result == prepared.evaluate({"S": view.document})
+        assert view.stats().batched == len(deltas)

@@ -47,7 +47,7 @@ from repro.uxml.tree import UTree, forest, leaf
 from repro.uxquery import prepare_query
 from repro.workloads import random_forest, random_query, standard_query_suite
 
-ALL_METHODS = ("nrc", "nrc-interp", "direct")
+ALL_METHODS = ("nrc-codegen", "nrc", "nrc-interp", "direct")
 
 
 def _assert_all_methods_agree(query, semiring, env):
@@ -55,6 +55,7 @@ def _assert_all_methods_agree(query, semiring, env):
     results = {method: prepared.evaluate(env, method=method) for method in ALL_METHODS}
     assert results["nrc"] == results["nrc-interp"], "compiled != interpreter"
     assert results["nrc"] == results["direct"], "compiled != direct"
+    assert results["nrc-codegen"] == results["nrc"], "codegen != compiled"
     # Re-evaluating the same prepared query must be stable (memo tables and
     # frame slots must not leak state between calls).
     assert prepared.evaluate(env) == results["nrc"]

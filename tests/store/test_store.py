@@ -349,3 +349,61 @@ class TestRecoveryInvariant:
             assert recovered.view("hits").result == prepared.evaluate(
                 {"S": recovered.forest("doc")}
             ), semiring.name
+
+
+class TestCodegenServing:
+    """The store's serving paths execute source-generated programs: the
+    pushdown residual, the single-shot fallback, and query_many batches all
+    compile through the engine's two-stage pipeline (observable on the
+    plans' execution counters)."""
+
+    def test_residual_plan_executes_generated_code(self):
+        forest = random_forest(NATURAL, num_trees=3, depth=3, fanout=2, seed=61)
+        store = DocumentStore(NATURAL)
+        store.ingest("doc", forest)
+        query = "element out { $S/*/* }"
+        answer = store.query(query)
+        prepared = prepare_query(query, NATURAL, {"S": forest})
+        assert answer == prepared.evaluate({"S": forest})
+        assert store.stats().pushdowns == 1
+        # The residual (element out { $__nav }) was compiled in the store's
+        # plan cache and ran as generated bytecode.
+        residuals = [
+            plan
+            for plan in store.plan_cache._plans.values()
+            if "__nav" in str(plan.surface)
+        ]
+        assert residuals and residuals[0].generated is not None
+        assert residuals[0].generated.calls > 0
+
+    def test_fallback_path_executes_generated_code(self):
+        forest = random_forest(NATURAL, num_trees=3, depth=3, fanout=2, seed=62)
+        store = DocumentStore(NATURAL)
+        store.ingest("doc", forest)
+        # Mixed chains decline the split: the unmodified plan serves the
+        # query — through its generated program.
+        query = "element out { ($S/a, $S/b/c) }"
+        answer = store.query(query)
+        prepared = prepare_query(query, NATURAL, {"S": forest})
+        assert answer == prepared.evaluate({"S": forest})
+        assert store.stats().fallbacks == 1
+        cached = store.plan_cache.get(query, NATURAL, env_types={"S": "forest"})
+        assert cached.generated is not None
+        assert cached.generated.calls > 0
+
+    def test_query_many_batches_generated_code(self):
+        store = DocumentStore(NATURAL)
+        for index in range(3):
+            store.ingest(
+                f"doc{index}",
+                random_forest(NATURAL, num_trees=2, depth=3, fanout=2, seed=70 + index),
+            )
+        query = "($S)/*/*"
+        results = store.query_many(query)
+        for doc_id, result in zip(store.document_ids(), results):
+            assert result == prepare_query(query, NATURAL, {"S": store.forest(doc_id)}).evaluate(
+                {"S": store.forest(doc_id)}
+            )
+        cached = store.plan_cache.get(query, NATURAL, env_types={"S": "forest"})
+        assert cached.generated is not None
+        assert cached.generated.calls >= 3

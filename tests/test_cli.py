@@ -115,3 +115,47 @@ class TestCli:
         exit_code = main(["query", "--query", "for $x in", "--input", document_path])
         assert exit_code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestCliExplain:
+    def test_explain_prints_generated_source(self, capsys):
+        assert main(["explain", "-q", "element out { $S/*/* }", "-k", "N"]) == 0
+        output = capsys.readouterr().out
+        assert "simplified" in output
+        assert "nrc-codegen" in output
+        assert "def _nrc_program(frame):" in output
+        assert "_from_normalized" in output
+
+    def test_explain_reports_fallback_reason(self, capsys):
+        assert main(["explain", "-q", "element out { $S//c }", "-k", "N"]) == 0
+        output = capsys.readouterr().out
+        assert "closure fallback" in output
+        assert "srt" in output
+
+    def test_explain_with_extra_typed_variables(self, capsys):
+        query = "for $x in $S where name($x) = $l return ($x)/*"
+        assert main(["explain", "-q", query, "-k", "N", "--type", "l=label"]) == 0
+        output = capsys.readouterr().out
+        assert "def _nrc_program(frame):" in output
+
+    def test_explain_rejects_bad_type_declaration(self, capsys):
+        exit_code = main(["explain", "-q", "($S)", "--type", "l=bogus"])
+        assert exit_code == 1
+        assert "forest|tree|label" in capsys.readouterr().err
+
+    def test_query_accepts_codegen_method(self, document_path, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    "--query",
+                    "($S)/*",
+                    "--input",
+                    document_path,
+                    "--method",
+                    "nrc-codegen",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out.strip()
