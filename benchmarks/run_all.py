@@ -16,7 +16,10 @@ across PRs:
 * ``codegen`` — the source-codegen evaluator (``method="nrc-codegen"``)
   against both baselines on the figure workloads and deep child chains
   (CI asserts >= 1.3x over the closure evaluator on child-chain-3);
-* ``exec`` / ``ivm`` / ``store`` — the subsystem serving-path timings.
+* ``exec`` / ``ivm`` / ``store`` — the subsystem serving-path timings;
+* ``resilience`` — the guardrail tax: the codegen hot path with generous
+  ``EvalLimits`` armed vs unlimited (CI asserts the overhead stays <= 5%
+  on child-chain-3).
 
 Every run is archived to ``BENCH_history/`` and compared against the
 previous archived run, so per-benchmark regressions are visible across PRs
@@ -80,7 +83,7 @@ def run_pytest_benchmarks(quick: bool) -> list[dict]:
         if quick:
             command += [
                 "-k",
-                "figure1 or figure4 or batch or shard or ivm or store or codegen",
+                "figure1 or figure4 or batch or shard or ivm or store or codegen or guard",
                 "--benchmark-min-rounds",
                 "1",
                 "--benchmark-max-time",
@@ -488,6 +491,60 @@ def measure_store(quick: bool) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Section 6: execution guardrails (repro.resilience)
+# ---------------------------------------------------------------------------
+def measure_resilience(quick: bool) -> dict:
+    """The guardrail tax: generous EvalLimits armed vs unlimited evaluation.
+
+    Asserts the regression bar directly: limit checking on the codegen hot
+    path (suite_child-chain-3) must cost <= 5%.  The limits are generous
+    enough that nothing fires, so the measured cost is pure checking —
+    the stride-counted ticks in the generated loops plus one guard
+    activation per evaluate call.
+    """
+    from repro.resilience import EvalLimits
+
+    repetitions = 40 if quick else 200
+    max_overhead_ratio = 1.05
+    generous = EvalLimits(timeout_s=300.0, max_rows=10**9)
+    forest = random_forest(NATURAL, num_trees=8, depth=4, fanout=3, seed=17)
+    query = standard_query_suite()["child-chain-3"]
+    prepared = prepare_query(query, NATURAL, {"S": forest})
+    env = {"S": forest}
+    if prepared.evaluate(env, limits=generous) != prepared.evaluate(env):
+        raise SystemExit("guard_overhead: limited and unlimited answers disagree")
+
+    unlimited_s = _time_call(
+        lambda: prepared.evaluate(env, method="nrc-codegen"), repetitions, batches=7
+    )
+    limited_s = _time_call(
+        lambda: prepared.evaluate(env, method="nrc-codegen", limits=generous),
+        repetitions,
+        batches=7,
+    )
+    ratio = limited_s / unlimited_s if unlimited_s else float("inf")
+    report = {
+        "name": "suite_child-chain-3",
+        "limit_checks": prepared.generated.limit_checks,
+        "unlimited_s": unlimited_s,
+        "limited_s": limited_s,
+        "overhead_ratio": ratio,
+        "max_overhead_ratio": max_overhead_ratio,
+    }
+    print(
+        f"{'guard_overhead':32s} unlimited {unlimited_s * 1e6:9.1f}us  "
+        f"limited {limited_s * 1e6:9.1f}us  "
+        f"overhead {(ratio - 1) * 100:+5.1f}%"
+    )
+    if ratio > max_overhead_ratio:
+        raise SystemExit(
+            f"guard_overhead: limit checking costs {(ratio - 1) * 100:.1f}% on "
+            f"suite_child-chain-3 (bar: {(max_overhead_ratio - 1) * 100:.0f}%)"
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
 # Bench trajectory: archive every run, report deltas vs the previous one
 # ---------------------------------------------------------------------------
 HISTORY_DIR = REPO_ROOT / "BENCH_history"
@@ -529,6 +586,8 @@ def _flatten_metrics(report: dict) -> dict[str, float]:
         "store/recover_vs_rebuild",
         (store_section.get("recovery") or {}).get("speedup_recover_vs_rebuild"),
     )
+    resilience_section = report.get("resilience") or {}
+    put("resilience/guard_overhead_ratio", resilience_section.get("overhead_ratio"))
     return metrics
 
 
@@ -633,12 +692,19 @@ def main() -> None:
             "figure-4 descendant workload; recovery times DocumentStore.open "
             "(snapshot + WAL-tail replay) against a cold in-memory rebuild of the "
             "same update history; all answers/states asserted equal before timing",
+            "resilience": "guard_overhead times the codegen hot path "
+            "(suite_child-chain-3 over an 8-tree forest) with generous EvalLimits "
+            "armed — stride-counted ticks in the generated loops plus one guard "
+            "activation per call, nothing fires — against the same evaluation "
+            "unlimited; answers asserted equal before timing and the overhead "
+            "ratio asserted <= 1.05",
         },
         "speedups": measure_speedups(args.quick),
         "codegen": measure_codegen(args.quick),
         "exec": measure_exec(args.quick),
         "ivm": measure_ivm(args.quick),
         "store": measure_store(args.quick),
+        "resilience": measure_resilience(args.quick),
     }
     if not args.no_pytest:
         report["benchmarks"] = run_pytest_benchmarks(args.quick)

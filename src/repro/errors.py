@@ -102,3 +102,29 @@ class IVMError(ReproError):
 
 class StoreError(ReproError):
     """Errors in the persistent indexed document store (:mod:`repro.store`)."""
+
+
+class ResilienceError(ReproError):
+    """Errors in the fault-injection / guardrail layer (:mod:`repro.resilience`)."""
+
+
+class FaultInjected(ResilienceError):
+    """An armed failpoint fired with the ``raise`` action.
+
+    Deliberately injected by :func:`repro.resilience.faults.fail_point` —
+    never raised by healthy code paths.
+    """
+
+
+class LimitExceeded(ResilienceError):
+    """A cooperative execution limit (:class:`~repro.resilience.limits.EvalLimits`)
+    was exceeded.  Base of the two typed guardrail errors below."""
+
+
+class QueryTimeoutError(LimitExceeded):
+    """Evaluation ran past its deadline (``EvalLimits.timeout_s``)."""
+
+
+class BudgetExceededError(LimitExceeded):
+    """Evaluation exceeded its row or result-size budget
+    (``EvalLimits.max_rows`` / ``EvalLimits.max_result_bytes``)."""

@@ -45,7 +45,12 @@ cache.
 """
 
 from repro.errors import ExecError
-from repro.exec.batch import BatchEvaluator, infer_document_var
+from repro.exec.batch import (
+    BatchEvaluator,
+    infer_document_var,
+    reset_worker_stats,
+    worker_stats,
+)
 from repro.exec.plan_cache import CacheStats, PlanCache, cached_prepare, default_plan_cache
 from repro.exec.shard import (
     PARTITION_SCHEMES,
@@ -63,6 +68,8 @@ __all__ = [
     "default_plan_cache",
     "BatchEvaluator",
     "infer_document_var",
+    "worker_stats",
+    "reset_worker_stats",
     "ShardedEvaluator",
     "shard_evaluate",
     "partition_forest",

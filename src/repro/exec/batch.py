@@ -33,12 +33,24 @@ is supported for queries over *registry* semirings: workers cannot receive the
 compiled closures, so they re-prepare from the query text through their own
 process-wide plan cache (compile-once per worker process) and receive pickled
 documents.
+
+Process-pool execution is **fault tolerant**: a worker that dies mid-batch
+(OOM kill, segfault, ``os._exit``) breaks the whole pool, so the batch
+evaluator submits per-document futures, keeps every completed result, and
+retries only the failed partition — with capped exponential backoff on a
+freshly built pool — degrading gracefully to inline evaluation once the
+retry budget is spent.  Retry/degradation counters live on the evaluator
+(``worker_retries``/``worker_degraded``/``pool_rebuilds``) and aggregate
+into module-wide :func:`worker_stats` surfaced by ``repro cache-stats``.
 """
 
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor
+import os
+import threading
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from functools import partial
 from typing import Any, Iterable, Mapping
 
@@ -46,11 +58,40 @@ from repro.errors import ExecError, SemiringError
 from repro.kcollections.kset import KSet
 from repro.nrc.codegen import CodegenProgram, _ForeignCollection
 from repro.nrc.compile_eval import _UNBOUND
+from repro.resilience.faults import fail_point
+from repro.resilience.limits import EvalLimits, activate
 from repro.semirings.registry import get_semiring
 from repro.uxquery.engine import DEFAULT_METHOD, PreparedQuery, validate_method
 from repro.uxquery.typecheck import FOREST
 
-__all__ = ["BatchEvaluator", "infer_document_var"]
+__all__ = ["BatchEvaluator", "infer_document_var", "worker_stats", "reset_worker_stats"]
+
+#: Pool rebuilds attempted before degrading to inline evaluation.
+_RETRY_BUDGET = 2
+#: Exponential backoff between pool rebuilds: base * 2**attempt, capped.
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 1.0
+
+_STATS_LOCK = threading.Lock()
+_WORKER_STATS = {"retries": 0, "degraded": 0, "pool_rebuilds": 0, "broken_pools": 0}
+
+
+def worker_stats() -> dict[str, int]:
+    """Process-wide worker fault-tolerance counters (``cache-stats`` style)."""
+    with _STATS_LOCK:
+        return dict(_WORKER_STATS)
+
+
+def reset_worker_stats() -> None:
+    with _STATS_LOCK:
+        for key in _WORKER_STATS:
+            _WORKER_STATS[key] = 0
+
+
+def _bump_worker_stats(**deltas: int) -> None:
+    with _STATS_LOCK:
+        for key, delta in deltas.items():
+            _WORKER_STATS[key] += delta
 
 
 def infer_document_var(prepared: PreparedQuery) -> str:
@@ -81,16 +122,25 @@ def _prepare_in_worker(
     var: str,
     env: dict[str, Any] | None,
     method: str,
+    limits_payload: tuple | None,
     document: Any,
 ) -> Any:
-    """Top-level task for process pools: re-prepare via the worker's plan cache."""
+    """Top-level task for process pools: re-prepare via the worker's plan cache.
+
+    ``limits_payload`` is ``(timeout_s, max_rows, max_result_bytes)`` — the
+    parent's remaining budget at dispatch time, rebuilt into an
+    :class:`EvalLimits` here because guards hold a local monotonic deadline
+    that cannot cross a process boundary.
+    """
     from repro.exec.plan_cache import cached_prepare
 
+    fail_point("exec.worker.task")
     semiring = get_semiring(semiring_name)
     prepared = cached_prepare(query_text, semiring, env_types=env_types, method=method)
     bindings = dict(env) if env else {}
     bindings[var] = document
-    return prepared.evaluate(bindings, method=method)
+    limits = EvalLimits(*limits_payload) if limits_payload is not None else None
+    return prepared.evaluate(bindings, method=method, limits=limits)
 
 
 class BatchEvaluator:
@@ -110,6 +160,11 @@ class BatchEvaluator:
                 "would be ignored"
             )
         self.var = var
+        #: Fault-tolerance counters for this evaluator (mirrored into the
+        #: module-wide worker_stats and aggregated by DocumentStore.stats).
+        self.worker_retries = 0
+        self.worker_degraded = 0
+        self.pool_rebuilds = 0
 
     # ------------------------------------------------------------- execution
     def _program(self, method: str):
@@ -141,6 +196,7 @@ class BatchEvaluator:
         documents: list,
         env: Mapping[str, Any] | None,
         method: str,
+        limits: EvalLimits | None = None,
     ) -> list:
         semiring = self.prepared.semiring
         try:
@@ -156,6 +212,15 @@ class BatchEvaluator:
                 "registry; process-pool execution needs registry semirings "
                 "(use a thread pool instead)"
             )
+        limits_payload = None
+        if limits is not None and limits.is_bounded:
+            # Remaining budget at dispatch; workers rebuild the deadline
+            # clock locally (monotonic times do not cross processes).
+            limits_payload = (
+                limits.remaining(limits.start()),
+                limits.max_rows,
+                limits.max_result_bytes,
+            )
         task = partial(
             _prepare_in_worker,
             str(self.prepared.surface),
@@ -164,8 +229,73 @@ class BatchEvaluator:
             self.var,
             dict(env) if env else None,
             method,
+            limits_payload,
         )
-        return list(executor.map(task, documents))
+
+        results: list = [None] * len(documents)
+        pending = list(range(len(documents)))
+        pool = executor
+        own_pool: ProcessPoolExecutor | None = None
+        rebuilds = 0
+        try:
+            while True:
+                # Per-document futures (not executor.map): when a dying
+                # worker breaks the pool, completed results survive and only
+                # the failed partition is retried.
+                futures = [(index, pool.submit(task, documents[index])) for index in pending]
+                failed: list[int] = []
+                for index, future in futures:
+                    try:
+                        results[index] = future.result()
+                    except BrokenExecutor:
+                        failed.append(index)
+                if not failed:
+                    return results
+                _bump_worker_stats(broken_pools=1)
+                if rebuilds >= _RETRY_BUDGET:
+                    # Retry budget spent: degrade gracefully to inline
+                    # evaluation of the failed partition in this process.
+                    for index in failed:
+                        results[index] = task(documents[index])
+                    self.worker_degraded += len(failed)
+                    _bump_worker_stats(degraded=len(failed))
+                    return results
+                # Capped exponential backoff, then retry on a fresh pool —
+                # the broken one can never accept work again.
+                time.sleep(min(_BACKOFF_BASE_S * (2**rebuilds), _BACKOFF_CAP_S))
+                rebuilds += 1
+                workers = getattr(pool, "_max_workers", None) or os.cpu_count() or 2
+                if own_pool is not None:
+                    own_pool.shutdown(wait=False)
+                own_pool = pool = ProcessPoolExecutor(max_workers=workers)
+                pending = failed
+                self.worker_retries += len(failed)
+                self.pool_rebuilds += 1
+                _bump_worker_stats(retries=len(failed), pool_rebuilds=1)
+        finally:
+            if own_pool is not None:
+                own_pool.shutdown(wait=False)
+
+    @staticmethod
+    def _dispatch_runs(run, documents: list, executor: Any | None, guard) -> list:
+        """Run ``run`` over the documents, under ``guard`` when one is armed.
+
+        The guard is stateless and shared: each executing thread activates
+        it on its own thread-local stack, so the deadline and budgets cover
+        the whole batch regardless of fan-out.
+        """
+        if guard is not None:
+            inner = run
+
+            def run(document: Any) -> Any:
+                with activate(guard):
+                    result = inner(document)
+                    guard.check_result(result)
+                    return result
+
+        if executor is not None:
+            return list(executor.map(run, documents))
+        return [run(document) for document in documents]
 
     def evaluate_many(
         self,
@@ -173,6 +303,7 @@ class BatchEvaluator:
         env: Mapping[str, Any] | None = None,
         method: str = DEFAULT_METHOD,
         executor: Any | None = None,
+        limits: EvalLimits | None = None,
     ) -> list:
         """Evaluate against every document, returning results in order.
 
@@ -180,13 +311,15 @@ class BatchEvaluator:
         document variable (a binding for the document variable itself is
         ignored — each document takes its place).  ``executor`` may be any
         ``concurrent.futures`` executor; without one the batch runs inline.
+        ``limits=`` guards the whole batch with one shared deadline/budget.
         """
         validate_method(method)
         documents = list(documents)
         if not documents:
             return []
         if isinstance(executor, ProcessPoolExecutor):
-            return self._process_pool_tasks(executor, documents, env, method)
+            return self._process_pool_tasks(executor, documents, env, method, limits)
+        guard = limits.start() if limits is not None and limits.is_bounded else None
         if method not in ("nrc", "nrc-codegen"):
             # The interpreter baselines take plain environment dicts.
             base = dict(env) if env else {}
@@ -197,9 +330,7 @@ class BatchEvaluator:
                 bindings[self.var] = document
                 return self.prepared.evaluate(bindings, method=method)
 
-            if executor is not None:
-                return list(executor.map(run_interp, documents))
-            return [run_interp(document) for document in documents]
+            return self._dispatch_runs(run_interp, documents, executor, guard)
         program = self._program(method)
         template, slot = self._frame_template(program, env)
         run = program._run
@@ -223,9 +354,7 @@ class BatchEvaluator:
             # The template path calls _run directly; account the whole batch
             # so serving layers can observe generated-program execution.
             program.calls += len(documents)
-        if executor is not None:
-            return list(executor.map(run_one, documents))
-        return [run_one(document) for document in documents]
+        return self._dispatch_runs(run_one, documents, executor, guard)
 
     def evaluate_merged(
         self,
@@ -233,6 +362,7 @@ class BatchEvaluator:
         env: Mapping[str, Any] | None = None,
         method: str = DEFAULT_METHOD,
         executor: Any | None = None,
+        limits: EvalLimits | None = None,
     ) -> KSet:
         """The pointwise union of the per-document K-set results.
 
@@ -240,7 +370,9 @@ class BatchEvaluator:
         items are already coerced and normalized, so the merge runs through
         the trusted :meth:`KSet._accumulate_normalized` n-ary sum.
         """
-        results = self.evaluate_many(documents, env=env, method=method, executor=executor)
+        results = self.evaluate_many(
+            documents, env=env, method=method, executor=executor, limits=limits
+        )
         semiring = self.prepared.semiring
         for result in results:
             if not isinstance(result, KSet) or result.semiring != semiring:

@@ -161,25 +161,34 @@ class PlanCache:
                 raise pending.error
             assert pending.plan is not None
             return pending.plan
+        # Owner path.  The try/finally guarantees that — success, compile
+        # error, or even an asynchronous exception — the in-flight marker is
+        # removed, the outcome is recorded, and every waiter is woken.  A
+        # failed compile must poison nothing: no cached entry remains and the
+        # next caller on the key retries cleanly.
         try:
             plan = self._prepare(query, semiring, env=env, env_types=types)
-        except BaseException as error:
             with self._lock:
-                del self._inflight[key]
+                self._compiles += 1
+                self._plans[key] = plan
+                self._plans.move_to_end(key)
+                while len(self._plans) > self._maxsize:
+                    self._plans.popitem(last=False)
+                    self._evictions += 1
+            pending.plan = plan
+            return plan
+        except BaseException as error:
             pending.error = error
-            pending.done.set()
             raise
-        with self._lock:
-            self._compiles += 1
-            self._plans[key] = plan
-            self._plans.move_to_end(key)
-            while len(self._plans) > self._maxsize:
-                self._plans.popitem(last=False)
-                self._evictions += 1
-            del self._inflight[key]
-        pending.plan = plan
-        pending.done.set()
-        return plan
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            if pending.plan is None and pending.error is None:
+                # Belt and braces: never strand waiters on the event.
+                pending.error = ExecError(
+                    f"plan compilation for {key[0]!r} was interrupted before completing"
+                )
+            pending.done.set()
 
     # ------------------------------------------------------------ maintenance
     def clear(self) -> None:

@@ -46,6 +46,7 @@ from repro.nrc.ast import (
     free_variables,
     substitute,
 )
+from repro.resilience.limits import EvalLimits
 from repro.semirings.base import Semiring
 from repro.uxquery.engine import DEFAULT_METHOD, PreparedQuery
 from repro.uxquery.typecheck import FOREST
@@ -181,12 +182,27 @@ class ShardedEvaluator:
             )
         self._batch = BatchEvaluator(prepared, var=self.var)
 
+    # Worker fault-tolerance counters (delegated to the underlying batch
+    # evaluator, which does the process-pool retry/degrade work).
+    @property
+    def worker_retries(self) -> int:
+        return self._batch.worker_retries
+
+    @property
+    def worker_degraded(self) -> int:
+        return self._batch.worker_degraded
+
+    @property
+    def pool_rebuilds(self) -> int:
+        return self._batch.pool_rebuilds
+
     def evaluate(
         self,
         document: KSet,
         env: Mapping[str, Any] | None = None,
         method: str = DEFAULT_METHOD,
         executor: Any | None = None,
+        limits: EvalLimits | None = None,
     ) -> KSet:
         """Partition ``document``, evaluate every shard, merge the K-sets."""
         if not isinstance(document, KSet):
@@ -198,8 +214,12 @@ class ShardedEvaluator:
         # shard already supplies.  All-empty falls through to single-shot.
         shards = [shard for shard in shards if not shard.is_empty()]
         if not shards:
-            return self.prepared.evaluate(_with_var(env, self.var, document), method=method)
-        return self._batch.evaluate_merged(shards, env=env, method=method, executor=executor)
+            return self.prepared.evaluate(
+                _with_var(env, self.var, document), method=method, limits=limits
+            )
+        return self._batch.evaluate_merged(
+            shards, env=env, method=method, executor=executor, limits=limits
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -223,7 +243,8 @@ def shard_evaluate(
     scheme: str = "hash",
     method: str = DEFAULT_METHOD,
     executor: Any | None = None,
+    limits: EvalLimits | None = None,
 ) -> KSet:
     """One-shot convenience wrapper around :class:`ShardedEvaluator`."""
     evaluator = ShardedEvaluator(prepared, var=var, num_shards=num_shards, scheme=scheme)
-    return evaluator.evaluate(document, env=env, method=method, executor=executor)
+    return evaluator.evaluate(document, env=env, method=method, executor=executor, limits=limits)

@@ -77,6 +77,7 @@ from repro.nrc.ast import (
 )
 from repro.nrc.compile_eval import _UNBOUND, _expect_kset, _expect_tree
 from repro.nrc.values import Pair
+from repro.resilience.limits import check_tick
 from repro.semirings.base import Semiring
 from repro.uxml.tree import UTree
 
@@ -136,7 +137,7 @@ class CodegenProgram:
     """
 
     __slots__ = ("expr", "semiring", "source", "_run", "_free_slots", "_num_slots",
-                 "calls", "fallback")
+                 "calls", "fallback", "limit_checks")
 
     def __init__(self, expr: Expr, semiring: Semiring, source: str,
                  run: Callable[[list], Any], free_slots: dict[str, int], num_slots: int):
@@ -155,6 +156,9 @@ class CodegenProgram:
         #: the compile-time semiring (set by the engine / delta plans; a
         #: standalone program raises :class:`SemiringError` instead).
         self.fallback: Any | None = None
+        #: Number of generated fold loops carrying a stride-counted
+        #: EvalLimits check (``repro explain`` reports it).
+        self.limit_checks = source.count("_TICK(")
 
     @property
     def free_variables(self) -> frozenset[str]:
@@ -228,6 +232,9 @@ class _Emitter:
         self._tree_elements: set[str] = set()
         #: accumulator atom -> hoisted bound ``dict.get`` atom.
         self._acc_get: dict[str, str] = {}
+        #: Number of fold loops instrumented with a stride-counted limit
+        #: check (surfaced as ``CodegenProgram.limit_checks`` for explain).
+        self.loop_checks = 0
         self.consts: list[Any] = []
         self._add_tmpl = _validated_template(semiring, "add", semiring.codegen_add, semiring.add)
         self._mul_tmpl = _validated_template(semiring, "mul", semiring.codegen_mul, semiring.mul)
@@ -241,6 +248,17 @@ class _Emitter:
     def fresh(self, prefix: str = "t") -> str:
         self._temp += 1
         return f"_{prefix}{self._temp}"
+
+    def emit_loop_check(self, acc: str) -> None:
+        """Stride-counted guardrail inside a generated fold loop.
+
+        ``_lc`` is a shared per-call counter; every 256th iteration calls
+        :func:`repro.resilience.limits.check_tick` with the rows accumulated
+        so far — two cheap statements per iteration when no limits are armed.
+        """
+        self.loop_checks += 1
+        self.emit("_lc += 1")
+        self.emit(f"if not _lc & 255: _TICK(len({acc}))")
 
     def const(self, value: Any) -> str:
         for index, existing in enumerate(self.consts):
@@ -463,6 +481,7 @@ class _Emitter:
         annot = self.fresh("k")
         self.emit(f"for {member}, {annot} in {atom}._items.items():")
         self.indent += 1
+        self.emit_loop_check(acc)
         if weight is None:
             self._accumulate(acc, member, annot)
         else:
@@ -512,6 +531,7 @@ class _Emitter:
             self._known[member] = "tree"
         self.emit(f"for {member}, {annot} in {source}._items.items():")
         self.indent += 1
+        self.emit_loop_check(acc)
         if weight is None:
             inner_weight = annot
         else:
@@ -615,6 +635,8 @@ def generate_source(expr: Expr, semiring: Semiring) -> tuple[str, dict[str, Any]
     emitter = _Emitter(semiring)
     result = emitter.emit_value(expr)
     emitter.emit(f"return {result}")
+    if emitter.loop_checks:
+        emitter.lines.insert(0, "    _lc = 0")
     source = "def _nrc_program(frame):\n" + "\n".join(emitter.lines) + "\n"
 
     def _require_semiring(collection: KSet) -> None:
@@ -664,6 +686,7 @@ def generate_source(expr: Expr, semiring: Semiring) -> tuple[str, dict[str, Any]
         "_expect_pair": _expect_pair,
         "_expect_tree_label": _expect_tree_label,
         "_expect_child": _expect_child,
+        "_TICK": check_tick,
     }
     for index, value in enumerate(emitter.consts):
         namespace[f"_C{index}"] = value

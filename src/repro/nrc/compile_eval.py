@@ -67,6 +67,7 @@ from repro.nrc.ast import (
     free_variables,
 )
 from repro.nrc.values import Pair
+from repro.resilience.limits import check_tick as _check_limits
 from repro.semirings.base import Semiring
 from repro.uxml.tree import UTree
 
@@ -290,6 +291,7 @@ class _Compiler:
         fast, add, mul = self._fast, self._add, self._mul
         one, zero = self._one, self._zero
         from_normalized = KSet._from_normalized
+        check_limits = _check_limits
 
         def run(frame: list) -> Any:
             outer = source(frame)
@@ -335,6 +337,10 @@ class _Compiler:
                             )
                         else:
                             accumulated[inner_value] = contribution
+                # Cooperative guardrail: one check per outer member (the
+                # inner fold is where rows accumulate), charging the rows
+                # gathered so far.  A single global read when unguarded.
+                check_limits(len(accumulated))
             if not fast:
                 return KSet(semiring, accumulated)
             cleaned = {
@@ -451,6 +457,7 @@ class _Compiler:
                 cached = memo.get(node)
                 if cached is not None:
                     return cached
+                _check_limits()  # per-node deadline check along the recursion
                 accumulator = node.children.map(recur)
                 frame[label_slot] = node.label
                 frame[acc_slot] = accumulator

@@ -15,6 +15,7 @@ from typing import Any, Mapping
 
 from repro.errors import NRCEvalError
 from repro.kcollections.kset import KSet
+from repro.resilience.limits import check_tick as _check_limits
 from repro.nrc.ast import (
     BigUnion,
     EmptySet,
@@ -48,6 +49,8 @@ def evaluate(expr: Expr, semiring: Semiring, env: Environment | None = None) -> 
 
 
 def _evaluate(expr: Expr, semiring: Semiring, env: dict[str, Any]) -> Any:
+    _check_limits()  # per-node cooperative deadline check (reference evaluator)
+
     if isinstance(expr, LabelLit):
         return expr.label
 
@@ -80,7 +83,9 @@ def _evaluate(expr: Expr, semiring: Semiring, env: dict[str, Any]) -> Any:
             inner_env[expr.var] = value
             return _expect_kset(_evaluate(expr.body, semiring, inner_env), "big union body")
 
-        return source.bind(body)
+        result = source.bind(body)
+        _check_limits(len(result._items))  # charge accumulated rows
+        return result
 
     if isinstance(expr, IfEq):
         left = _evaluate(expr.left, semiring, env)

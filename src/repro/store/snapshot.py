@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.errors import StoreError
+from repro.resilience.faults import fail_point
 from repro.semirings.base import Semiring
 from repro.semirings.registry import available_semirings, get_semiring
 from repro.store.columns import ShreddedColumns
@@ -96,14 +97,18 @@ def write_snapshot(
     )
     try:
         with os.fdopen(handle, "w", encoding="utf-8") as temp:
+            fail_point("snapshot.write")
             json.dump(payload, temp, sort_keys=True)
             temp.write("\n")
             temp.flush()
+            fail_point("snapshot.fsync")
             os.fsync(temp.fileno())
+        fail_point("snapshot.replace")
         os.replace(temp_name, path)
         # Barrier: the rename must be durable before the caller truncates the
         # WAL, or a power loss could surface the old snapshot alongside an
         # already-empty log (losing every record since the previous snapshot).
+        fail_point("snapshot.dirfsync")
         directory_fd = os.open(str(path.parent), os.O_RDONLY)
         try:
             os.fsync(directory_fd)

@@ -39,6 +39,8 @@ from repro.exec.plan_cache import PlanCache
 from repro.ivm.delta import Delta
 from repro.ivm.view import MaterializedView
 from repro.kcollections.kset import KSet
+from repro.resilience.faults import fail_point
+from repro.resilience.limits import EvalLimits
 from repro.semirings.base import Semiring
 from repro.store.columns import ShreddedColumns
 from repro.store.index import StructuralIndex
@@ -91,6 +93,8 @@ class StoreStats(NamedTuple):
     wal_records: int
     snapshots: int
     recovered_records: int
+    worker_retries: int = 0
+    worker_degraded: int = 0
 
     @property
     def pushdown_rate(self) -> float:
@@ -130,6 +134,8 @@ class DocumentStore:
         self._ingests = 0
         self._updates = 0
         self._queries = 0
+        self._worker_retries = 0
+        self._worker_degraded = 0
         self._snapshots = 0
         self._recovered_records = 0
         self._snapshot_lsn = 0
@@ -245,6 +251,9 @@ class DocumentStore:
             )
         columns = ShreddedColumns.from_forest(forest)
         self._log({"op": "ingest", "doc": doc_id, "columns": columns.to_payload()})
+        # A crash here leaves the record journaled but unapplied; recovery
+        # replays it exactly once (replay skips nothing past the snapshot lsn).
+        fail_point("store.ingest.apply")
         stored = self._apply_ingest(doc_id, columns)
         self._ingests += 1
         self._maybe_autocompact()
@@ -286,6 +295,7 @@ class DocumentStore:
         payload = delta_to_payload(delta)
         payload.update({"op": "update", "doc": doc_id})
         self._log(payload)
+        fail_point("store.update.apply")
         self._apply_update(doc_id, delta, new_forest)
         self._updates += 1
         self._maybe_autocompact()
@@ -336,6 +346,7 @@ class DocumentStore:
         var: str = "S",
         merge: bool = False,
         executor: Any | None = None,
+        limits: EvalLimits | None = None,
     ) -> Any:
         """Run one query over many stored documents in a single batched call.
 
@@ -356,9 +367,17 @@ class DocumentStore:
         prepared = self.plan_cache.get(query, self.semiring, env_types=env_types)
         self._queries += len(ids)
         evaluator = BatchEvaluator(prepared, var=var)
-        if merge:
-            return evaluator.evaluate_merged(documents, env=env, executor=executor)
-        return evaluator.evaluate_many(documents, env=env, executor=executor)
+        try:
+            if merge:
+                return evaluator.evaluate_merged(
+                    documents, env=env, executor=executor, limits=limits
+                )
+            return evaluator.evaluate_many(
+                documents, env=env, executor=executor, limits=limits
+            )
+        finally:
+            self._worker_retries += evaluator.worker_retries
+            self._worker_degraded += evaluator.worker_degraded
 
     # ------------------------------------------------------------------- views
     def register_view(self, name: str, query: str, doc_id: str, var: str = "S") -> MaterializedView:
@@ -375,6 +394,7 @@ class DocumentStore:
         self.document(doc_id)  # existence check before journaling
         record = {"op": "view", "name": name, "doc": doc_id, "query": query, "var": var}
         self._log(record)
+        fail_point("store.view.apply")
         view = self._apply_view(record)
         self._maybe_autocompact()
         return view
@@ -473,6 +493,8 @@ class DocumentStore:
             wal_records=len(self._wal) if self._wal is not None else 0,
             snapshots=self._snapshots,
             recovered_records=self._recovered_records,
+            worker_retries=self._worker_retries,
+            worker_degraded=self._worker_degraded,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

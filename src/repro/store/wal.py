@@ -39,6 +39,7 @@ from typing import Any, Iterator, List, Tuple
 
 from repro.errors import StoreError
 from repro.ivm.delta import Delta
+from repro.resilience.faults import fail_point
 from repro.semirings.base import Semiring
 from repro.semirings.diff import DiffPair
 from repro.store.columns import decode_obj, encode_obj
@@ -136,10 +137,17 @@ class WriteAheadLog:
         lsn = self._next_lsn
         payload = dict(record)
         payload["lsn"] = lsn
-        line = json.dumps(payload, sort_keys=True) + "\n"
+        body = json.dumps(payload, sort_keys=True)
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line)
+            fail_point("wal.append.write")
+            handle.write(body)
             handle.flush()
+            # A crash here leaves a newline-less tail: exactly the torn
+            # record that _load() physically truncates on the next open.
+            fail_point("wal.append.torn")
+            handle.write("\n")
+            handle.flush()
+            fail_point("wal.append.fsync")
             if self.fsync:
                 os.fsync(handle.fileno())
         self._next_lsn = lsn + 1
@@ -176,6 +184,7 @@ class WriteAheadLog:
     # -------------------------------------------------------------- truncation
     def truncate(self) -> None:
         """Empty the log (after a snapshot); the lsn counter keeps counting."""
+        fail_point("wal.truncate")
         self.path.write_text("", encoding="utf-8")
         self._records = []
 

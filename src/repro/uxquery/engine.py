@@ -46,6 +46,7 @@ from repro.nrc.codegen import CodegenProgram, compile_program
 from repro.nrc.compile_eval import CompiledExpr, compile_expr
 from repro.nrc.eval import evaluate as evaluate_nrc
 from repro.nrc.rewrite import simplify
+from repro.resilience.limits import EvalLimits, activate
 from repro.semirings.base import Semiring
 from repro.uxml.tree import UTree
 from repro.uxquery.ast import Query, query_size
@@ -162,6 +163,7 @@ class PreparedQuery:
         documents: Iterable[Any] | None = None,
         document_var: str | None = None,
         executor: Any | None = None,
+        limits: EvalLimits | None = None,
     ) -> Any:
         """Evaluate the prepared query in the given environment.
 
@@ -171,14 +173,29 @@ class PreparedQuery:
         when omitted), ``env`` supplies the remaining bindings, and a list of
         per-document results is returned, optionally fanned out over a
         ``concurrent.futures`` ``executor``.
+
+        ``limits=`` attaches an :class:`~repro.resilience.limits.EvalLimits`
+        guardrail: the deadline clock starts at this call, the evaluators
+        check it cooperatively in their hot loops, and violations raise the
+        typed ``QueryTimeoutError``/``BudgetExceededError`` — identically
+        under every method (three-evaluator contract).
         """
         validate_method(method)
         if documents is not None:
             from repro.exec.batch import BatchEvaluator
 
             return BatchEvaluator(self, var=document_var).evaluate_many(
-                documents, env=env, method=method, executor=executor
+                documents, env=env, method=method, executor=executor, limits=limits
             )
+        if limits is None or not limits.is_bounded:
+            return self._dispatch(env, method)
+        guard = limits.start()
+        with activate(guard):
+            result = self._dispatch(env, method)
+            guard.check_result(result)
+        return result
+
+    def _dispatch(self, env: Mapping[str, Any] | None, method: str) -> Any:
         if method == "nrc-codegen":
             return self.program.evaluate(env)
         if method == "nrc":
@@ -250,11 +267,12 @@ def evaluate_query(
     documents: Iterable[Any] | None = None,
     document_var: str | None = None,
     executor: Any | None = None,
+    limits: EvalLimits | None = None,
 ) -> Any:
     """Parse, compile and evaluate a K-UXQuery in one call.
 
-    ``documents=``/``document_var=``/``executor=`` are forwarded to
-    :meth:`PreparedQuery.evaluate` for batched execution over many documents.
+    ``documents=``/``document_var=``/``executor=``/``limits=`` are forwarded
+    to :meth:`PreparedQuery.evaluate` for batched / guarded execution.
     """
     if documents is not None:
         # The document variable is typed from the first document, so callers
@@ -286,7 +304,12 @@ def evaluate_query(
                 "different variable needs document_var=)"
             ) from error
         return prepared.evaluate(
-            env, method=method, documents=documents, document_var=var, executor=executor
+            env,
+            method=method,
+            documents=documents,
+            document_var=var,
+            executor=executor,
+            limits=limits,
         )
     prepared = prepare_query(query, semiring, env)
-    return prepared.evaluate(env, method=method)
+    return prepared.evaluate(env, method=method, limits=limits)

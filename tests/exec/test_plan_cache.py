@@ -153,3 +153,67 @@ class TestPlanCacheConcurrency:
         for text in queries:
             distinct = {id(per_thread[text]) for per_thread in plans}
             assert len(distinct) == 1
+
+    def test_compile_failure_propagates_to_every_waiter_and_poisons_nothing(self, forest):
+        """Regression: an exception in a coalesced compile must reach every
+        coalesced waiter, leave no cached entry behind, and let the next
+        caller on the key retry (and succeed) cleanly."""
+        attempts = {"count": 0}
+        attempt_lock = threading.Lock()
+        release = threading.Event()
+        failing = threading.Event()
+        failing.set()
+
+        class Boom(RuntimeError):
+            pass
+
+        def flaky_prepare(query, semiring, env=None, env_types=None):
+            with attempt_lock:
+                attempts["count"] += 1
+                first = attempts["count"] == 1
+            if failing.is_set():
+                if first:
+                    release.wait(timeout=5)  # hold waiters coalesced on this key
+                raise Boom("transient compile failure")
+            return prepare_query(query, semiring, env=env, env_types=env_types)
+
+        cache = PlanCache(maxsize=4, prepare=flaky_prepare)
+        num_threads = 8
+        start = threading.Barrier(num_threads + 1)
+        outcomes: list[BaseException | object] = []
+        outcome_lock = threading.Lock()
+
+        def racer() -> None:
+            start.wait()
+            try:
+                plan = cache.get("($S)/*", NATURAL, env={"S": forest})
+                with outcome_lock:
+                    outcomes.append(plan)
+            except BaseException as error:  # noqa: BLE001 - collected below
+                with outcome_lock:
+                    outcomes.append(error)
+
+        threads = [threading.Thread(target=racer) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        start.wait()  # every racer is now past the barrier
+        release.set()  # let the owner fail with all waiters coalesced
+        for thread in threads:
+            thread.join()
+
+        # Every caller during the failing phase saw the failure itself —
+        # coalesced waiters included; none were stranded or got a stale plan.
+        assert len(outcomes) == num_threads
+        assert all(isinstance(outcome, Boom) for outcome in outcomes), outcomes
+        # The failures cached nothing and left no in-flight marker behind.
+        assert len(cache) == 0
+        assert cache.stats().compiles == 0
+        # The next caller on the same key retries cleanly and succeeds.
+        failing.clear()
+        failed_attempts = attempts["count"]
+        assert failed_attempts >= 1
+        plan = cache.get("($S)/*", NATURAL, env={"S": forest})
+        assert plan.evaluate({"S": forest}) is not None
+        assert attempts["count"] == failed_attempts + 1
+        assert cache.stats().compiles == 1
+        assert len(cache) == 1

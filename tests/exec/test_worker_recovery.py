@@ -1,0 +1,130 @@
+"""Process-pool fault tolerance: dead workers, retries, graceful degradation.
+
+A worker killed mid-batch (modelled by the ``exec.worker.task`` failpoint
+with the ``exit`` action — a real ``os._exit``) breaks the whole
+``ProcessPoolExecutor``.  The batch evaluator must keep every completed
+result, retry only the failed partition on a rebuilt pool, and degrade to
+inline evaluation once the retry budget is spent — always ending with the
+correct K-annotated results, with the retries visible in the counters.
+
+The ``flag=`` trigger makes the kill cross-process exactly-once: the first
+process to reach the site dies; the inherited failpoint passes through
+everywhere else (rebuilt-pool workers and the degrade-inline parent path).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.errors import QueryTimeoutError
+from repro.exec import BatchEvaluator, reset_worker_stats, worker_stats
+from repro.exec import batch as batch_module
+from repro.resilience import EvalLimits, disarm_all, fail_at
+from repro.semirings import NATURAL
+from repro.store import DocumentStore
+from repro.uxquery import prepare_query
+from repro.workloads import random_forest
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    disarm_all()
+    reset_worker_stats()
+    yield
+    disarm_all()
+
+
+def _documents(count: int) -> list:
+    return [
+        random_forest(NATURAL, num_trees=2, depth=2, fanout=2, seed=50 + index)
+        for index in range(count)
+    ]
+
+
+class TestWorkerRecovery:
+    def test_killed_worker_is_retried_and_results_are_correct(self, tmp_path):
+        documents = _documents(4)
+        prepared = prepare_query("($S)/*/*", NATURAL, {"S": documents[0]})
+        evaluator = BatchEvaluator(prepared)
+        expected = evaluator.evaluate_many(documents)
+
+        with fail_at("exec.worker.task", action="exit", flag=str(tmp_path / "killed")):
+            with ProcessPoolExecutor(max_workers=2) as executor:
+                results = evaluator.evaluate_many(documents, executor=executor)
+
+        assert results == expected  # correct K-annotated results after retry
+        assert (tmp_path / "killed").exists()  # exactly one worker really died
+        assert evaluator.worker_retries > 0
+        assert evaluator.pool_rebuilds >= 1
+        assert evaluator.worker_degraded == 0
+        stats = worker_stats()
+        assert stats["broken_pools"] >= 1
+        assert stats["retries"] == evaluator.worker_retries
+        assert stats["pool_rebuilds"] == evaluator.pool_rebuilds
+
+    def test_spent_retry_budget_degrades_to_inline(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(batch_module, "_RETRY_BUDGET", 0)
+        documents = _documents(3)
+        prepared = prepare_query("($S)/*", NATURAL, {"S": documents[0]})
+        evaluator = BatchEvaluator(prepared)
+        expected = evaluator.evaluate_many(documents)
+
+        with fail_at("exec.worker.task", action="exit", flag=str(tmp_path / "killed")):
+            with ProcessPoolExecutor(max_workers=2) as executor:
+                results = evaluator.evaluate_many(documents, executor=executor)
+
+        assert results == expected
+        assert evaluator.worker_degraded > 0  # served inline, not by a pool
+        assert evaluator.pool_rebuilds == 0
+        assert worker_stats()["degraded"] == evaluator.worker_degraded
+
+    def test_merged_batch_survives_a_killed_worker(self, tmp_path):
+        documents = _documents(4)
+        prepared = prepare_query("($S)/*", NATURAL, {"S": documents[0]})
+        evaluator = BatchEvaluator(prepared)
+        expected = evaluator.evaluate_merged(documents)
+
+        with fail_at("exec.worker.task", action="exit", flag=str(tmp_path / "killed")):
+            with ProcessPoolExecutor(max_workers=2) as executor:
+                merged = evaluator.evaluate_merged(documents, executor=executor)
+
+        assert merged == expected
+
+
+class TestLimitsAcrossProcesses:
+    def test_deadline_crosses_the_process_boundary(self):
+        documents = _documents(2)
+        prepared = prepare_query("($S)/*", NATURAL, {"S": documents[0]})
+        evaluator = BatchEvaluator(prepared)
+        with ProcessPoolExecutor(max_workers=2) as executor:
+            with pytest.raises(QueryTimeoutError):
+                evaluator.evaluate_many(
+                    documents, executor=executor, limits=EvalLimits(timeout_s=0)
+                )
+
+    def test_generous_limits_match_inline_results(self):
+        documents = _documents(3)
+        prepared = prepare_query("($S)/*/*", NATURAL, {"S": documents[0]})
+        evaluator = BatchEvaluator(prepared)
+        expected = evaluator.evaluate_many(documents)
+        with ProcessPoolExecutor(max_workers=2) as executor:
+            results = evaluator.evaluate_many(
+                documents, executor=executor, limits=EvalLimits(timeout_s=300)
+            )
+        assert results == expected
+
+
+class TestStoreCounterSurfacing:
+    def test_query_many_accumulates_worker_counters(self, tmp_path):
+        store = DocumentStore(NATURAL)
+        for index, forest in enumerate(_documents(3)):
+            store.ingest(f"d{index}", forest)
+        with fail_at("exec.worker.task", action="exit", flag=str(tmp_path / "killed")):
+            with ProcessPoolExecutor(max_workers=2) as executor:
+                results = store.query_many("($S)/*", executor=executor)
+        assert len(results) == 3
+        stats = store.stats()
+        assert stats.worker_retries > 0
+        assert stats.worker_degraded == 0

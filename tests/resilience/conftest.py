@@ -1,0 +1,14 @@
+"""Shared hygiene for the resilience tests: never leak armed failpoints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import disarm_all
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    disarm_all()
+    yield
+    disarm_all()

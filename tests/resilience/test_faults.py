@@ -1,0 +1,216 @@
+"""The failpoint registry: triggers, actions, scoping, env inheritance."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import FaultInjected, ResilienceError
+from repro.resilience import (
+    ENV_VAR,
+    SITE_CATALOG,
+    SimulatedCrash,
+    arm,
+    arm_from_env,
+    armed_sites,
+    declare_site,
+    disarm,
+    disarm_all,
+    env_spec,
+    fail_at,
+    fail_point,
+)
+
+SITE = "wal.append.fsync"  # any catalogued site works for registry tests
+
+
+class TestRegistry:
+    def test_unarmed_fail_point_is_a_no_op(self):
+        fail_point(SITE)  # must not raise
+
+    def test_unknown_site_is_rejected(self):
+        with pytest.raises(ResilienceError, match="unknown failpoint site"):
+            arm("no.such.site")
+
+    def test_unknown_action_is_rejected(self):
+        with pytest.raises(ResilienceError, match="unknown failpoint action"):
+            arm(SITE, action="explode")
+
+    def test_option_validation(self):
+        with pytest.raises(ResilienceError, match="hits must be >= 1"):
+            arm(SITE, hits=0)
+        with pytest.raises(ResilienceError, match="times must be >= 0"):
+            arm(SITE, times=-1)
+        with pytest.raises(ResilienceError, match="probability must be in"):
+            arm(SITE, probability=1.5)
+
+    def test_arm_disarm_round_trip(self):
+        arm(SITE)
+        assert SITE in armed_sites()
+        disarm(SITE)
+        assert SITE not in armed_sites()
+        fail_point(SITE)  # disarmed again: no-op
+
+    def test_disarm_all(self):
+        arm(SITE)
+        arm("wal.truncate")
+        disarm_all()
+        assert armed_sites() == {}
+
+    def test_declare_site_registers_ad_hoc_sites(self):
+        declare_site("test.ad_hoc", "a site declared by the test-suite")
+        try:
+            assert "test.ad_hoc" in SITE_CATALOG
+            with fail_at("test.ad_hoc"):
+                with pytest.raises(FaultInjected):
+                    fail_point("test.ad_hoc")
+        finally:
+            SITE_CATALOG.pop("test.ad_hoc", None)
+
+    def test_catalog_covers_durability_and_exec_boundaries(self):
+        for site in (
+            "wal.append.write",
+            "wal.append.torn",
+            "wal.append.fsync",
+            "wal.truncate",
+            "snapshot.write",
+            "snapshot.fsync",
+            "snapshot.replace",
+            "snapshot.dirfsync",
+            "store.ingest.apply",
+            "store.update.apply",
+            "store.view.apply",
+            "exec.worker.task",
+        ):
+            assert site in SITE_CATALOG, site
+
+
+class TestTriggers:
+    def test_fires_once_by_default(self):
+        with fail_at(SITE) as point:
+            with pytest.raises(FaultInjected):
+                fail_point(SITE)
+            fail_point(SITE)  # times=1 default: second hit passes
+        assert point.fired == 1
+        assert point.hit_count == 2
+
+    def test_hits_skips_early_hits(self):
+        with fail_at(SITE, hits=3) as point:
+            fail_point(SITE)
+            fail_point(SITE)
+            with pytest.raises(FaultInjected):
+                fail_point(SITE)
+        assert point.fired == 1
+
+    def test_times_zero_fires_every_eligible_hit(self):
+        with fail_at(SITE, times=0) as point:
+            for _ in range(3):
+                with pytest.raises(FaultInjected):
+                    fail_point(SITE)
+        assert point.fired == 3
+
+    def test_times_caps_firings(self):
+        with fail_at(SITE, times=2) as point:
+            with pytest.raises(FaultInjected):
+                fail_point(SITE)
+            with pytest.raises(FaultInjected):
+                fail_point(SITE)
+            fail_point(SITE)
+        assert point.fired == 2
+
+    def test_probability_is_deterministic_for_a_seed(self):
+        def pattern() -> list[bool]:
+            fired = []
+            with fail_at(SITE, probability=0.5, seed=42, times=0):
+                for _ in range(20):
+                    try:
+                        fail_point(SITE)
+                        fired.append(False)
+                    except FaultInjected:
+                        fired.append(True)
+            return fired
+
+        first, second = pattern(), pattern()
+        assert first == second
+        assert any(first) and not all(first)  # p=0.5 over 20 draws
+
+    def test_flag_file_fires_exactly_once(self, tmp_path):
+        flag = tmp_path / "fired"
+        with fail_at(SITE, flag=str(flag), times=0) as point:
+            with pytest.raises(FaultInjected):
+                fail_point(SITE)
+            fail_point(SITE)  # flag exists: every later hit passes
+        assert point.fired == 1
+        assert flag.read_text() == str(os.getpid())
+
+
+class TestActions:
+    def test_crash_is_a_base_exception(self):
+        with fail_at(SITE, action="crash"):
+            with pytest.raises(SimulatedCrash) as info:
+                try:
+                    fail_point(SITE)
+                except Exception:  # noqa: BLE001 - the point of the test
+                    pytest.fail("SimulatedCrash must sail past `except Exception`")
+        assert info.value.site == SITE
+        assert not isinstance(info.value, Exception)
+
+    def test_delay_sleeps_then_continues(self):
+        with fail_at(SITE, action="delay", delay_s=0.02):
+            start = time.monotonic()
+            fail_point(SITE)
+            assert time.monotonic() - start >= 0.015
+
+
+class TestEnvInheritance:
+    def test_env_spec_round_trip(self):
+        arm(SITE, hits=2, times=0)
+        arm("exec.worker.task", action="exit", flag="/tmp/f")
+        arm("wal.truncate", action="crash", probability=0.25, seed=7)
+        spec = env_spec()
+        disarm_all()
+        assert arm_from_env(spec) == 3
+        rearmed = armed_sites()
+        assert rearmed[SITE].hits == 2
+        assert rearmed[SITE].times == 0
+        assert rearmed["exec.worker.task"].action == "exit"
+        assert rearmed["exec.worker.task"].flag == "/tmp/f"
+        assert rearmed["wal.truncate"].probability == 0.25
+        assert rearmed["wal.truncate"].seed == 7
+
+    def test_arm_from_env_rejects_malformed_specs(self):
+        with pytest.raises(ResilienceError, match="malformed failpoint spec"):
+            arm_from_env("just-a-site")
+        with pytest.raises(ResilienceError, match="malformed failpoint option"):
+            arm_from_env(f"{SITE}=raise:hits")
+        with pytest.raises(ResilienceError, match="unknown failpoint option"):
+            arm_from_env(f"{SITE}=raise:color=red")
+
+    def test_empty_env_arms_nothing(self):
+        assert arm_from_env(None) == 0
+        assert arm_from_env("") == 0
+        assert armed_sites() == {}
+
+    def test_subprocess_inherits_faults_through_env_var(self):
+        """A child process armed via ENV_VAR fires at import time."""
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src)
+        env[ENV_VAR] = f"{SITE}=raise"
+        code = (
+            "import sys\n"
+            "from repro.errors import FaultInjected\n"
+            "from repro.resilience import fail_point\n"
+            "try:\n"
+            f"    fail_point({SITE!r})\n"
+            "except FaultInjected:\n"
+            "    sys.exit(42)\n"
+            "sys.exit(1)\n"
+        )
+        proc = subprocess.run([sys.executable, "-c", code], env=env)
+        assert proc.returncode == 42

@@ -1,0 +1,213 @@
+"""Crash-exhaustive durability: simulate a crash at every failpoint, recover.
+
+The harness replays a fixed randomized update stream against a durable
+store, simulates a crash (``SimulatedCrash``) at each instrumented
+failpoint in turn, reopens the directory, and asserts the recovery
+invariant:
+
+    the recovered state equals the state just *before* or just *after*
+    the interrupted operation (exactly-once: a journaled record replays
+    once, an unjournaled one is lost cleanly) — and after convergence
+    plus the rest of the stream, the final state is identical to the
+    uninterrupted reference run (documents, annotations, view caches).
+
+By default the full site matrix runs on two representative semirings
+(one idempotent-free: N; one symbolic: N[X]) and a representative site
+subset runs on every other registry semiring.  Set
+``REPRO_CRASH_EXHAUSTIVE=full`` for the full site x semiring product.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.ivm import Delta
+from repro.resilience import SimulatedCrash, fail_at
+from repro.semirings import NATURAL, PROVENANCE
+from repro.semirings.registry import standard_semirings
+from repro.store import DocumentStore
+from repro.uxml import TreeBuilder
+from repro.workloads import random_forest, random_tree
+
+#: Every store-path failpoint (exec.worker.task belongs to the exec tests).
+STORE_SITES = (
+    "wal.append.write",
+    "wal.append.torn",
+    "wal.append.fsync",
+    "wal.truncate",
+    "snapshot.write",
+    "snapshot.fsync",
+    "snapshot.replace",
+    "snapshot.dirfsync",
+    "store.ingest.apply",
+    "store.update.apply",
+    "store.view.apply",
+)
+
+#: One site per failure class, run on every registry semiring by default.
+REPRESENTATIVE_SITES = ("wal.append.torn", "store.update.apply", "snapshot.replace")
+
+#: Which step of the script each site crashes in (see _script): the sites on
+#: the update path crash a post-compaction update, the snapshot/truncate
+#: sites crash the compaction itself, the apply sites their own operation.
+_COMPACT_STEP = 6
+_UPDATE_STEP = 7
+SITE_STEP = {
+    "wal.append.write": _UPDATE_STEP,
+    "wal.append.torn": _UPDATE_STEP,
+    "wal.append.fsync": _UPDATE_STEP,
+    "store.update.apply": _UPDATE_STEP,
+    "wal.truncate": _COMPACT_STEP,
+    "snapshot.write": _COMPACT_STEP,
+    "snapshot.fsync": _COMPACT_STEP,
+    "snapshot.replace": _COMPACT_STEP,
+    "snapshot.dirfsync": _COMPACT_STEP,
+    "store.ingest.apply": 1,
+    "store.view.apply": 2,
+}
+
+
+def _matrix():
+    full = os.environ.get("REPRO_CRASH_EXHAUSTIVE", "").lower() in ("full", "all", "1")
+    cases = []
+    for semiring in standard_semirings():
+        exhaustive = full or semiring in (NATURAL, PROVENANCE)
+        for site in STORE_SITES if exhaustive else REPRESENTATIVE_SITES:
+            cases.append(pytest.param(site, semiring, id=f"{site}-{semiring.name}"))
+    return cases
+
+
+def _script(semiring):
+    """The deterministic update stream: ingests, a view, updates, a compact."""
+    doc_a = random_forest(semiring, num_trees=3, depth=2, fanout=2, seed=11)
+    doc_b = random_forest(semiring, num_trees=2, depth=2, fanout=2, seed=23)
+    samples = [v for v in semiring.sample_elements() if not semiring.is_zero(v)]
+    deltas = [
+        Delta.insertion(
+            semiring,
+            random_tree(semiring, depth=2, fanout=2, seed=100 + index),
+            samples[index % len(samples)],
+        )
+        for index in range(6)
+    ]
+    return [
+        ("ingest", "a", doc_a),
+        ("ingest", "b", doc_b),
+        ("view", "v", "($S)/*", "a"),
+        ("update", "a", deltas[0]),
+        ("update", "a", deltas[1]),
+        ("update", "a", deltas[2]),
+        ("compact",),
+        ("update", "a", deltas[3]),
+        ("update", "a", deltas[4]),
+        ("update", "a", deltas[5]),
+    ]
+
+
+def _execute(store, step):
+    kind = step[0]
+    if kind == "ingest":
+        store.ingest(step[1], step[2])
+    elif kind == "view":
+        store.register_view(step[1], step[2], step[3])
+    elif kind == "update":
+        store.update(step[1], step[2])
+    elif kind == "compact":
+        if store.durable:
+            store.compact()
+    else:  # pragma: no cover - script typo guard
+        raise AssertionError(f"unknown step {step!r}")
+
+
+def _run_model(semiring, steps, upto=None):
+    """The uninterrupted logical state: an in-memory store over the stream."""
+    store = DocumentStore(semiring)
+    for step in steps[:upto]:
+        _execute(store, step)
+    return store
+
+
+def _signature(store):
+    """Everything the recovery invariant compares: forests and view caches."""
+    return (
+        {doc_id: store.forest(doc_id) for doc_id in store.document_ids()},
+        tuple(store.view_names()),
+        {name: store.view(name).result for name in store.view_names()},
+    )
+
+
+class TestCrashExhaustive:
+    @pytest.mark.parametrize(("site", "semiring"), _matrix())
+    def test_crash_recover_converge(self, site, semiring, tmp_path):
+        steps = _script(semiring)
+        crash_step = SITE_STEP[site]
+        before = _signature(_run_model(semiring, steps, upto=crash_step))
+        after = _signature(_run_model(semiring, steps, upto=crash_step + 1))
+        reference = _signature(_run_model(semiring, steps))
+
+        directory = tmp_path / "store"
+        store = DocumentStore(semiring, directory=directory)
+        for step in steps[:crash_step]:
+            _execute(store, step)
+        with fail_at(site, action="crash"):
+            with pytest.raises(SimulatedCrash):
+                _execute(store, steps[crash_step])
+        del store  # the process "died"; only the directory survives
+
+        recovered = DocumentStore.open(directory)
+        state = _signature(recovered)
+        assert state in (before, after), (
+            f"state recovered after a crash at {site!r} matches neither the "
+            "before- nor the after-operation reference"
+        )
+        if state == before:
+            # The interrupted operation left no durable trace: redo it.
+            _execute(recovered, steps[crash_step])
+        for step in steps[crash_step + 1 :]:
+            _execute(recovered, step)
+        assert _signature(recovered) == reference
+        # One more recovery round trip: the converged on-disk state is stable.
+        assert _signature(DocumentStore.open(directory)) == reference
+
+    def test_every_instrumented_store_site_is_in_the_matrix(self):
+        from repro.resilience import SITE_CATALOG
+
+        store_sites = {site for site in SITE_CATALOG if not site.startswith("exec.")}
+        assert store_sites == set(STORE_SITES)
+        assert set(SITE_STEP) == set(STORE_SITES)
+
+
+class TestMidApplyInterruption:
+    """Satellite: a WAL-journaled update interrupted before the in-memory
+    apply must replay on reopen — exactly once (checked in N, where a double
+    replay would inflate the multiplicity)."""
+
+    def test_update_journaled_but_unapplied_replays_exactly_once(self, tmp_path):
+        t = TreeBuilder(NATURAL)
+        member = t.leaf("m")
+        store = DocumentStore(NATURAL, directory=tmp_path / "s")
+        store.ingest("d", t.forest(member))
+        with fail_at("store.update.apply", action="crash"):
+            with pytest.raises(SimulatedCrash):
+                store.update("d", Delta.insertion(NATURAL, member, 1))
+        # The crashed store never applied the delta in memory.
+        assert store.forest("d").annotation(member) == 1
+        del store
+        reopened = DocumentStore.open(tmp_path / "s")
+        # 1 (ingest) + 1 (one replay of the journaled delta) — not 3.
+        assert reopened.forest("d").annotation(member) == 2
+        # A second recovery replays from the same log and agrees.
+        assert DocumentStore.open(tmp_path / "s").forest("d").annotation(member) == 2
+
+    def test_interrupted_ingest_replays_exactly_once(self, tmp_path):
+        t = TreeBuilder(NATURAL)
+        store = DocumentStore(NATURAL, directory=tmp_path / "s")
+        with fail_at("store.ingest.apply", action="crash"):
+            with pytest.raises(SimulatedCrash):
+                store.ingest("d", t.forest(t.leaf("m")))
+        del store
+        reopened = DocumentStore.open(tmp_path / "s")
+        assert reopened.document_ids() == ["d"]
+        assert reopened.forest("d").annotation(t.leaf("m")) == 1
