@@ -19,7 +19,10 @@ across PRs:
 * ``exec`` / ``ivm`` / ``store`` — the subsystem serving-path timings;
 * ``resilience`` — the guardrail tax: the codegen hot path with generous
   ``EvalLimits`` armed vs unlimited (CI asserts the overhead stays <= 5%
-  on child-chain-3).
+  on child-chain-3);
+* ``obs`` — the instrumentation tax: the fully hooked serving path with
+  tracing/profiling disarmed vs the raw generated-program call (CI asserts
+  <= 5% on child-chain-3), plus a metrics-export smoke check.
 
 Every run is archived to ``BENCH_history/`` and compared against the
 previous archived run, so per-benchmark regressions are visible across PRs
@@ -545,6 +548,83 @@ def measure_resilience(quick: bool) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Section 7: observability (repro.obs)
+# ---------------------------------------------------------------------------
+def measure_obs(quick: bool) -> dict:
+    """The instrumentation tax plus a metrics-export smoke check.
+
+    Asserts the regression bar directly: the disarmed span/slow-query hooks
+    on the codegen hot path (suite_child-chain-3, the fully instrumented
+    ``PreparedQuery.evaluate`` vs the raw generated-program call) must cost
+    <= 5%.  The armed tracing ratio is recorded for the trajectory but
+    carries no bar — arming is an explicit diagnostic request.  The smoke
+    check proves the default-registry export stays machine-readable:
+    ``render_prometheus`` output parses and ``registry_json`` round-trips.
+    """
+    from repro.obs.metrics import (
+        default_registry,
+        parse_prometheus,
+        registry_json,
+        render_prometheus,
+    )
+    from repro.obs.trace import tracing
+
+    repetitions = 40 if quick else 200
+    max_overhead_ratio = 1.05
+    forest = random_forest(NATURAL, num_trees=8, depth=4, fanout=3, seed=17)
+    query = standard_query_suite()["child-chain-3"]
+    prepared = prepare_query(query, NATURAL, {"S": forest})
+    env = {"S": forest}
+    if prepared.evaluate(env) != prepared.program.evaluate(env):
+        raise SystemExit("obs_overhead: instrumented and raw answers disagree")
+
+    raw_s = _time_call(lambda: prepared.program.evaluate(env), repetitions, batches=7)
+    disarmed_s = _time_call(
+        lambda: prepared.evaluate(env, method="nrc-codegen"), repetitions, batches=7
+    )
+
+    def traced():
+        with tracing():
+            return prepared.evaluate(env, method="nrc-codegen")
+
+    traced_s = _time_call(traced, repetitions, batches=3)
+    ratio = disarmed_s / raw_s if raw_s else float("inf")
+
+    text = render_prometheus(default_registry())
+    families = parse_prometheus(text)
+    payload = registry_json(default_registry())
+    export_ok = (
+        "repro_codegen_calls_total" in families
+        and json.loads(json.dumps(payload)) == payload
+    )
+    report = {
+        "name": "suite_child-chain-3",
+        "raw_s": raw_s,
+        "disarmed_s": disarmed_s,
+        "traced_s": traced_s,
+        "overhead_ratio": ratio,
+        "traced_ratio": traced_s / raw_s if raw_s else float("inf"),
+        "max_overhead_ratio": max_overhead_ratio,
+        "metrics_export_ok": export_ok,
+        "metrics_families": len(families),
+    }
+    print(
+        f"{'obs_overhead':32s} raw {raw_s * 1e6:9.1f}us  "
+        f"disarmed {disarmed_s * 1e6:9.1f}us  "
+        f"overhead {(ratio - 1) * 100:+5.1f}%  "
+        f"traced {(report['traced_ratio'] - 1) * 100:+5.1f}%"
+    )
+    if ratio > max_overhead_ratio:
+        raise SystemExit(
+            f"obs_overhead: disarmed instrumentation costs {(ratio - 1) * 100:.1f}% on "
+            f"suite_child-chain-3 (bar: {(max_overhead_ratio - 1) * 100:.0f}%)"
+        )
+    if not export_ok:
+        raise SystemExit("obs_overhead: metrics export failed the smoke check")
+    return report
+
+
+# ---------------------------------------------------------------------------
 # Bench trajectory: archive every run, report deltas vs the previous one
 # ---------------------------------------------------------------------------
 HISTORY_DIR = REPO_ROOT / "BENCH_history"
@@ -588,6 +668,9 @@ def _flatten_metrics(report: dict) -> dict[str, float]:
     )
     resilience_section = report.get("resilience") or {}
     put("resilience/guard_overhead_ratio", resilience_section.get("overhead_ratio"))
+    obs_section = report.get("obs") or {}
+    put("obs/disarmed_overhead_ratio", obs_section.get("overhead_ratio"))
+    put("obs/traced_overhead_ratio", obs_section.get("traced_ratio"))
     return metrics
 
 
@@ -698,6 +781,13 @@ def main() -> None:
             "activation per call, nothing fires — against the same evaluation "
             "unlimited; answers asserted equal before timing and the overhead "
             "ratio asserted <= 1.05",
+            "obs": "obs_overhead times the fully instrumented serving path "
+            "(PreparedQuery.evaluate: slow-query check + trace check + dispatch, "
+            "all disarmed) against the raw generated-program call on "
+            "suite_child-chain-3; the disarmed ratio is asserted <= 1.05, the "
+            "armed-tracing ratio is recorded without a bar, and the default "
+            "metrics registry is smoke-checked (Prometheus text parses, JSON "
+            "round-trips)",
         },
         "speedups": measure_speedups(args.quick),
         "codegen": measure_codegen(args.quick),
@@ -705,6 +795,7 @@ def main() -> None:
         "ivm": measure_ivm(args.quick),
         "store": measure_store(args.quick),
         "resilience": measure_resilience(args.quick),
+        "obs": measure_obs(args.quick),
     }
     if not args.no_pytest:
         report["benchmarks"] = run_pytest_benchmarks(args.quick)

@@ -49,6 +49,7 @@ from repro.exec.batch import (
     BatchEvaluator,
     infer_document_var,
     reset_worker_stats,
+    scoped_worker_stats,
     worker_stats,
 )
 from repro.exec.plan_cache import CacheStats, PlanCache, cached_prepare, default_plan_cache
@@ -70,6 +71,7 @@ __all__ = [
     "infer_document_var",
     "worker_stats",
     "reset_worker_stats",
+    "scoped_worker_stats",
     "ShardedEvaluator",
     "shard_evaluate",
     "partition_forest",

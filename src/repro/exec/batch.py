@@ -48,23 +48,31 @@ from __future__ import annotations
 
 import itertools
 import os
-import threading
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from contextlib import contextmanager
 from functools import partial
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 from repro.errors import ExecError, SemiringError
 from repro.kcollections.kset import KSet
-from repro.nrc.codegen import CodegenProgram, _ForeignCollection
+from repro.nrc.codegen import CodegenProgram, _ForeignCollection, note_calls
 from repro.nrc.compile_eval import _UNBOUND
+from repro.obs.metrics import default_registry
+from repro.obs.trace import span, trace_payload, worker_trace
 from repro.resilience.faults import fail_point
 from repro.resilience.limits import EvalLimits, activate
 from repro.semirings.registry import get_semiring
 from repro.uxquery.engine import DEFAULT_METHOD, PreparedQuery, validate_method
 from repro.uxquery.typecheck import FOREST
 
-__all__ = ["BatchEvaluator", "infer_document_var", "worker_stats", "reset_worker_stats"]
+__all__ = [
+    "BatchEvaluator",
+    "infer_document_var",
+    "worker_stats",
+    "reset_worker_stats",
+    "scoped_worker_stats",
+]
 
 #: Pool rebuilds attempted before degrading to inline evaluation.
 _RETRY_BUDGET = 2
@@ -72,26 +80,52 @@ _RETRY_BUDGET = 2
 _BACKOFF_BASE_S = 0.05
 _BACKOFF_CAP_S = 1.0
 
-_STATS_LOCK = threading.Lock()
-_WORKER_STATS = {"retries": 0, "degraded": 0, "pool_rebuilds": 0, "broken_pools": 0}
+#: Process-wide fault-tolerance counters, now held by the metrics registry
+#: (one labeled family); ``worker_stats()`` stays the canonical dict-shaped
+#: read.  Bumps only happen on failures, so the registry lock is free in
+#: the happy path.
+_WORKER_KEYS = ("retries", "degraded", "pool_rebuilds", "broken_pools")
+_WORKER_EVENTS = default_registry().counter(
+    "repro_worker_events_total",
+    "Process-pool fault-tolerance events (retries, degraded, pool_rebuilds, "
+    "broken_pools)",
+)
 
 
 def worker_stats() -> dict[str, int]:
-    """Process-wide worker fault-tolerance counters (``cache-stats`` style)."""
-    with _STATS_LOCK:
-        return dict(_WORKER_STATS)
+    """Process-wide worker fault-tolerance counters (``cache-stats`` style).
+
+    A thin read of the ``repro_worker_events_total`` metrics family.
+    """
+    return {key: int(_WORKER_EVENTS.value(kind=key)) for key in _WORKER_KEYS}
 
 
 def reset_worker_stats() -> None:
-    with _STATS_LOCK:
-        for key in _WORKER_STATS:
-            _WORKER_STATS[key] = 0
+    for key in _WORKER_KEYS:
+        _WORKER_EVENTS.set(0, kind=key)
+
+
+@contextmanager
+def scoped_worker_stats() -> Iterator[None]:
+    """Isolate the module-wide worker counters for the duration of a block.
+
+    The counters start at zero inside the scope and are restored to their
+    pre-scope values on exit, so tests and CLI runs can assert on (or
+    report) exactly the activity they caused without bleeding state into —
+    or inheriting it from — the surrounding process.
+    """
+    saved = worker_stats()
+    reset_worker_stats()
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            _WORKER_EVENTS.set(value, kind=key)
 
 
 def _bump_worker_stats(**deltas: int) -> None:
-    with _STATS_LOCK:
-        for key, delta in deltas.items():
-            _WORKER_STATS[key] += delta
+    for key, delta in deltas.items():
+        _WORKER_EVENTS.inc(delta, kind=key)
 
 
 def infer_document_var(prepared: PreparedQuery) -> str:
@@ -123,6 +157,7 @@ def _prepare_in_worker(
     env: dict[str, Any] | None,
     method: str,
     limits_payload: tuple | None,
+    tracing_payload: tuple | None,
     document: Any,
 ) -> Any:
     """Top-level task for process pools: re-prepare via the worker's plan cache.
@@ -130,17 +165,24 @@ def _prepare_in_worker(
     ``limits_payload`` is ``(timeout_s, max_rows, max_result_bytes)`` — the
     parent's remaining budget at dispatch time, rebuilt into an
     :class:`EvalLimits` here because guards hold a local monotonic deadline
-    that cannot cross a process boundary.
+    that cannot cross a process boundary.  ``tracing_payload`` is the
+    parent tracer's ``(trace_id, parent_span_id, sidecar_path)``: worker
+    spans are written to the sidecar and reassembled by trace id when the
+    parent's tracing scope closes.
     """
     from repro.exec.plan_cache import cached_prepare
 
     fail_point("exec.worker.task")
-    semiring = get_semiring(semiring_name)
-    prepared = cached_prepare(query_text, semiring, env_types=env_types, method=method)
-    bindings = dict(env) if env else {}
-    bindings[var] = document
-    limits = EvalLimits(*limits_payload) if limits_payload is not None else None
-    return prepared.evaluate(bindings, method=method, limits=limits)
+    with worker_trace(tracing_payload):
+        with span("exec.worker.task", var=var, method=method):
+            semiring = get_semiring(semiring_name)
+            prepared = cached_prepare(
+                query_text, semiring, env_types=env_types, method=method
+            )
+            bindings = dict(env) if env else {}
+            bindings[var] = document
+            limits = EvalLimits(*limits_payload) if limits_payload is not None else None
+            return prepared.evaluate(bindings, method=method, limits=limits)
 
 
 class BatchEvaluator:
@@ -230,6 +272,7 @@ class BatchEvaluator:
             dict(env) if env else None,
             method,
             limits_payload,
+            trace_payload(),
         )
 
         results: list = [None] * len(documents)
@@ -293,9 +336,11 @@ class BatchEvaluator:
                     guard.check_result(result)
                     return result
 
-        if executor is not None:
-            return list(executor.map(run, documents))
-        return [run(document) for document in documents]
+        with span("exec.batch.fan_out", documents=len(documents),
+                  pool="thread" if executor is not None else "inline"):
+            if executor is not None:
+                return list(executor.map(run, documents))
+            return [run(document) for document in documents]
 
     def evaluate_many(
         self,
@@ -318,7 +363,9 @@ class BatchEvaluator:
         if not documents:
             return []
         if isinstance(executor, ProcessPoolExecutor):
-            return self._process_pool_tasks(executor, documents, env, method, limits)
+            with span("exec.batch.fan_out", documents=len(documents),
+                      pool="process", method=method):
+                return self._process_pool_tasks(executor, documents, env, method, limits)
         guard = limits.start() if limits is not None and limits.is_bounded else None
         if method not in ("nrc", "nrc-codegen"):
             # The interpreter baselines take plain environment dicts.
@@ -354,6 +401,7 @@ class BatchEvaluator:
             # The template path calls _run directly; account the whole batch
             # so serving layers can observe generated-program execution.
             program.calls += len(documents)
+            note_calls(len(documents))
         return self._dispatch_runs(run_one, documents, executor, guard)
 
     def evaluate_merged(

@@ -39,6 +39,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Mapping, NamedTuple
 
 from repro.errors import ExecError
+from repro.obs.metrics import default_registry
 from repro.semirings.base import Semiring
 from repro.uxquery.ast import Query
 from repro.uxquery.engine import (
@@ -50,6 +51,18 @@ from repro.uxquery.engine import (
 )
 
 __all__ = ["CacheStats", "PlanCache", "default_plan_cache", "cached_prepare"]
+
+# Pre-declared metric families: named caches publish per-cache samples into
+# these at export time (a pull collector reading PlanCache.stats(), so the
+# per-instance counters stay the single source of truth and the hot lookup
+# path pays nothing for the registry).
+_REGISTRY = default_registry()
+_REGISTRY.counter("repro_plan_cache_hits_total", "Plan-cache lookups served without compiling")
+_REGISTRY.counter("repro_plan_cache_misses_total", "Plan-cache lookups that compiled")
+_REGISTRY.counter("repro_plan_cache_evictions_total", "Plans evicted by the LRU bound")
+_REGISTRY.counter("repro_plan_cache_compiles_total", "Plan compilations performed")
+_REGISTRY.gauge("repro_plan_cache_size", "Plans currently cached")
+_REGISTRY.gauge("repro_plan_cache_maxsize", "Plan-cache capacity")
 
 
 class CacheStats(NamedTuple):
@@ -99,6 +112,7 @@ class PlanCache:
         self,
         maxsize: int = 128,
         prepare: Callable[..., PreparedQuery] = prepare_query,
+        name: str | None = None,
     ):
         if maxsize < 1:
             raise ExecError("plan cache maxsize must be at least 1")
@@ -111,6 +125,23 @@ class PlanCache:
         self._misses = 0
         self._evictions = 0
         self._compiles = 0
+        #: Named caches publish into ``repro metrics`` labeled ``cache=name``
+        #: (anonymous caches — e.g. ephemeral test caches — stay private).
+        #: The collector holds only a weak reference to this cache.
+        self.name = name
+        if name is not None:
+            _REGISTRY.register_object_collector(
+                f"plan-cache:{name}", self, PlanCache._collect_metrics
+            )
+
+    def _collect_metrics(self, sink: Any) -> None:
+        stats = self.stats()
+        sink.counter("repro_plan_cache_hits_total", stats.hits, cache=self.name)
+        sink.counter("repro_plan_cache_misses_total", stats.misses, cache=self.name)
+        sink.counter("repro_plan_cache_evictions_total", stats.evictions, cache=self.name)
+        sink.counter("repro_plan_cache_compiles_total", stats.compiles, cache=self.name)
+        sink.gauge("repro_plan_cache_size", stats.size, cache=self.name)
+        sink.gauge("repro_plan_cache_maxsize", stats.maxsize, cache=self.name)
 
     # ---------------------------------------------------------------- lookup
     def _key(
@@ -224,7 +255,7 @@ class PlanCache:
         )
 
 
-_DEFAULT_CACHE = PlanCache(maxsize=256)
+_DEFAULT_CACHE = PlanCache(maxsize=256, name="default")
 
 
 def default_plan_cache() -> PlanCache:

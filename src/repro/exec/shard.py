@@ -34,6 +34,7 @@ from typing import Any, Mapping
 
 from repro.errors import ExecError
 from repro.kcollections.kset import KSet
+from repro.obs.trace import span
 from repro.nrc.ast import (
     BigUnion,
     EmptySet,
@@ -207,19 +208,21 @@ class ShardedEvaluator:
         """Partition ``document``, evaluate every shard, merge the K-sets."""
         if not isinstance(document, KSet):
             raise ExecError(f"sharded execution needs a K-set forest, got {document!r}")
-        shards = document.partition(self.num_shards, self.scheme)
-        # Empty shards cannot contribute: f({}) = {} for strictly linear
-        # queries, and the affine case (a var-free union side, admitted only
-        # under +-idempotent addition) contributes a constant that any kept
-        # shard already supplies.  All-empty falls through to single-shot.
-        shards = [shard for shard in shards if not shard.is_empty()]
+        with span("exec.shard.partition", shards=self.num_shards, scheme=self.scheme):
+            shards = document.partition(self.num_shards, self.scheme)
+            # Empty shards cannot contribute: f({}) = {} for strictly linear
+            # queries, and the affine case (a var-free union side, admitted only
+            # under +-idempotent addition) contributes a constant that any kept
+            # shard already supplies.  All-empty falls through to single-shot.
+            shards = [shard for shard in shards if not shard.is_empty()]
         if not shards:
             return self.prepared.evaluate(
                 _with_var(env, self.var, document), method=method, limits=limits
             )
-        return self._batch.evaluate_merged(
-            shards, env=env, method=method, executor=executor, limits=limits
-        )
+        with span("exec.shard.evaluate", shards=len(shards), method=method):
+            return self._batch.evaluate_merged(
+                shards, env=env, method=method, executor=executor, limits=limits
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -77,6 +77,7 @@ from repro.nrc.ast import (
 )
 from repro.nrc.compile_eval import _UNBOUND, _expect_kset, _expect_tree
 from repro.nrc.values import Pair
+from repro.obs.metrics import default_registry
 from repro.resilience.limits import check_tick
 from repro.semirings.base import Semiring
 from repro.uxml.tree import UTree
@@ -116,13 +117,48 @@ class _ForeignCollection(Exception):
         self.actual = actual
 
 
-#: Module-wide generation counters (observability; racy increments are fine).
-_STATS = {"generated": 0, "declined": 0}
+#: Module-wide generation counters, published in the process metrics
+#: registry (compilation is cold, so a lock per bump is immaterial).
+_GENERATED_COUNTER = default_registry().counter(
+    "repro_codegen_generated_total", "NRC programs compiled to specialized bytecode"
+)
+_DECLINED_COUNTER = default_registry().counter(
+    "repro_codegen_declined_total",
+    "NRC programs outside the codegen fragment (served by closures)",
+)
+
+#: Total evaluations served by generated code across every program.  The
+#: per-program ``CodegenProgram.calls`` bumps are deliberately lock-free
+#: (hot path, racy-OK), so the aggregate follows the same discipline: a
+#: plain cell, published by a pull-time registry collector.
+_TOTAL_CALLS = [0]
+
+
+def note_calls(count: int) -> None:
+    """Bulk call accounting (the batch template path bypasses evaluate())."""
+    _TOTAL_CALLS[0] += count
+
+
+def _collect_codegen(sink: Any) -> None:
+    sink.counter(
+        "repro_codegen_calls_total", _TOTAL_CALLS[0],
+        "Evaluations served by generated code (all programs)",
+    )
+
+
+default_registry().register_collector("codegen", _collect_codegen)
 
 
 def codegen_stats() -> dict[str, int]:
-    """A snapshot of how many programs were generated vs declined."""
-    return dict(_STATS)
+    """A snapshot of how many programs were generated vs declined.
+
+    A thin read of the metrics-registry counters (the canonical surface
+    since the observability layer landed).
+    """
+    return {
+        "generated": int(_GENERATED_COUNTER.value()),
+        "declined": int(_DECLINED_COUNTER.value()),
+    }
 
 
 class CodegenProgram:
@@ -179,6 +215,7 @@ class CodegenProgram:
                 if value is not _UNBOUND:
                     frame[slot] = value
         self.calls += 1
+        _TOTAL_CALLS[0] += 1
         try:
             return self._run(frame)
         except _ForeignCollection as foreign:
@@ -197,6 +234,7 @@ class CodegenProgram:
         serve it.  Shared by :meth:`evaluate` and the batch template path.
         """
         self.calls -= 1
+        _TOTAL_CALLS[0] -= 1
         if self.fallback is not None:
             return self.fallback.evaluate(env)
         raise SemiringError(
@@ -212,10 +250,17 @@ class CodegenProgram:
 # Source emission
 # ---------------------------------------------------------------------------
 class _Emitter:
-    """Walks the expression once, printing specialized Python statements."""
+    """Walks the expression once, printing specialized Python statements.
 
-    def __init__(self, semiring: Semiring):
+    With ``profile`` set (an ``repro.obs.profile.Profiler``), the emitted
+    source additionally times every value-position operator and counts
+    iterations of the fused big-union loops — profiled programs are always
+    compiled separately, so production programs carry zero profiling code.
+    """
+
+    def __init__(self, semiring: Semiring, profile: Any | None = None):
         self.semiring = semiring
+        self.profile = profile
         self.lines: list[str] = []
         self.indent = 1
         self._temp = 0
@@ -295,7 +340,25 @@ class _Emitter:
 
     # ---------------------------------------------------------- value mode
     def emit_value(self, expr: Expr) -> str:
-        """Emit statements computing ``expr``; returns a pure atom for it."""
+        """Emit statements computing ``expr``; returns a pure atom for it.
+
+        Under profiling, non-trivial nodes are bracketed with a timer and a
+        row-count record (inclusive times, as in ``EXPLAIN ANALYZE``).
+        """
+        profile = self.profile
+        if profile is None or type(expr) in (LabelLit, Var, EmptySet):
+            return self._emit_value_node(expr)
+        op = profile.open_op(expr)
+        timer = self.fresh("pt")
+        self.emit(f"{timer} = _PERF()")
+        try:
+            atom = self._emit_value_node(expr)
+        finally:
+            profile.close_op()
+        self.emit(f"_PREC({op.index}, _PERF() - {timer}, _PROWS({atom}))")
+        return atom
+
+    def _emit_value_node(self, expr: Expr) -> str:
         kind = type(expr)
         if kind is LabelLit:
             atom = repr(expr.label)
@@ -522,6 +585,21 @@ class _Emitter:
         self.emit_into(expr.expr, acc, scaled)
 
     def _emit_big_union_into(self, expr: BigUnion, acc: str, weight: str | None) -> None:
+        # A fused loop has no own timer (its body is interleaved with the
+        # enclosing accumulation), but under profiling it registers as a
+        # ``fused`` operator whose iterations are counted.
+        profile = self.profile
+        fused_op = None
+        if profile is not None:
+            fused_op = profile.open_op(expr, fused=True)
+        try:
+            self._emit_big_union_loop(expr, acc, weight, fused_op)
+        finally:
+            if profile is not None:
+                profile.close_op()
+
+    def _emit_big_union_loop(self, expr: BigUnion, acc: str, weight: str | None,
+                             fused_op: Any | None) -> None:
         source = self.emit_value(expr.source)
         self.guard_kset(source, "big union")
         self.guard_semiring(source)
@@ -532,6 +610,8 @@ class _Emitter:
         self.emit(f"for {member}, {annot} in {source}._items.items():")
         self.indent += 1
         self.emit_loop_check(acc)
+        if fused_op is not None:
+            self.emit(f"_PCNT({fused_op.index})")
         if weight is None:
             inner_weight = annot
         else:
@@ -613,12 +693,20 @@ def _validated_template(semiring: Semiring, op_name: str, template: str | None,
 # ---------------------------------------------------------------------------
 # Compilation
 # ---------------------------------------------------------------------------
-def generate_source(expr: Expr, semiring: Semiring) -> tuple[str, dict[str, Any], dict[str, int], int]:
+def _prof_rows(value: Any) -> int:
+    """Row count of a profiled atom (non-collections count as one row)."""
+    return len(value._items) if value.__class__ is KSet else 1
+
+
+def generate_source(expr: Expr, semiring: Semiring,
+                    profile: Any | None = None) -> tuple[str, dict[str, Any], dict[str, int], int]:
     """Emit the specialized source for ``expr`` over ``semiring``.
 
     Returns ``(source, namespace, free_slots, num_slots)``; raises
     :class:`CodegenUnsupported` when the expression is outside the
-    straight-line fragment or the semiring is unsuitable.
+    straight-line fragment or the semiring is unsuitable.  ``profile``
+    (an ``repro.obs.profile.Profiler``) adds per-operator instrumentation
+    to the emitted source — never used for cached production programs.
     """
     if not semiring.ops_preserve_normal_form:
         raise CodegenUnsupported(
@@ -632,7 +720,7 @@ def generate_source(expr: Expr, semiring: Semiring) -> tuple[str, dict[str, Any]
         )
     # No pre-scan for srt: the emitter raises CodegenUnsupported at the Srt
     # node itself, so unsupported forms decline in the same single walk.
-    emitter = _Emitter(semiring)
+    emitter = _Emitter(semiring, profile=profile)
     result = emitter.emit_value(expr)
     emitter.emit(f"return {result}")
     if emitter.loop_checks:
@@ -688,20 +776,33 @@ def generate_source(expr: Expr, semiring: Semiring) -> tuple[str, dict[str, Any]
         "_expect_child": _expect_child,
         "_TICK": check_tick,
     }
+    if profile is not None:
+        import time
+
+        namespace["_PERF"] = time.perf_counter
+        namespace["_PREC"] = profile.record
+        namespace["_PCNT"] = profile.count
+        namespace["_PROWS"] = _prof_rows
     for index, value in enumerate(emitter.consts):
         namespace[f"_C{index}"] = value
     return source, namespace, emitter.free_slots, emitter.num_slots
 
 
-def compile_codegen(expr: Expr, semiring: Semiring) -> CodegenProgram:
-    """Generate and byte-compile ``expr``; raises :class:`CodegenUnsupported`."""
-    source, namespace, free_slots, num_slots = generate_source(expr, semiring)
+def compile_codegen(expr: Expr, semiring: Semiring,
+                    profile: Any | None = None) -> CodegenProgram:
+    """Generate and byte-compile ``expr``; raises :class:`CodegenUnsupported`.
+
+    Profiled compilations (``profile=``) are side runs for ``explain
+    --analyze``: they do not touch the generation counters.
+    """
+    source, namespace, free_slots, num_slots = generate_source(expr, semiring, profile)
     try:
         code = compile(source, "<nrc-codegen>", "exec")
     except SyntaxError as error:  # e.g. a malformed user op template survived
         raise CodegenUnsupported(f"generated source does not compile: {error}") from error
     exec(code, namespace)
-    _STATS["generated"] += 1
+    if profile is None:
+        _GENERATED_COUNTER.inc()
     return CodegenProgram(expr, semiring, source, namespace["_nrc_program"], free_slots, num_slots)
 
 
@@ -715,7 +816,7 @@ def try_compile_codegen(expr: Expr, semiring: Semiring) -> tuple[CodegenProgram 
     try:
         return compile_codegen(expr, semiring), None
     except CodegenUnsupported as declined:
-        _STATS["declined"] += 1
+        _DECLINED_COUNTER.inc()
         return None, str(declined)
 
 

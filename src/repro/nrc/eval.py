@@ -11,7 +11,9 @@ coincide have their annotations added, as dictated by the big-union reading
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
 
 from repro.errors import NRCEvalError
 from repro.kcollections.kset import KSet
@@ -38,9 +40,26 @@ from repro.nrc.values import Pair
 from repro.semirings.base import Semiring
 from repro.uxml.tree import UTree
 
-__all__ = ["evaluate", "Environment"]
+__all__ = ["evaluate", "Environment", "profiling"]
 
 Environment = Mapping[str, Any]
+
+#: Per-operator profile hook (armed by ``repro.obs.profile`` for
+#: ``explain --analyze``); one module-global read per node when disarmed —
+#: the same price the per-node limit check already pays.
+_PROFILE: Any | None = None
+
+
+@contextmanager
+def profiling(profiler: Any) -> Iterator[None]:
+    """Arm the per-node profile hook for the duration of the block."""
+    global _PROFILE
+    previous = _PROFILE
+    _PROFILE = profiler
+    try:
+        yield
+    finally:
+        _PROFILE = previous
 
 
 def evaluate(expr: Expr, semiring: Semiring, env: Environment | None = None) -> Any:
@@ -50,7 +69,22 @@ def evaluate(expr: Expr, semiring: Semiring, env: Environment | None = None) -> 
 
 def _evaluate(expr: Expr, semiring: Semiring, env: dict[str, Any]) -> Any:
     _check_limits()  # per-node cooperative deadline check (reference evaluator)
+    profiler = _PROFILE
+    if profiler is not None:
+        index = profiler.index_of(expr)
+        if index is not None:
+            started = time.perf_counter()
+            value = _eval_node(expr, semiring, env)
+            profiler.record(
+                index,
+                time.perf_counter() - started,
+                len(value._items) if value.__class__ is KSet else 1,
+            )
+            return value
+    return _eval_node(expr, semiring, env)
 
+
+def _eval_node(expr: Expr, semiring: Semiring, env: dict[str, Any]) -> Any:
     if isinstance(expr, LabelLit):
         return expr.label
 

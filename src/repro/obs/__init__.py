@@ -1,0 +1,63 @@
+"""Unified observability: metrics registry, span tracing, query profiling.
+
+Three cooperating modules, all built on the same cost discipline as the
+fault-injection layer (:mod:`repro.resilience.faults`): when nothing is
+armed, an instrumentation site costs one module-global read.
+
+* :mod:`repro.obs.metrics` — a thread-safe registry of labeled counters,
+  gauges and histograms.  Every pre-existing stats surface (plan cache,
+  views, store, worker recovery, codegen) publishes into it — by direct
+  increments for cold counters, by pull-time collectors for per-instance
+  and hot ones — and the registry renders as JSON or Prometheus text
+  (``repro metrics``), the serve layer's future ``/metrics`` endpoint.
+* :mod:`repro.obs.trace` — span-based tracing across the whole pipeline:
+  prepare stages, evaluation, batch/shard fan-out (spans cross process
+  workers through a sidecar file and reassemble by trace id), the store
+  query path, WAL appends, snapshots and IVM ``apply``.  Exportable as
+  JSONL or Chrome ``trace_event`` JSON.
+* :mod:`repro.obs.profile` — per-operator wall time and row counts under
+  all three NRC evaluators (``repro explain --analyze``) plus the
+  slow-query log (``REPRO_SLOW_QUERY_MS``).
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    default_registry,
+    parse_prometheus,
+    registry_json,
+    render_prometheus,
+)
+from repro.obs.profile import (
+    ProfileReport,
+    profile_evaluate,
+    slow_queries,
+    clear_slow_queries,
+    refresh_slow_query_config,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    export_chrome,
+    export_jsonl,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "default_registry",
+    "registry_json",
+    "render_prometheus",
+    "parse_prometheus",
+    "Span",
+    "Tracer",
+    "span",
+    "tracing",
+    "export_jsonl",
+    "export_chrome",
+    "ProfileReport",
+    "profile_evaluate",
+    "slow_queries",
+    "clear_slow_queries",
+    "refresh_slow_query_config",
+]

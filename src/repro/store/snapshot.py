@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.errors import StoreError
+from repro.obs.trace import span
 from repro.resilience.faults import fail_point
 from repro.semirings.base import Semiring
 from repro.semirings.registry import available_semirings, get_semiring
@@ -83,6 +84,17 @@ def write_snapshot(
 ) -> None:
     """Atomically write a snapshot of the given store state."""
     path = Path(path)
+    with span("store.snapshot.write", documents=len(documents), views=len(views), wal_lsn=wal_lsn):
+        _write_snapshot(path, semiring_name, wal_lsn, documents, views)
+
+
+def _write_snapshot(
+    path: Path,
+    semiring_name: str,
+    wal_lsn: int,
+    documents: Dict[str, ShreddedColumns],
+    views: list[dict],
+) -> None:
     payload = {
         "format": SNAPSHOT_FORMAT,
         "semiring": semiring_name,

@@ -30,6 +30,7 @@ snapshot activity; the per-store plan cache exposes its own
 
 from __future__ import annotations
 
+import itertools
 import json
 from pathlib import Path
 from typing import Any, Iterable, Mapping, NamedTuple, Optional
@@ -39,6 +40,8 @@ from repro.exec.plan_cache import PlanCache
 from repro.ivm.delta import Delta
 from repro.ivm.view import MaterializedView
 from repro.kcollections.kset import KSet
+from repro.obs.metrics import default_registry
+from repro.obs.trace import span
 from repro.resilience.faults import fail_point
 from repro.resilience.limits import EvalLimits
 from repro.semirings.base import Semiring
@@ -59,6 +62,35 @@ __all__ = ["StoredDocument", "StoreStats", "DocumentStore"]
 _META_FILE = "meta.json"
 _WAL_FILE = "wal.jsonl"
 _SNAPSHOT_FILE = "snapshot.json"
+
+# Pre-declared metric families: every store publishes its counters under a
+# unique ``store=`` label via a weakref pull collector over
+# :meth:`DocumentStore.stats` (the instance counters stay the source of
+# truth; nothing on the ingest/update/query hot paths touches the registry).
+_REGISTRY = default_registry()
+_REGISTRY.counter(
+    "repro_store_operations_total",
+    "Store operations by kind (ingests / updates / queries / pushdowns / "
+    "full_pushdowns / fallbacks / snapshots / recovered_records)",
+)
+_REGISTRY.gauge("repro_store_documents", "Documents currently held by the store")
+_REGISTRY.gauge("repro_store_views", "Materialized views registered on the store")
+_REGISTRY.gauge("repro_store_wal_records", "Records currently in the store's WAL")
+
+#: Disambiguates the ``store=`` label across instances (two in-memory stores
+#: must not collapse into one time series).
+_STORE_SEQ = itertools.count(1)
+
+_OPERATION_KINDS = (
+    "ingests",
+    "updates",
+    "queries",
+    "pushdowns",
+    "full_pushdowns",
+    "fallbacks",
+    "snapshots",
+    "recovered_records",
+)
 
 
 class StoredDocument:
@@ -147,6 +179,7 @@ class DocumentStore:
                 raise StoreError("an in-memory store needs an explicit semiring")
             self.semiring = semiring
             self._semiring_name = semiring_registry_name(semiring)
+            self._register_metrics()
             return
 
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -186,6 +219,25 @@ class DocumentStore:
             )
         self._wal = WriteAheadLog(self.directory / _WAL_FILE, fsync=fsync)
         self._recover()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        where = self.directory.name if self.directory is not None else "memory"
+        self._metrics_label = f"{where}:{next(_STORE_SEQ)}"
+        _REGISTRY.register_object_collector(
+            f"store:{self._metrics_label}", self, DocumentStore._collect_metrics
+        )
+
+    def _collect_metrics(self, sink: Any) -> None:
+        stats = self.stats()
+        label = self._metrics_label
+        for kind in _OPERATION_KINDS:
+            sink.counter(
+                "repro_store_operations_total", getattr(stats, kind), store=label, kind=kind
+            )
+        sink.gauge("repro_store_documents", stats.documents, store=label)
+        sink.gauge("repro_store_views", stats.views, store=label)
+        sink.gauge("repro_store_wal_records", stats.wal_records, store=label)
 
     @classmethod
     def open(cls, directory: Path | str, **kwargs: Any) -> "DocumentStore":
@@ -336,7 +388,8 @@ class DocumentStore:
             env_types.update(env_types_of({k: v for k, v in env.items() if k != var}))
         prepared = self.plan_cache.get(query, self.semiring, env_types=env_types)
         self._queries += 1
-        return self._pushdown.execute(prepared, stored.index, var, env)
+        with span("store.query", doc=stored.doc_id):
+            return self._pushdown.execute(prepared, stored.index, var, env)
 
     def query_many(
         self,

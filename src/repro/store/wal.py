@@ -39,6 +39,7 @@ from typing import Any, Iterator, List, Tuple
 
 from repro.errors import StoreError
 from repro.ivm.delta import Delta
+from repro.obs.trace import span
 from repro.resilience.faults import fail_point
 from repro.semirings.base import Semiring
 from repro.semirings.diff import DiffPair
@@ -138,7 +139,9 @@ class WriteAheadLog:
         payload = dict(record)
         payload["lsn"] = lsn
         body = json.dumps(payload, sort_keys=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
+        with span("store.wal.append", lsn=lsn, bytes=len(body) + 1, fsync=self.fsync), open(
+            self.path, "a", encoding="utf-8"
+        ) as handle:
             fail_point("wal.append.write")
             handle.write(body)
             handle.flush()

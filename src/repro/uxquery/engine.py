@@ -37,6 +37,7 @@ the equivalence corpus and the differential fuzz suite in ``tests/nrc/``.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf
 from typing import Any, Iterable, Mapping
 
 from repro.errors import UXQueryEvalError, UXQueryTypeError
@@ -46,6 +47,9 @@ from repro.nrc.codegen import CodegenProgram, compile_program
 from repro.nrc.compile_eval import CompiledExpr, compile_expr
 from repro.nrc.eval import evaluate as evaluate_nrc
 from repro.nrc.rewrite import simplify
+from repro.obs import profile as _obs_profile
+from repro.obs import trace as _trace
+from repro.obs.trace import span
 from repro.resilience.limits import EvalLimits, activate
 from repro.semirings.base import Semiring
 from repro.uxml.tree import UTree
@@ -124,11 +128,32 @@ class PreparedQuery:
         self.semiring = semiring
         self.env_types = dict(env_types)
         self.surface = query
-        self.result_type = infer_type(query, self.env_types)
-        self.core = normalize(query, self.env_types)
-        self.nrc = compile_to_nrc(self.core, semiring, self.env_types)
-        self.nrc_simplified = simplify(self.nrc, semiring)
-        self.compiled: CompiledExpr = compile_expr(self.nrc_simplified, semiring)
+        #: Wall time per prepare stage in seconds (parse is stamped by
+        #: :func:`prepare_query` when it did the parsing).  Always recorded:
+        #: a handful of clock reads against whole compilation passes, and
+        #: the slow-query log wants them after the fact.
+        self.stage_timings: dict[str, float] = {}
+        timings = self.stage_timings
+        started = _perf()
+        with span("prepare.typecheck"):
+            self.result_type = infer_type(query, self.env_types)
+        timings["typecheck"] = _perf() - started
+        started = _perf()
+        with span("prepare.normalize"):
+            self.core = normalize(query, self.env_types)
+        timings["normalize"] = _perf() - started
+        started = _perf()
+        with span("prepare.compile-nrc"):
+            self.nrc = compile_to_nrc(self.core, semiring, self.env_types)
+        timings["compile-nrc"] = _perf() - started
+        started = _perf()
+        with span("prepare.simplify"):
+            self.nrc_simplified = simplify(self.nrc, semiring)
+        timings["simplify"] = _perf() - started
+        started = _perf()
+        with span("prepare.compile-closures"):
+            self.compiled: CompiledExpr = compile_expr(self.nrc_simplified, semiring)
+        timings["compile-closures"] = _perf() - started
         # The source-generated program, when the simplified form lies in the
         # straight-line codegen fragment; ``codegen_reason`` records why
         # generation declined otherwise (surfaced by ``repro explain``).
@@ -138,9 +163,15 @@ class PreparedQuery:
         # fallback rule.
         self.generated: CodegenProgram | None
         self.codegen_reason: str | None
-        self.program, self.generated, self.codegen_reason = compile_program(
-            self.nrc_simplified, semiring, self.compiled
-        )
+        started = _perf()
+        with span("prepare.codegen") as codegen_span:
+            self.program, self.generated, self.codegen_reason = compile_program(
+                self.nrc_simplified, semiring, self.compiled
+            )
+            codegen_span.annotate(
+                generated=self.generated is not None, reason=self.codegen_reason
+            )
+        timings["codegen"] = _perf() - started
 
     # ------------------------------------------------------------ evaluation
     def program_for(self, method: str) -> CompiledExpr | CodegenProgram:
@@ -187,13 +218,38 @@ class PreparedQuery:
             return BatchEvaluator(self, var=document_var).evaluate_many(
                 documents, env=env, method=method, executor=executor, limits=limits
             )
+        # Slow-query log: one module-global read when REPRO_SLOW_QUERY_MS
+        # is unset (the fail_point discipline), a clock pair when armed.
+        slow_ms = _obs_profile._SLOW_MS
+        started = _perf() if slow_ms is not None else 0.0
         if limits is None or not limits.is_bounded:
-            return self._dispatch(env, method)
-        guard = limits.start()
-        with activate(guard):
-            result = self._dispatch(env, method)
-            guard.check_result(result)
+            result = self._evaluate_traced(env, method)
+        else:
+            guard = limits.start()
+            with activate(guard):
+                result = self._evaluate_traced(env, method)
+                guard.check_result(result)
+        if slow_ms is not None:
+            elapsed_ms = (_perf() - started) * 1000.0
+            if elapsed_ms >= slow_ms:
+                _obs_profile.record_slow_query({
+                    "query": str(self.surface),
+                    "method": method,
+                    "semiring": self.semiring.name,
+                    "duration_ms": elapsed_ms,
+                    "codegen_reason": self.codegen_reason,
+                    "stage_timings_ms": {
+                        stage: seconds * 1000.0
+                        for stage, seconds in self.stage_timings.items()
+                    },
+                })
         return result
+
+    def _evaluate_traced(self, env: Mapping[str, Any] | None, method: str) -> Any:
+        if not _trace._ACTIVE:  # one global read on the disarmed path
+            return self._dispatch(env, method)
+        with span("evaluate", method=method, semiring=self.semiring.name):
+            return self._dispatch(env, method)
 
     def _dispatch(self, env: Mapping[str, Any] | None, method: str) -> Any:
         if method == "nrc-codegen":
@@ -253,9 +309,18 @@ def prepare_query(
     Either the environment values (``env``) or explicit variable types
     (``env_types``) may be supplied; explicit types win.
     """
-    ast = parse_query(query) if isinstance(query, str) else query
+    if isinstance(query, str):
+        started = _perf()
+        with span("prepare.parse"):
+            ast = parse_query(query)
+        parse_s = _perf() - started
+    else:
+        ast, parse_s = query, None
     types = dict(env_types) if env_types is not None else env_types_of(env)
-    return PreparedQuery(ast, semiring, types)
+    prepared = PreparedQuery(ast, semiring, types)
+    if parse_s is not None:
+        prepared.stage_timings["parse"] = parse_s
+    return prepared
 
 
 def evaluate_query(

@@ -19,7 +19,7 @@ from concurrent.futures import ProcessPoolExecutor
 import pytest
 
 from repro.errors import QueryTimeoutError
-from repro.exec import BatchEvaluator, reset_worker_stats, worker_stats
+from repro.exec import BatchEvaluator, scoped_worker_stats, worker_stats
 from repro.exec import batch as batch_module
 from repro.resilience import EvalLimits, disarm_all, fail_at
 from repro.semirings import NATURAL
@@ -30,9 +30,12 @@ from repro.workloads import random_forest
 
 @pytest.fixture(autouse=True)
 def _clean_slate():
+    # scoped_worker_stats gives each test a zeroed view of the process-wide
+    # worker counters AND restores the pre-test values afterwards, so this
+    # module neither sees other tests' activity nor leaks its own.
     disarm_all()
-    reset_worker_stats()
-    yield
+    with scoped_worker_stats():
+        yield
     disarm_all()
 
 

@@ -1,0 +1,151 @@
+"""Span tracing: arming, nesting, exports, cross-process reassembly."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.trace import (
+    Tracer,
+    export_chrome,
+    export_jsonl,
+    is_active,
+    span,
+    tracing,
+    worker_trace,
+)
+from repro.obs import trace as trace_module
+
+
+class TestDisarmed:
+    def test_span_is_the_shared_noop(self):
+        assert not is_active()
+        first = span("anything", attr=1)
+        second = span("else")
+        assert first is second  # one shared null span, no allocation
+        with first as live:
+            live.annotate(ignored=True)  # all no-ops
+
+    def test_trace_payload_is_none(self):
+        assert trace_module.trace_payload() is None
+
+
+class TestArmed:
+    def test_spans_nest_and_carry_attrs(self):
+        with tracing() as tracer:
+            with span("outer", kind="test") as outer:
+                outer.annotate(extra=1)
+                with span("inner"):
+                    pass
+        assert not is_active()
+        names = {s.name: s for s in tracer.spans}
+        assert set(names) == {"outer", "inner"}
+        outer_span, inner_span = names["outer"], names["inner"]
+        assert inner_span.parent_id == outer_span.span_id
+        assert outer_span.parent_id is None
+        assert outer_span.trace_id == inner_span.trace_id == tracer.trace_id
+        assert outer_span.attrs == {"kind": "test", "extra": 1}
+        assert outer_span.duration >= inner_span.duration >= 0.0
+
+    def test_exception_is_recorded_and_stack_unwinds(self):
+        with tracing() as tracer:
+            try:
+                with span("failing"):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            with span("after"):
+                pass
+        failing = next(s for s in tracer.spans if s.name == "failing")
+        after = next(s for s in tracer.spans if s.name == "after")
+        assert failing.attrs["error"] == "RuntimeError"
+        assert after.parent_id is None  # the failed span popped its frame
+
+    def test_nested_tracing_restores_previous_tracer(self):
+        with tracing() as outer_tracer:
+            with tracing() as inner_tracer:
+                with span("inner-only"):
+                    pass
+            with span("outer-only"):
+                pass
+        assert [s.name for s in inner_tracer.spans] == ["inner-only"]
+        assert [s.name for s in outer_tracer.spans] == ["outer-only"]
+
+
+class TestExport:
+    def _spans(self):
+        with tracing() as tracer:
+            with span("a", n=1):
+                with span("b"):
+                    pass
+        return tracer.spans
+
+    def test_jsonl_lines_parse(self):
+        spans = self._spans()
+        lines = export_jsonl(spans).splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert {record["name"] for record in records} == {"a", "b"}
+        for record in records:
+            assert record["trace_id"] == spans[0].trace_id
+            assert record["duration"] >= 0.0
+
+    def test_chrome_trace_events(self):
+        payload = json.loads(export_chrome(self._spans()))
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert event["dur"] >= 0
+            assert "trace_id" in event["args"]
+
+
+class TestCrossProcess:
+    def test_worker_payload_reassembles_by_trace_id(self):
+        tracer = Tracer()
+        payload = tracer.payload()
+        # Simulate the worker side: arm from the payload, produce spans,
+        # flush them to the sidecar in one append on exit.
+        with worker_trace(payload):
+            with span("exec.worker.task", var="S"):
+                pass
+        tracer.collect()
+        assert [s.name for s in tracer.spans] == ["exec.worker.task"]
+        worker_span = tracer.spans[0]
+        assert worker_span.trace_id == tracer.trace_id
+        assert worker_span.attrs == {"var": "S"}
+        # The sidecar is consumed.
+        assert tracer._sidecar is None
+
+    def test_worker_trace_with_none_payload_is_inert(self):
+        with worker_trace(None):
+            assert not is_active()
+
+    def test_process_pool_spans_cross_the_boundary(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.exec import BatchEvaluator
+        from repro.semirings import NATURAL
+        from repro.uxquery import prepare_query
+        from repro.workloads import random_forest
+
+        documents = [
+            random_forest(NATURAL, num_trees=2, depth=2, fanout=2, seed=70 + i)
+            for i in range(3)
+        ]
+        prepared = prepare_query("($S)/*", NATURAL, {"S": documents[0]})
+        evaluator = BatchEvaluator(prepared)
+        expected = evaluator.evaluate_many(documents)
+        with tracing() as tracer:
+            with ProcessPoolExecutor(max_workers=2) as executor:
+                results = evaluator.evaluate_many(documents, executor=executor)
+        assert results == expected
+        worker_spans = [s for s in tracer.spans if s.name == "exec.worker.task"]
+        assert len(worker_spans) == len(documents)
+        assert {s.trace_id for s in worker_spans} == {tracer.trace_id}
+        assert any(s.pid != os.getpid() for s in worker_spans)
+        fan_out = [s for s in tracer.spans if s.name == "exec.batch.fan_out"]
+        assert fan_out and fan_out[0].attrs["pool"] == "process"
+        # Worker spans hang off the fan-out span that shipped the payload.
+        assert {s.parent_id for s in worker_spans} == {fan_out[0].span_id}
