@@ -41,16 +41,23 @@ def _case():
     return prepared, {"S": forest}
 
 
-def _best_batch_mean(fn, repetitions: int = 40, batches: int = 7) -> float:
-    best = float("inf")
+def _best_interleaved_pair(
+    baseline_fn, candidate_fn, repetitions: int = 40, batches: int = 7
+) -> tuple[float, float]:
+    # Interleave the two sides batch by batch: clock-frequency or load drift
+    # between two back-to-back measurement windows would otherwise read as
+    # overhead of whichever side ran later.
+    best_baseline = best_candidate = float("inf")
     for _ in range(batches):
         start = time.perf_counter()
         for _ in range(repetitions):
-            fn()
-        elapsed = (time.perf_counter() - start) / repetitions
-        if elapsed < best:
-            best = elapsed
-    return best
+            baseline_fn()
+        best_baseline = min(best_baseline, (time.perf_counter() - start) / repetitions)
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            candidate_fn()
+        best_candidate = min(best_candidate, (time.perf_counter() - start) / repetitions)
+    return best_baseline, best_candidate
 
 
 def test_guarded_codegen_unlimited(benchmark):
@@ -73,9 +80,9 @@ def test_guard_overhead_within_bound():
     """Armed-but-quiet limits must cost <= 5% on the codegen hot path."""
     prepared, env = _case()
     assert prepared.evaluate(env, limits=GENEROUS) == prepared.evaluate(env)
-    without = _best_batch_mean(lambda: prepared.evaluate(env, method="nrc-codegen"))
-    with_limits = _best_batch_mean(
-        lambda: prepared.evaluate(env, method="nrc-codegen", limits=GENEROUS)
+    without, with_limits = _best_interleaved_pair(
+        lambda: prepared.evaluate(env, method="nrc-codegen"),
+        lambda: prepared.evaluate(env, method="nrc-codegen", limits=GENEROUS),
     )
     ratio = with_limits / without
     assert ratio <= MAX_OVERHEAD_RATIO, (
@@ -89,8 +96,8 @@ def test_unarmed_check_tick_is_near_free():
     """With no guard active anywhere, evaluating with limits=None must not
     regress: check_tick is one module-global read."""
     prepared, env = _case()
-    plain = _best_batch_mean(lambda: prepared.evaluate(env, method="nrc-codegen"))
-    unbounded = _best_batch_mean(
-        lambda: prepared.evaluate(env, method="nrc-codegen", limits=EvalLimits())
+    plain, unbounded = _best_interleaved_pair(
+        lambda: prepared.evaluate(env, method="nrc-codegen"),
+        lambda: prepared.evaluate(env, method="nrc-codegen", limits=EvalLimits()),
     )
     assert unbounded / plain <= MAX_OVERHEAD_RATIO

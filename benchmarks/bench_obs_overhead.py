@@ -4,13 +4,15 @@ The observability contract (:mod:`repro.obs`) follows the ``fail_point``
 cost discipline: a span site is one module-global read when no tracer is
 armed, the profiling hook in the reference interpreter is one global read,
 and the slow-query check is one global read when ``REPRO_SLOW_QUERY_MS``
-is unset.  This benchmark times the deep child-chain workload
-(``suite_child-chain-3``) through the fully instrumented serving path
-(``PreparedQuery.evaluate`` — slow-query check + trace check + dispatch)
-against the raw generated program call that bypasses every hook, and the
-regression bar — enforced here and by the CI quick-mode step via
-``run_all.py``'s ``obs`` section — is that the disarmed instrumentation
-costs at most 5%.
+is unset, and the flight-recorder ``emit`` sites sit on cold paths only
+(retries, fallbacks, limit trips) so the hot path never calls them.  This
+benchmark times the deep child-chain workload (``suite_child-chain-3``)
+through the fully instrumented serving path (``PreparedQuery.evaluate`` —
+slow-query check + trace/sampling check + dispatch, with the event ring
+armed as it is by default) against the raw generated program call that
+bypasses every hook, and the regression bar — enforced here and by the CI
+quick-mode step via ``run_all.py``'s ``obs`` section — is that the
+disarmed instrumentation costs at most 5%.
 
 The armed cases (tracing live, per-operator profiling) are benchmarked for
 the record but carry no bar: arming is an explicit diagnostic request.
@@ -45,16 +47,23 @@ def _case():
     return prepared, {"S": forest}
 
 
-def _best_batch_mean(fn, repetitions: int = 40, batches: int = 7) -> float:
-    best = float("inf")
+def _best_interleaved_pair(
+    baseline_fn, candidate_fn, repetitions: int = 40, batches: int = 7
+) -> tuple[float, float]:
+    # Interleave the two sides batch by batch: clock-frequency or load drift
+    # between two back-to-back measurement windows would otherwise read as
+    # overhead of whichever side ran later.
+    best_baseline = best_candidate = float("inf")
     for _ in range(batches):
         start = time.perf_counter()
         for _ in range(repetitions):
-            fn()
-        elapsed = (time.perf_counter() - start) / repetitions
-        if elapsed < best:
-            best = elapsed
-    return best
+            baseline_fn()
+        best_baseline = min(best_baseline, (time.perf_counter() - start) / repetitions)
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            candidate_fn()
+        best_candidate = min(best_candidate, (time.perf_counter() - start) / repetitions)
+    return best_baseline, best_candidate
 
 
 def test_raw_program_baseline(benchmark):
@@ -94,12 +103,19 @@ def test_profiled_evaluation(benchmark):
 
 
 def test_disarmed_overhead_within_bound():
-    """Disarmed span/slow-query hooks must cost <= 5% on the hot path."""
+    """Disarmed span/slow-query hooks must cost <= 5% on the hot path.
+
+    The flight recorder stays armed (its default state): the bar covers the
+    production configuration, not a stripped-down one.
+    """
+    from repro.obs import events
+
+    assert events.is_recording(), "flight recorder should be armed by default"
     prepared, env = _case()
     assert prepared.evaluate(env) == prepared.program.evaluate(env)
-    raw = _best_batch_mean(lambda: prepared.program.evaluate(env))
-    instrumented = _best_batch_mean(
-        lambda: prepared.evaluate(env, method="nrc-codegen")
+    raw, instrumented = _best_interleaved_pair(
+        lambda: prepared.program.evaluate(env),
+        lambda: prepared.evaluate(env, method="nrc-codegen"),
     )
     ratio = instrumented / raw if raw else float("inf")
     assert ratio <= MAX_OVERHEAD_RATIO, (

@@ -1,0 +1,213 @@
+"""The bench-regression watchdog over ``BENCH_history/``.
+
+``run_all.py`` archives every run as one JSON file; this script (also
+reachable as ``repro bench-check``) compares the **newest** archived run
+against the **median of the preceding runs** of the same mode and exits
+nonzero when any headline metric regressed past the threshold.
+
+Direction is metric-aware: names ending in ``_ratio`` are overheads
+(lower is better); everything else is a speedup (higher is better).
+Raw wall times (``bench/<test>/mean_s``) are opt-in via ``--wall-times``
+— they compare absolute seconds across possibly different machines, so
+the default check sticks to the within-run ratios, which are
+machine-relative and therefore stable under CI-runner variance.
+
+Exit codes: 0 = no regression (or fewer than two comparable runs — the
+trajectory has no baseline yet), 1 = at least one regression, 2 = usage
+error (missing/unreadable history).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import statistics
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD_PCT = 15.0
+DEFAULT_WINDOW = 3
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def _flatten(entry: dict, wall_times: bool = False) -> dict[str, float]:
+    """Headline metrics of one archived run, reusing run_all's flattening."""
+    if str(_BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(_BENCH_DIR))
+    spec = importlib.util.spec_from_file_location("repro_run_all", _BENCH_DIR / "run_all.py")
+    module = sys.modules.get("repro_run_all")
+    if module is None:
+        module = importlib.util.module_from_spec(spec)
+        sys.modules["repro_run_all"] = module
+        spec.loader.exec_module(module)
+    metrics = dict(module._flatten_metrics(entry))
+    if wall_times:
+        for bench in entry.get("benchmarks", []) or []:
+            if isinstance(bench, dict) and "name" in bench:
+                mean = bench.get("mean_s")
+                if isinstance(mean, (int, float)):
+                    metrics[f"bench/{bench['name']}/mean_s"] = float(mean)
+    return metrics
+
+
+def _lower_is_better(name: str) -> bool:
+    return name.endswith("_ratio") or name.endswith("/mean_s")
+
+
+def load_history(history_dir: str | Path, quick: bool = False) -> list[dict]:
+    """Archived runs of the requested mode, oldest first."""
+    directory = Path(history_dir)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"no benchmark history directory at {directory}")
+    runs = []
+    for path in sorted(directory.glob("run-*.json")):
+        try:
+            entry = json.loads(path.read_text())
+        except ValueError:
+            continue  # a truncated archive must not break the watchdog
+        if entry.get("quick", False) == quick:
+            entry.setdefault("_path", str(path))
+            runs.append(entry)
+    return runs
+
+
+def check_regressions(
+    runs: list[dict],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    window: int = DEFAULT_WINDOW,
+    wall_times: bool = False,
+) -> dict:
+    """Compare the newest run against the median of up to ``window`` prior runs.
+
+    Returns a report dict: ``regressions`` / ``improvements`` / ``stable``
+    lists of per-metric records, plus ``baseline_runs`` and ``ok``.
+    A metric missing from either side is skipped (sections come and go
+    across PRs); only metrics present in both are judged.
+    """
+    if len(runs) < 2:
+        return {
+            "ok": True,
+            "reason": f"only {len(runs)} comparable run(s); no baseline yet",
+            "baseline_runs": 0,
+            "regressions": [],
+            "improvements": [],
+            "stable": [],
+        }
+    current = runs[-1]
+    baseline_entries = runs[max(0, len(runs) - 1 - window):-1]
+    current_metrics = _flatten(current, wall_times)
+    baseline_flat = [_flatten(entry, wall_times) for entry in baseline_entries]
+
+    regressions, improvements, stable = [], [], []
+    for name in sorted(current_metrics):
+        history = [flat[name] for flat in baseline_flat if name in flat]
+        if not history:
+            continue
+        baseline = statistics.median(history)
+        now = current_metrics[name]
+        if baseline <= 0:
+            continue
+        if _lower_is_better(name):
+            change_pct = (now - baseline) / baseline * 100.0  # up = worse
+        else:
+            change_pct = (baseline - now) / baseline * 100.0  # down = worse
+        record = {
+            "metric": name,
+            "baseline": baseline,
+            "current": now,
+            "samples": len(history),
+            "worse_by_pct": round(change_pct, 2),
+        }
+        if change_pct > threshold_pct:
+            regressions.append(record)
+        elif change_pct < -threshold_pct:
+            improvements.append(record)
+        else:
+            stable.append(record)
+    return {
+        "ok": not regressions,
+        "current_run": current.get("generated_at", "?"),
+        "baseline_runs": len(baseline_entries),
+        "threshold_pct": threshold_pct,
+        "regressions": regressions,
+        "improvements": improvements,
+        "stable": stable,
+    }
+
+
+def _print_report(report: dict, quick: bool) -> None:
+    mode = "quick" if quick else "full"
+    if report.get("reason"):
+        print(f"bench-check ({mode}): {report['reason']}")
+        return
+    print(
+        f"bench-check ({mode}): run {report['current_run']} vs median of "
+        f"{report['baseline_runs']} prior run(s), threshold {report['threshold_pct']:g}%"
+    )
+    for record in report["regressions"]:
+        print(
+            f"  REGRESSION  {record['metric']:44s} "
+            f"{record['baseline']:8.3f} -> {record['current']:8.3f}  "
+            f"(worse by {record['worse_by_pct']:+.1f}%)"
+        )
+    for record in report["improvements"]:
+        print(
+            f"  improved    {record['metric']:44s} "
+            f"{record['baseline']:8.3f} -> {record['current']:8.3f}"
+        )
+    judged = len(report["regressions"]) + len(report["improvements"]) + len(report["stable"])
+    print(
+        f"  {judged} metric(s) judged: {len(report['regressions'])} regressed, "
+        f"{len(report['improvements'])} improved, {len(report['stable'])} stable"
+    )
+
+
+def run_check(
+    history_dir: str | Path = "BENCH_history",
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    window: int = DEFAULT_WINDOW,
+    quick: bool = False,
+    wall_times: bool = False,
+    as_json: bool = False,
+) -> int:
+    """The full check; returns the process exit code."""
+    try:
+        runs = load_history(history_dir, quick)
+    except FileNotFoundError as error:
+        print(f"bench-check: {error}", file=sys.stderr)
+        return 2
+    report = check_regressions(runs, threshold_pct, window, wall_times)
+    if as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        _print_report(report, quick)
+    return 0 if report["ok"] else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history", default="BENCH_history", metavar="DIR")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD_PCT, metavar="PCT")
+    parser.add_argument("--window", type=int, default=DEFAULT_WINDOW, metavar="N")
+    parser.add_argument("--quick", action="store_true", help="compare quick-mode runs")
+    parser.add_argument(
+        "--wall-times",
+        action="store_true",
+        help="also judge raw per-test wall times (machine-sensitive; off by default)",
+    )
+    parser.add_argument("--json", action="store_true", help="print the report as JSON")
+    args = parser.parse_args(argv)
+    return run_check(
+        history_dir=args.history,
+        threshold_pct=args.threshold,
+        window=args.window,
+        quick=args.quick,
+        wall_times=args.wall_times,
+        as_json=args.json,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

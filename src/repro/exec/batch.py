@@ -58,6 +58,7 @@ from repro.errors import ExecError, SemiringError
 from repro.kcollections.kset import KSet
 from repro.nrc.codegen import CodegenProgram, _ForeignCollection, note_calls
 from repro.nrc.compile_eval import _UNBOUND
+from repro.obs.events import emit
 from repro.obs.metrics import default_registry
 from repro.obs.trace import span, trace_payload, worker_trace
 from repro.resilience.faults import fail_point
@@ -295,9 +296,12 @@ class BatchEvaluator:
                 if not failed:
                     return results
                 _bump_worker_stats(broken_pools=1)
+                emit("worker.pool_broken", failed=len(failed), rebuilds=rebuilds)
                 if rebuilds >= _RETRY_BUDGET:
                     # Retry budget spent: degrade gracefully to inline
                     # evaluation of the failed partition in this process.
+                    emit("worker.degraded", documents=len(failed),
+                         retry_budget=_RETRY_BUDGET)
                     for index in failed:
                         results[index] = task(documents[index])
                     self.worker_degraded += len(failed)
@@ -315,6 +319,7 @@ class BatchEvaluator:
                 self.worker_retries += len(failed)
                 self.pool_rebuilds += 1
                 _bump_worker_stats(retries=len(failed), pool_rebuilds=1)
+                emit("worker.retry", documents=len(failed), rebuild=rebuilds)
         finally:
             if own_pool is not None:
                 own_pool.shutdown(wait=False)

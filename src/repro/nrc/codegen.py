@@ -77,6 +77,7 @@ from repro.nrc.ast import (
 )
 from repro.nrc.compile_eval import _UNBOUND, _expect_kset, _expect_tree
 from repro.nrc.values import Pair
+from repro.obs.events import emit
 from repro.obs.metrics import default_registry
 from repro.resilience.limits import check_tick
 from repro.semirings.base import Semiring
@@ -817,6 +818,7 @@ def try_compile_codegen(expr: Expr, semiring: Semiring) -> tuple[CodegenProgram 
         return compile_codegen(expr, semiring), None
     except CodegenUnsupported as declined:
         _DECLINED_COUNTER.inc()
+        emit("codegen.decline", reason=str(declined), semiring=semiring.name)
         return None, str(declined)
 
 

@@ -20,6 +20,12 @@ Export formats: :func:`registry_json` (round-trippable dict) and
 :func:`render_prometheus` (text exposition format, ``# HELP``/``# TYPE``
 lines included).  :func:`parse_prometheus` is the minimal inverse used by
 the export smoke tests.
+
+**Exemplars.** Histograms record the most recent ``(trace_id, value)``
+per bucket whenever tracing is armed (one global read otherwise), and
+``render_prometheus`` emits them in OpenMetrics exemplar syntax
+(``name_bucket{le="..."} 7 # {trace_id="..."} 0.042 <ts>``) — a scraped
+latency spike links straight to the trace that caused it.
 """
 
 from __future__ import annotations
@@ -27,8 +33,11 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 import weakref
 from typing import Any, Callable, Iterable, Mapping
+
+from repro.obs import trace as _trace
 
 __all__ = [
     "Counter",
@@ -120,16 +129,30 @@ class Gauge(_Metric):
 
 
 class Histogram(_Metric):
-    """Cumulative-bucket histogram (Prometheus semantics: le-bounded)."""
+    """Cumulative-bucket histogram (Prometheus semantics: le-bounded).
 
-    __slots__ = ("buckets",)
+    With ``exemplars`` on (the default), each observation made while
+    tracing is armed stores the most recent ``(trace_id, value)`` for the
+    smallest bucket the value falls into — rendered in OpenMetrics
+    exemplar syntax by :func:`render_prometheus`.  Disarmed cost: one
+    module-global read per observation.
+    """
+
+    __slots__ = ("buckets", "exemplars")
 
     def __init__(self, name: str, help: str, lock: threading.Lock,
-                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+                 buckets: Iterable[float] = DEFAULT_BUCKETS,
+                 exemplars: bool = True):
         super().__init__(name, "histogram", help, lock)
         self.buckets = tuple(sorted(buckets))
+        self.exemplars = exemplars
 
     def observe(self, value: float, **labels: Any) -> None:
+        trace_id = (
+            _trace.current_trace_id()
+            if self.exemplars and _trace._ACTIVE
+            else None
+        )
         key = _label_key(labels)
         with self._lock:
             state = self._samples.get(key)
@@ -139,11 +162,20 @@ class Histogram(_Metric):
                     "sum": 0.0,
                     "count": 0,
                 }
+            exemplar_index = len(self.buckets)  # the +Inf bucket
             for index, bound in enumerate(self.buckets):
                 if value <= bound:
                     state["buckets"][index] += 1
+                    exemplar_index = min(exemplar_index, index)
             state["sum"] += value
             state["count"] += 1
+            if trace_id is not None:
+                exemplars = state.setdefault("exemplars", {})
+                exemplars[exemplar_index] = {
+                    "trace_id": trace_id,
+                    "value": value,
+                    "ts": time.time(),
+                }
 
     def reset(self) -> None:
         with self._lock:
@@ -209,9 +241,11 @@ class MetricsRegistry:
         )
 
     def histogram(self, name: str, help: str = "",
-                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+                  buckets: Iterable[float] = DEFAULT_BUCKETS,
+                  exemplars: bool = True) -> Histogram:
         return self._get_or_create(
-            name, "histogram", help, lambda: Histogram(name, help, self._lock, buckets)
+            name, "histogram", help,
+            lambda: Histogram(name, help, self._lock, buckets, exemplars=exemplars),
         )
 
     # ----------------------------------------------------------- collectors
@@ -315,6 +349,18 @@ def _format_value(value: float) -> str:
     return str(value)
 
 
+def _format_exemplar(exemplar: Mapping[str, Any] | None) -> str:
+    """The OpenMetrics exemplar suffix (`` # {labels} value ts``), or ``""``."""
+    if not exemplar:
+        return ""
+    labels = _format_labels({"trace_id": str(exemplar.get("trace_id", ""))})
+    rendered = f" # {labels} {_format_value(exemplar.get('value', 0.0))}"
+    ts = exemplar.get("ts")
+    if ts is not None:
+        rendered += f" {ts}"
+    return rendered
+
+
 def render_prometheus(registry: "MetricsRegistry | None" = None) -> str:
     """Render the registry in the Prometheus text exposition format."""
     registry = registry if registry is not None else default_registry()
@@ -329,17 +375,20 @@ def render_prometheus(registry: "MetricsRegistry | None" = None) -> str:
                 state = sample["value"]
                 histogram = registry._metrics.get(name)
                 bounds = histogram.buckets if isinstance(histogram, Histogram) else ()
+                exemplars = state.get("exemplars") or {}
                 cumulative = 0
-                for bound, count in zip(bounds, state["buckets"]):
+                for index, (bound, count) in enumerate(zip(bounds, state["buckets"])):
                     cumulative = count
                     lines.append(
                         f"{name}_bucket"
                         f"{_format_labels(labels, {'le': _format_value(float(bound))})}"
                         f" {cumulative}"
+                        f"{_format_exemplar(exemplars.get(index))}"
                     )
                 lines.append(
                     f"{name}_bucket{_format_labels(labels, {'le': '+Inf'})}"
                     f" {state['count']}"
+                    f"{_format_exemplar(exemplars.get(len(bounds)))}"
                 )
                 lines.append(f"{name}_sum{_format_labels(labels)} {state['sum']}")
                 lines.append(f"{name}_count{_format_labels(labels)} {state['count']}")
@@ -364,11 +413,55 @@ def registry_json(registry: "MetricsRegistry | None" = None) -> dict[str, Any]:
     return json.loads(json.dumps(snapshot))
 
 
+def _parse_float(value_text: str, raw: str) -> float:
+    try:
+        return float(value_text)
+    except ValueError as error:
+        if value_text not in ("+Inf", "-Inf", "NaN"):
+            raise ValueError(f"malformed value in line: {raw!r}") from error
+        return float(value_text.replace("Inf", "inf").replace("NaN", "nan"))
+
+
+def _split_label_block(line: str, raw: str) -> tuple[str, str, str]:
+    """Split one sample line into ``(name, "{...}", rest)``.
+
+    Scans the label block with quote/escape awareness: a ``}``, ``#`` or
+    space inside a quoted label value (legal once escaped) must not
+    terminate the block — ``line.rindex("}")`` would also swallow an
+    OpenMetrics exemplar's label set.
+    """
+    opening = line.index("{")
+    in_quotes = False
+    escaped = False
+    for position in range(opening + 1, len(line)):
+        char = line[position]
+        if escaped:
+            escaped = False
+        elif char == "\\":
+            escaped = True
+        elif char == '"':
+            in_quotes = not in_quotes
+        elif char == "}" and not in_quotes:
+            return line[:opening], line[opening:position + 1], line[position + 1:]
+    raise ValueError(f"unterminated label block in line: {raw!r}")
+
+
+def _split_exemplar(rest: str) -> tuple[str, str | None]:
+    """Split ``" value [# exemplar]"`` — the ``#`` introducing an exemplar
+    can only appear before any quoted text, so a plain find is safe here."""
+    marker = rest.find(" # ")
+    if marker == -1:
+        return rest.strip(), None
+    return rest[:marker].strip(), rest[marker + 3:].strip()
+
+
 def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
     """Parse Prometheus exposition text back into families (smoke-test inverse).
 
     Returns ``{family: {"type": ..., "samples": {label_string: value}}}``;
-    raises ``ValueError`` on malformed lines.
+    OpenMetrics exemplar suffixes land under the family's ``"exemplars"``
+    key (``{sample_key: {"labels": ..., "value": ...}}``).  Raises
+    ``ValueError`` on malformed lines.
     """
     families: dict[str, dict[str, Any]] = {}
     for raw in text.splitlines():
@@ -391,22 +484,14 @@ def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
         if line.startswith("#"):
             continue
         if "{" in line:
-            name = line[: line.index("{")]
-            closing = line.rindex("}")
-            labels = line[line.index("{"): closing + 1]
-            value_text = line[closing + 1:].strip()
+            name, labels, rest = _split_label_block(line, raw)
         else:
-            name, _, value_text = line.partition(" ")
+            name, _, rest = line.partition(" ")
             labels = ""
-            value_text = value_text.strip()
+        value_text, exemplar_text = _split_exemplar(rest)
         if not name or not value_text:
             raise ValueError(f"malformed sample line: {raw!r}")
-        try:
-            value = float(value_text)
-        except ValueError as error:
-            if value_text not in ("+Inf", "-Inf", "NaN"):
-                raise ValueError(f"malformed value in line: {raw!r}") from error
-            value = float(value_text.replace("Inf", "inf").replace("NaN", "nan"))
+        value = _parse_float(value_text, raw)
         base = name
         for suffix in ("_bucket", "_sum", "_count"):
             if name.endswith(suffix) and name[: -len(suffix)] in families:
@@ -414,6 +499,18 @@ def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
                 break
         families.setdefault(base, {"type": None, "samples": {}})
         families[base]["samples"][name + labels] = value
+        if exemplar_text is not None:
+            if not exemplar_text.startswith("{"):
+                raise ValueError(f"malformed exemplar in line: {raw!r}")
+            _, ex_labels, ex_rest = _split_label_block(exemplar_text, raw)
+            ex_parts = ex_rest.split()
+            ex_value_text = ex_parts[0] if ex_parts else ""
+            if not ex_value_text:
+                raise ValueError(f"malformed exemplar in line: {raw!r}")
+            families[base].setdefault("exemplars", {})[name + labels] = {
+                "labels": ex_labels,
+                "value": _parse_float(ex_value_text, raw),
+            }
     return families
 
 

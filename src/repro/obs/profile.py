@@ -44,6 +44,7 @@ from repro.errors import UXQueryEvalError
 from repro.kcollections.kset import KSet
 from repro.nrc.ast import Expr
 from repro.nrc.compile_eval import CompiledExpr, _Compiler
+from repro.obs.events import emit
 from repro.obs.metrics import default_registry
 
 __all__ = [
@@ -56,6 +57,7 @@ __all__ = [
     "record_slow_query",
     "refresh_slow_query_config",
     "slow_query_ms",
+    "slow_query_threshold",
 ]
 
 _PROFILE_METHODS = ("nrc-codegen", "nrc", "nrc-interp")
@@ -344,12 +346,44 @@ def slow_query_ms() -> float | None:
     return _SLOW_MS
 
 
+#: Re-read the env vars about every this-many evaluate calls, so a
+#: long-lived process that sets ``REPRO_SLOW_QUERY_MS`` after import picks
+#: it up without restarting (the telemetry server also refreshes
+#: explicitly on start).  The probe is a plain integer bump — no clock,
+#: no syscall — and the env read itself is a cached-dict lookup.
+_SLOW_REFRESH_EVERY = 1024
+_slow_probe = 0
+
+
+def slow_query_threshold() -> float | None:
+    """The armed threshold (ms) with a cheap periodic env re-check.
+
+    This is what the serving path calls once per evaluate: normally one
+    module-global read plus a counter bump; every
+    :data:`_SLOW_REFRESH_EVERY` calls it re-reads the environment so the
+    slow log can be armed/disarmed in a running process.  (The benign race
+    on the probe counter only changes *when* a refresh happens.)
+    """
+    global _slow_probe
+    _slow_probe += 1
+    if _slow_probe >= _SLOW_REFRESH_EVERY:
+        _slow_probe = 0
+        refresh_slow_query_config()
+    return _SLOW_MS
+
+
 def record_slow_query(entry: dict[str, Any]) -> None:
     """Record one slow evaluation (bounded buffer + optional JSONL file)."""
     entry = dict(entry, timestamp=time.time())
     with _SLOW_LOCK:
         _SLOW_BUFFER.append(entry)
     _SLOW_COUNTER.inc()
+    emit(
+        "query.slow",
+        duration_ms=entry.get("duration_ms"),
+        method=entry.get("method"),
+        semiring=entry.get("semiring"),
+    )
     path = _SLOW_LOG_PATH
     if path:
         try:

@@ -26,12 +26,24 @@ tracer seeded with that trace id and, on exit, appends the collected
 spans to the sidecar file as JSONL in a single ``O_APPEND`` write.  The
 parent tracer absorbs the sidecar when its ``tracing()`` scope closes (or
 on :meth:`Tracer.collect`), reassembling one trace by trace id.
+
+**Sampling.** ``tracing(sample_rate=0.01)`` lets tracing stay armed under
+production load: the keep/drop decision is made *at scope entry* (cheap
+head sampling — one random draw), and a sampled-out scope records no spans
+at all — every ``span()`` site pays one global read plus one attribute
+read.  The scope still carries a trace id (:func:`current_trace_id`), so
+flight-recorder events and histogram exemplars emitted inside it remain
+linkable.  On exit, **tail promotion** rescues the traces that matter: a
+sampled-out scope whose total duration crosses the slow-query threshold
+(``REPRO_SLOW_QUERY_MS``) is kept anyway, as a single synthetic root span
+marked ``promoted`` (per-operator detail is the price of head sampling).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import tempfile
 import threading
 import time
@@ -45,6 +57,7 @@ __all__ = [
     "tracing",
     "trace_payload",
     "worker_trace",
+    "current_trace_id",
     "export_jsonl",
     "export_chrome",
     "is_active",
@@ -171,6 +184,11 @@ class Tracer:
         self.trace_id = trace_id or uuid.uuid4().hex
         self.default_parent = default_parent
         self.spans: list[Span] = []
+        #: Head-sampling verdict while the scope is open (span sites read
+        #: it); the final keep/drop verdict once the scope closes.
+        self.sampled = True
+        #: True when a sampled-out trace was kept by tail promotion.
+        self.promoted = False
         self._lock = threading.Lock()
         self._sidecar: str | None = None
 
@@ -231,26 +249,64 @@ def is_active() -> bool:
     return _ACTIVE
 
 
+def current_trace_id() -> str | None:
+    """The armed tracer's trace id, or ``None`` (one global read disarmed).
+
+    Sampled-out scopes expose their id too: flight-recorder events and
+    histogram exemplars stay linkable even when span recording is off.
+    """
+    if not _ACTIVE:
+        return None
+    tracer = _TRACER
+    return tracer.trace_id if tracer is not None else None
+
+
 def span(name: str, **attrs: Any):
     """Start a span named ``name``; a shared no-op when tracing is disarmed.
 
     The returned object is a context manager with an ``annotate(**attrs)``
-    method.  Cost when disarmed: one module-global read.
+    method.  Cost when disarmed: one module-global read; inside a
+    sampled-out ``tracing(sample_rate=...)`` scope: one more attribute read.
     """
     if not _ACTIVE:
         return _NULL
     tracer = _TRACER
-    if tracer is None:  # pragma: no cover - disarm race
+    if tracer is None or not tracer.sampled:
         return _NULL
     return _LiveSpan(tracer, name, attrs)
 
 
-class tracing:
-    """Context manager arming a (new or given) tracer process-wide."""
+def _slow_threshold_ms() -> float | None:
+    """The slow-query threshold used for tail promotion (lazy import:
+    :mod:`repro.obs.profile` pulls the compiler stack)."""
+    try:
+        from repro.obs import profile as _profile
+    except ImportError:  # pragma: no cover - partial install
+        return None
+    return _profile.slow_query_ms()
 
-    def __init__(self, tracer: Tracer | None = None):
+
+class tracing:
+    """Context manager arming a (new or given) tracer process-wide.
+
+    ``sample_rate`` (0.0–1.0) arms *sampled* tracing: the scope records
+    spans only when the head-sampling draw keeps it, but always exposes a
+    trace id, and a sampled-out scope slower than the slow-query threshold
+    is promoted to a kept trace on exit (one synthetic root span).  After
+    the scope closes, ``tracer.sampled`` is the final keep/drop verdict and
+    ``tracer.promoted`` says whether tail promotion made the keep.
+    """
+
+    def __init__(self, tracer: Tracer | None = None,
+                 sample_rate: float | None = None):
+        if sample_rate is not None and not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
         self.tracer = tracer if tracer is not None else Tracer()
+        self.sample_rate = sample_rate
+        if sample_rate is not None:
+            self.tracer.sampled = random.random() < sample_rate
         self._previous: Tracer | None = None
+        self._started = 0.0
 
     def __enter__(self) -> Tracer:
         global _ACTIVE, _TRACER
@@ -258,6 +314,7 @@ class tracing:
             self._previous = _TRACER
             _TRACER = self.tracer
             _ACTIVE = True
+        self._started = time.perf_counter()
         return self.tracer
 
     def __exit__(self, *exc: Any) -> None:
@@ -265,19 +322,42 @@ class tracing:
         with _LOCK:
             _TRACER = self._previous
             _ACTIVE = _TRACER is not None
+        elapsed = time.perf_counter() - self._started
         self.tracer.collect()
+        if self.tracer.sampled:
+            return
+        # Tail promotion: a sampled-out scope slower than the slow-query
+        # threshold is always kept — as one synthetic root span, since the
+        # per-operator spans were (deliberately) never recorded.
+        threshold_ms = _slow_threshold_ms()
+        if threshold_ms is not None and elapsed * 1000.0 >= threshold_ms:
+            root = Span(
+                self.tracer.trace_id, uuid.uuid4().hex[:16], None,
+                "trace.promoted-root",
+                {"promoted": True, "sample_rate": self.sample_rate},
+            )
+            root.start_wall -= elapsed
+            root.start_mono -= elapsed
+            root.duration = elapsed
+            self.tracer.promoted = True
+            self.tracer.sampled = True
+            self.tracer.add(root)
+        else:
+            with self.tracer._lock:
+                self.tracer.spans.clear()
 
 
 def trace_payload() -> tuple[str, str | None, str] | None:
     """The cross-process payload for the armed tracer, or ``None``.
 
     Fan-out sites attach this to each worker task; ``None`` (tracing
-    disarmed) costs one global read.
+    disarmed) costs one global read.  Sampled-out scopes also return
+    ``None`` — workers record nothing for a trace that will be dropped.
     """
     if not _ACTIVE:
         return None
     tracer = _TRACER
-    if tracer is None:  # pragma: no cover - disarm race
+    if tracer is None or not tracer.sampled:
         return None
     return tracer.payload()
 

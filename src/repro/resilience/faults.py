@@ -66,6 +66,7 @@ import time
 from typing import Dict, Iterator, Optional
 
 from repro.errors import FaultInjected, ResilienceError
+from repro.obs.events import emit
 
 ENV_VAR = "REPRO_FAULTS"
 EXIT_CODE = 87  # distinctive status for `exit`-action deaths
@@ -178,6 +179,9 @@ class FailPoint:
 
     def _fire(self) -> None:
         """Perform the action.  Called outside the lock."""
+        # Emit before acting: the JSONL mirror (REPRO_EVENT_LOG) must survive
+        # even the os._exit action, which skips every Python-level teardown.
+        emit("fault.injected", site=self.site, action=self.action, fired=self.fired)
         if self.action == "raise":
             raise FaultInjected(f"fault injected at {self.site!r}")
         if self.action == "crash":

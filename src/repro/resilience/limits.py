@@ -32,6 +32,7 @@ import time
 from typing import Optional
 
 from repro.errors import BudgetExceededError, QueryTimeoutError, ResilienceError
+from repro.obs.events import emit
 
 _TLS = threading.local()
 _ACTIVE = 0  # process-wide count of armed guards; hot-path gate
@@ -108,10 +109,12 @@ class LimitGuard:
     def tick(self, rows: int = 0) -> None:
         """Cooperative check: deadline always, row budget when ``rows`` given."""
         if self.deadline is not None and time.monotonic() > self.deadline:
+            emit("limits.timeout", timeout_s=self.limits.timeout_s)
             raise QueryTimeoutError(
                 f"evaluation exceeded its {self.limits.timeout_s:g}s time budget"
             )
         if self.max_rows is not None and rows > self.max_rows:
+            emit("limits.budget", budget="rows", rows=rows, max_rows=self.max_rows)
             raise BudgetExceededError(
                 f"evaluation accumulated {rows} rows; max_rows is {self.max_rows}"
             )
@@ -122,6 +125,8 @@ class LimitGuard:
         if self.max_bytes is not None:
             estimate = estimate_bytes(value)
             if estimate > self.max_bytes:
+                emit("limits.budget", budget="bytes", estimate=estimate,
+                     max_result_bytes=self.max_bytes)
                 raise BudgetExceededError(
                     f"result is ~{estimate} bytes; max_result_bytes is {self.max_bytes}"
                 )

@@ -40,6 +40,7 @@ from repro.exec.plan_cache import PlanCache
 from repro.ivm.delta import Delta
 from repro.ivm.view import MaterializedView
 from repro.kcollections.kset import KSet
+from repro.obs.events import emit
 from repro.obs.metrics import default_registry
 from repro.obs.trace import span
 from repro.resilience.faults import fail_point
@@ -495,6 +496,9 @@ class DocumentStore:
         self._wal.truncate()
         self._snapshots += 1
         self._appends_since_snapshot = 0
+        emit("store.wal_compact", documents=len(self._documents),
+             snapshot_lsn=self._snapshot_lsn, snapshots=self._snapshots,
+             directory=str(self.directory))
 
     def _recover(self) -> None:
         assert self._wal is not None

@@ -218,9 +218,11 @@ class PreparedQuery:
             return BatchEvaluator(self, var=document_var).evaluate_many(
                 documents, env=env, method=method, executor=executor, limits=limits
             )
-        # Slow-query log: one module-global read when REPRO_SLOW_QUERY_MS
-        # is unset (the fail_point discipline), a clock pair when armed.
-        slow_ms = _obs_profile._SLOW_MS
+        # Slow-query log: one module-global read plus a refresh-probe bump
+        # when REPRO_SLOW_QUERY_MS is unset (the fail_point discipline,
+        # with a periodic env re-check so a long-lived process can arm the
+        # log without restarting), a clock pair when armed.
+        slow_ms = _obs_profile.slow_query_threshold()
         started = _perf() if slow_ms is not None else 0.0
         if limits is None or not limits.is_bounded:
             result = self._evaluate_traced(env, method)

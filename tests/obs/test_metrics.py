@@ -178,6 +178,118 @@ class TestExport:
         assert values[(("method", "query"),)] == 3
 
 
+class TestExemplars:
+    def _traced_histogram(self) -> tuple[MetricsRegistry, str]:
+        from repro.obs.trace import tracing
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        with tracing() as tracer:
+            histogram.observe(0.05)
+            histogram.observe(5.0)
+        return registry, tracer.trace_id
+
+    def test_histogram_records_exemplar_per_bucket(self):
+        registry, trace_id = self._traced_histogram()
+        state = registry.histogram("lat_seconds").value()
+        exemplars = state["exemplars"]
+        assert exemplars[0]["trace_id"] == trace_id  # 0.05 -> le=0.1 bucket
+        assert exemplars[2]["trace_id"] == trace_id  # 5.0 -> +Inf bucket
+        assert exemplars[2]["value"] == 5.0
+
+    def test_no_exemplar_without_an_armed_trace(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", buckets=(0.1,)).observe(0.01)
+        assert "exemplars" not in registry.histogram("lat_seconds").value()
+
+    def test_exemplars_can_be_disabled_per_histogram(self):
+        from repro.obs.trace import tracing
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", buckets=(0.1,), exemplars=False)
+        with tracing():
+            histogram.observe(0.01)
+        assert "exemplars" not in histogram.value()
+
+    def test_render_emits_openmetrics_exemplar_syntax(self):
+        registry, trace_id = self._traced_histogram()
+        text = render_prometheus(registry)
+        assert f'lat_seconds_bucket{{le="0.1"}} 1 # {{trace_id="{trace_id}"}} 0.05' in text
+        assert f'# {{trace_id="{trace_id}"}} 5' in text
+        # The un-exemplared middle bucket renders plain.
+        assert 'lat_seconds_bucket{le="1"} 1\n' in text
+
+    def test_parse_round_trips_exemplar_bearing_output(self):
+        registry, trace_id = self._traced_histogram()
+        parsed = parse_prometheus(render_prometheus(registry))
+        family = parsed["lat_seconds"]
+        assert family["samples"]['lat_seconds_bucket{le="0.1"}'] == 1
+        assert family["samples"]['lat_seconds_bucket{le="+Inf"}'] == 2
+        exemplar = family["exemplars"]['lat_seconds_bucket{le="0.1"}']
+        assert trace_id in exemplar["labels"]
+        assert exemplar["value"] == pytest.approx(0.05)
+
+    def test_parse_round_trips_escaped_labels_with_exemplars(self):
+        from repro.obs.trace import tracing
+
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(1, path='a"b\\c\nd')
+        with tracing():
+            registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        text = render_prometheus(registry)
+        parsed = parse_prometheus(text)
+        assert parsed["c_total"]["samples"]['c_total{path="a\\"b\\\\c\\nd"}'] == 1
+        assert any("h_seconds_bucket" in key for key in parsed["h_seconds"]["exemplars"])
+
+    def test_parse_rejects_malformed_exemplars(self):
+        with pytest.raises(ValueError):
+            parse_prometheus('h_bucket{le="1"} 1 # notbraces 0.5\n')
+        with pytest.raises(ValueError):
+            parse_prometheus('h_bucket{le="1"} 1 # {trace_id="x"}\n')
+
+
+class TestSlowQueryConcurrency:
+    def test_concurrent_recorders_and_readers(self):
+        from repro.obs.profile import clear_slow_queries, record_slow_query, slow_queries
+
+        clear_slow_queries()
+        try:
+            errors: list[BaseException] = []
+            stop = threading.Event()
+
+            def write(worker: int):
+                try:
+                    for index in range(300):
+                        record_slow_query({"worker": worker, "index": index})
+                except BaseException as error:  # pragma: no cover - failure path
+                    errors.append(error)
+
+            def read():
+                try:
+                    while not stop.is_set():
+                        for entry in slow_queries():
+                            assert "timestamp" in entry
+                except BaseException as error:  # pragma: no cover - failure path
+                    errors.append(error)
+
+            writers = [threading.Thread(target=write, args=(n,)) for n in range(4)]
+            readers = [threading.Thread(target=read) for _ in range(2)]
+            for thread in readers + writers:
+                thread.start()
+            for thread in writers:
+                thread.join()
+            stop.set()
+            for thread in readers:
+                thread.join()
+            assert not errors
+            # The buffer is bounded (maxlen=256) and holds the newest entries.
+            entries = slow_queries()
+            assert len(entries) == 256
+            assert entries[-1]["index"] == 299
+        finally:
+            clear_slow_queries()
+
+
 class TestDefaultRegistryIntegration:
     def test_subsystem_families_are_published(self):
         # Importing the subsystems registers their families; a fresh export

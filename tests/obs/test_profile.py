@@ -156,3 +156,50 @@ class TestSlowQueryLog:
     def test_bad_threshold_is_ignored(self):
         refresh_slow_query_config({"REPRO_SLOW_QUERY_MS": "not-a-number"})
         assert slow_query_ms() is None
+
+
+class TestThresholdStaleness:
+    """Regression: the env var must be honored even when set *after* import.
+
+    The serving path reads the threshold through ``slow_query_threshold()``,
+    which re-checks the environment every ``_SLOW_REFRESH_EVERY`` calls —
+    a long-lived process no longer needs a restart (or an explicit
+    ``refresh_slow_query_config()`` call) to arm the slow-query log.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _restore_config(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SLOW_QUERY_MS", raising=False)
+        yield
+        refresh_slow_query_config({})
+        clear_slow_queries()
+
+    def test_env_change_is_picked_up_within_the_refresh_window(self, monkeypatch):
+        refresh_slow_query_config({})
+        assert slow_query_ms() is None
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "250")
+        seen = {
+            profile_module.slow_query_threshold()
+            for _ in range(profile_module._SLOW_REFRESH_EVERY + 1)
+        }
+        assert 250.0 in seen  # the periodic re-check armed the threshold
+        assert profile_module.slow_query_threshold() == 250.0
+
+    def test_evaluate_path_arms_without_an_explicit_refresh(self, forest, monkeypatch):
+        refresh_slow_query_config({})
+        clear_slow_queries()
+        prepared = prepare_query("($S)/*", NATURAL, {"S": forest})
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "0")
+        # Push the serving path across the refresh window; no manual
+        # refresh_slow_query_config() anywhere.
+        for _ in range(profile_module._SLOW_REFRESH_EVERY + 2):
+            prepared.evaluate({"S": forest})
+        assert slow_queries(), "the env var set after import must take effect"
+
+    def test_threshold_can_also_disarm_in_flight(self, monkeypatch):
+        refresh_slow_query_config({"REPRO_SLOW_QUERY_MS": "100"})
+        assert profile_module.slow_query_threshold() == 100.0
+        monkeypatch.delenv("REPRO_SLOW_QUERY_MS", raising=False)
+        for _ in range(profile_module._SLOW_REFRESH_EVERY + 1):
+            value = profile_module.slow_query_threshold()
+        assert value is None

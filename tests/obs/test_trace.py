@@ -72,6 +72,83 @@ class TestArmed:
         assert [s.name for s in outer_tracer.spans] == ["outer-only"]
 
 
+class TestSampling:
+    def test_rate_one_always_keeps_the_trace(self):
+        with tracing(sample_rate=1.0) as tracer:
+            with span("kept"):
+                pass
+        assert tracer.sampled and not tracer.promoted
+        assert [s.name for s in tracer.spans] == ["kept"]
+
+    def test_sampled_out_scope_records_no_spans_but_keeps_its_id(self):
+        with tracing(sample_rate=0.0) as tracer:
+            assert trace_module.current_trace_id() == tracer.trace_id
+            assert span("dropped") is trace_module._NULL
+        assert tracer.spans == []
+        assert not tracer.sampled and not tracer.promoted
+
+    def test_sampled_out_scope_ships_no_worker_payload(self):
+        with tracing(sample_rate=0.0):
+            assert trace_module.trace_payload() is None
+        with tracing(sample_rate=1.0):
+            assert trace_module.trace_payload() is not None
+
+    def test_invalid_sample_rate_is_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="sample_rate"):
+            tracing(sample_rate=1.5)
+
+    def test_current_trace_id_is_none_when_disarmed(self):
+        assert trace_module.current_trace_id() is None
+
+    def test_tail_promotion_rescues_a_slow_sampled_out_trace(self, monkeypatch):
+        import time
+
+        from repro.obs import profile
+
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "5")
+        profile.refresh_slow_query_config()
+        try:
+            with tracing(sample_rate=0.0) as tracer:
+                time.sleep(0.02)  # cross the 5ms threshold
+        finally:
+            monkeypatch.delenv("REPRO_SLOW_QUERY_MS")
+            profile.refresh_slow_query_config()
+        assert tracer.sampled and tracer.promoted
+        assert [s.name for s in tracer.spans] == ["trace.promoted-root"]
+        root = tracer.spans[0]
+        assert root.attrs["promoted"] is True
+        assert root.attrs["sample_rate"] == 0.0
+        assert root.duration >= 0.005
+        assert root.trace_id == tracer.trace_id
+
+    def test_fast_sampled_out_trace_stays_dropped(self, monkeypatch):
+        from repro.obs import profile
+
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "60000")
+        profile.refresh_slow_query_config()
+        try:
+            with tracing(sample_rate=0.0) as tracer:
+                pass
+        finally:
+            monkeypatch.delenv("REPRO_SLOW_QUERY_MS")
+            profile.refresh_slow_query_config()
+        assert not tracer.sampled and not tracer.promoted
+        assert tracer.spans == []
+
+    def test_no_promotion_when_threshold_disarmed(self):
+        import time
+
+        from repro.obs import profile
+
+        assert profile.slow_query_ms() is None  # default: disarmed
+        with tracing(sample_rate=0.0) as tracer:
+            time.sleep(0.005)
+        assert not tracer.sampled
+        assert tracer.spans == []
+
+
 class TestExport:
     def _spans(self):
         with tracing() as tracer:

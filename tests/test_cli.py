@@ -159,3 +159,39 @@ class TestCliExplain:
             == 0
         )
         assert capsys.readouterr().out.strip()
+
+
+class TestCliHelpText:
+    """Every promised command and flag shows up in the help output."""
+
+    def _help_of(self, capsys, argv: list[str]) -> str:
+        with pytest.raises(SystemExit) as stop:
+            main(argv + ["--help"])
+        assert stop.value.code == 0
+        return capsys.readouterr().out
+
+    def test_top_level_help_lists_every_command(self, capsys):
+        output = self._help_of(capsys, [])
+        for command in (
+            "query", "explain", "batch", "maintain", "cache-stats",
+            "metrics", "events", "bench-check", "faults", "specialize",
+            "shred", "store",
+        ):
+            assert command in output, f"{command!r} missing from top-level help"
+
+    def test_metrics_help_documents_serve(self, capsys):
+        output = self._help_of(capsys, ["metrics"])
+        assert "--serve" in output
+        assert "/metrics" in output and "/readyz" in output
+
+    def test_events_help_documents_the_flight_recorder(self, capsys):
+        output = self._help_of(capsys, ["events"])
+        assert "--follow" in output
+        assert "--kind" in output
+        assert "REPRO_EVENT_LOG" in output
+
+    def test_bench_check_help_documents_the_watchdog(self, capsys):
+        output = self._help_of(capsys, ["bench-check"])
+        assert "--threshold" in output
+        assert "--history" in output
+        assert "BENCH_history" in output
