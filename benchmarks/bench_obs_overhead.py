@@ -124,6 +124,48 @@ def test_disarmed_overhead_within_bound():
     )
 
 
+def test_instrumented_path_qlog_armed(benchmark):
+    from repro.obs import qlog
+
+    prepared, env = _case()
+    expected = prepared.program.evaluate(env)
+
+    def run():
+        with qlog.recording(True):
+            return prepared.evaluate(env, method="nrc-codegen")
+
+    try:
+        assert benchmark(run) == expected
+    finally:
+        qlog.clear_records()
+        qlog.clear_signature_stats()
+
+
+def test_qlog_disarmed_overhead_within_bound():
+    """The disarmed query-log hook must cost <= 5% on the hot path.
+
+    ``PreparedQuery.evaluate`` now carries the qlog record site alongside
+    the slow-query and tracing checks; disarmed (the default — no
+    ``REPRO_QLOG``, no ``REPRO_QUERY_LOG``) it is one module-global read,
+    and this bar holds the whole instrumented path, qlog included, to the
+    same 5% budget as the other hooks.
+    """
+    from repro.obs import qlog
+
+    assert not qlog.is_recording(), "query log should be disarmed by default"
+    prepared, env = _case()
+    assert prepared.evaluate(env) == prepared.program.evaluate(env)
+    raw, instrumented = _best_interleaved_pair(
+        lambda: prepared.program.evaluate(env),
+        lambda: prepared.evaluate(env, method="nrc-codegen"),
+    )
+    ratio = instrumented / raw if raw else float("inf")
+    assert ratio <= MAX_OVERHEAD_RATIO, (
+        f"disarmed qlog instrumentation costs {(ratio - 1) * 100:.1f}% "
+        f"(bar: {(MAX_OVERHEAD_RATIO - 1) * 100:.0f}%)"
+    )
+
+
 def test_metrics_export_smoke():
     """The default-registry export is well-formed under both formats."""
     prepared, env = _case()

@@ -585,6 +585,7 @@ def measure_obs(quick: bool) -> dict:
     output parses and ``registry_json`` round-trips.
     """
     from repro.obs import events as obs_events
+    from repro.obs import qlog as obs_qlog
     from repro.obs.metrics import (
         default_registry,
         parse_prometheus,
@@ -618,6 +619,19 @@ def measure_obs(quick: bool) -> dict:
     traced_s = _time_call(traced, repetitions, batches=3)
     ratio = disarmed_s / raw_s if raw_s else float("inf")
 
+    # The query-log record site rides the same evaluate path; hold it to the
+    # same bar with its own interleaved pair so a qlog-only regression shows
+    # up under its own name rather than as noise in the combined ratio.
+    if obs_qlog.is_recording():
+        raise SystemExit("obs_overhead: query log should be disarmed by default")
+    qlog_raw_s, qlog_disarmed_s = _time_ratio_pair(
+        lambda: prepared.program.evaluate(env),
+        lambda: prepared.evaluate(env, method="nrc-codegen"),
+        repetitions,
+        batches=7,
+    )
+    qlog_ratio = qlog_disarmed_s / qlog_raw_s if qlog_raw_s else float("inf")
+
     text = render_prometheus(default_registry())
     families = parse_prometheus(text)
     payload = registry_json(default_registry())
@@ -632,6 +646,7 @@ def measure_obs(quick: bool) -> dict:
         "traced_s": traced_s,
         "overhead_ratio": ratio,
         "traced_ratio": traced_s / raw_s if raw_s else float("inf"),
+        "qlog_disarmed_ratio": qlog_ratio,
         "max_overhead_ratio": max_overhead_ratio,
         "metrics_export_ok": export_ok,
         "metrics_families": len(families),
@@ -640,11 +655,17 @@ def measure_obs(quick: bool) -> dict:
         f"{'obs_overhead':32s} raw {raw_s * 1e6:9.1f}us  "
         f"disarmed {disarmed_s * 1e6:9.1f}us  "
         f"overhead {(ratio - 1) * 100:+5.1f}%  "
-        f"traced {(report['traced_ratio'] - 1) * 100:+5.1f}%"
+        f"traced {(report['traced_ratio'] - 1) * 100:+5.1f}%  "
+        f"qlog {(qlog_ratio - 1) * 100:+5.1f}%"
     )
     if ratio > max_overhead_ratio:
         raise SystemExit(
             f"obs_overhead: disarmed instrumentation costs {(ratio - 1) * 100:.1f}% on "
+            f"suite_child-chain-3 (bar: {(max_overhead_ratio - 1) * 100:.0f}%)"
+        )
+    if qlog_ratio > max_overhead_ratio:
+        raise SystemExit(
+            f"obs_overhead: disarmed qlog hook costs {(qlog_ratio - 1) * 100:.1f}% on "
             f"suite_child-chain-3 (bar: {(max_overhead_ratio - 1) * 100:.0f}%)"
         )
     if not export_ok:
@@ -699,6 +720,7 @@ def _flatten_metrics(report: dict) -> dict[str, float]:
     obs_section = report.get("obs") or {}
     put("obs/disarmed_overhead_ratio", obs_section.get("overhead_ratio"))
     put("obs/traced_overhead_ratio", obs_section.get("traced_ratio"))
+    put("obs/qlog_disarmed_ratio", obs_section.get("qlog_disarmed_ratio"))
     return metrics
 
 

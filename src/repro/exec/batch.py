@@ -54,10 +54,13 @@ from contextlib import contextmanager
 from functools import partial
 from typing import Any, Iterable, Iterator, Mapping
 
+from time import perf_counter as _perf
+
 from repro.errors import ExecError, SemiringError
 from repro.kcollections.kset import KSet
 from repro.nrc.codegen import CodegenProgram, _ForeignCollection, note_calls
 from repro.nrc.compile_eval import _UNBOUND
+from repro.obs import qlog as _qlog
 from repro.obs.events import emit
 from repro.obs.metrics import default_registry
 from repro.obs.trace import span, trace_payload, worker_trace
@@ -363,6 +366,33 @@ class BatchEvaluator:
         ``concurrent.futures`` executor; without one the batch runs inline.
         ``limits=`` guards the whole batch with one shared deadline/budget.
         """
+        # Query log: one record per batch call (not per document — the
+        # template fast path never reenters PreparedQuery.evaluate, and the
+        # interp path's per-document records are suppressed below); one
+        # module-global read when disarmed.
+        if not _qlog._RECORDING:
+            return self._evaluate_many(documents, env, method, executor, limits)
+        started = _perf()
+        with _qlog.suppress():
+            results = self._evaluate_many(documents, env, method, executor, limits)
+        _qlog.record(
+            self.prepared,
+            "exec.batch",
+            method,
+            _perf() - started,
+            result=results,
+            rows=len(results),
+        )
+        return results
+
+    def _evaluate_many(
+        self,
+        documents: Iterable[Any],
+        env: Mapping[str, Any] | None,
+        method: str,
+        executor: Any | None,
+        limits: EvalLimits | None,
+    ) -> list:
         validate_method(method)
         documents = list(documents)
         if not documents:

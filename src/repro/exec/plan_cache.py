@@ -177,6 +177,9 @@ class PlanCache:
             if plan is not None:
                 self._plans.move_to_end(key)
                 self._hits += 1
+                # Query-log flag: this plan has been served without
+                # compiling at least once (a racy bool write is benign).
+                plan._plan_cache_hit = True
                 return plan
             pending = self._inflight.get(key)
             if pending is not None:
@@ -191,6 +194,7 @@ class PlanCache:
             if pending.error is not None:
                 raise pending.error
             assert pending.plan is not None
+            pending.plan._plan_cache_hit = True
             return pending.plan
         # Owner path.  The try/finally guarantees that — success, compile
         # error, or even an asynchronous exception — the in-flight marker is

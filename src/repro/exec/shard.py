@@ -30,10 +30,12 @@ distribute, but every accepted query provably does.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf
 from typing import Any, Mapping
 
 from repro.errors import ExecError
 from repro.kcollections.kset import KSet
+from repro.obs import qlog as _qlog
 from repro.obs.trace import span
 from repro.nrc.ast import (
     BigUnion,
@@ -206,6 +208,27 @@ class ShardedEvaluator:
         limits: EvalLimits | None = None,
     ) -> KSet:
         """Partition ``document``, evaluate every shard, merge the K-sets."""
+        # Query log: one record per sharded call — the per-shard batch and
+        # any single-shot fallback inside are suppressed.  One module-global
+        # read when disarmed.
+        if not _qlog._RECORDING:
+            return self._evaluate(document, env, method, executor, limits)
+        started = _perf()
+        with _qlog.suppress():
+            result = self._evaluate(document, env, method, executor, limits)
+        _qlog.record(
+            self.prepared, "exec.shard", method, _perf() - started, result=result
+        )
+        return result
+
+    def _evaluate(
+        self,
+        document: KSet,
+        env: Mapping[str, Any] | None,
+        method: str,
+        executor: Any | None,
+        limits: EvalLimits | None,
+    ) -> KSet:
         if not isinstance(document, KSet):
             raise ExecError(f"sharded execution needs a K-set forest, got {document!r}")
         with span("exec.shard.partition", shards=self.num_shards, scheme=self.scheme):

@@ -1,6 +1,6 @@
-"""Unified observability: metrics, tracing, events, profiling, HTTP export.
+"""Unified observability: metrics, tracing, events, query log, profiling, HTTP export.
 
-Five cooperating modules, all built on the same cost discipline as the
+Six cooperating modules, all built on the same cost discipline as the
 fault-injection layer (:mod:`repro.resilience.faults`): when nothing is
 armed, an instrumentation site costs one module-global read.
 
@@ -16,13 +16,19 @@ armed, an instrumentation site costs one module-global read.
   structured events emitted at operational decision points (worker
   retries, IVM recompute fallbacks, codegen declines, limit trips, fault
   injections, ...), dumpable via ``repro events`` or ``/debug/events``.
+* :mod:`repro.obs.qlog` — the structured query log: one typed record per
+  user-facing evaluation (engine, batch/shard exec, store queries, IVM
+  applies), keyed by a stable **plan signature**, kept in a bounded ring
+  and optionally captured to a size-rotated JSONL file
+  (``REPRO_QUERY_LOG``) for ``repro replay`` / ``repro report``.
+  Disarmed by default — an instrumentation site costs one global read.
 * :mod:`repro.obs.profile` — per-operator wall time and row counts under
   all three NRC evaluators (``repro explain --analyze``) plus the
   slow-query log (``REPRO_SLOW_QUERY_MS``).
 * :mod:`repro.obs.http` — the telemetry HTTP surface: a mountable WSGI
   app plus a threaded stdlib server (``repro metrics --serve``) exposing
-  ``/metrics``, ``/varz``, ``/healthz``, ``/readyz``, ``/debug/slow`` and
-  ``/debug/events``.
+  ``/metrics``, ``/varz``, ``/healthz``, ``/readyz``, ``/debug/slow``,
+  ``/debug/events`` and ``/debug/queries``.
 
 Import structure: only the dependency-light modules (metrics, trace,
 events) load eagerly, so hot modules anywhere in the tree — including
@@ -76,6 +82,8 @@ _LAZY = {
     "store_ready_check": "repro.obs.http",
     "plan_cache_ready_check": "repro.obs.http",
     "http": "repro.obs.http",
+    "refresh_qlog_config": "repro.obs.qlog",
+    "qlog": "repro.obs.qlog",
 }
 
 __all__ = [
@@ -99,7 +107,11 @@ __all__ = [
     "recording",
     "is_recording",
     "refresh_event_config",
-    *sorted(name for name in _LAZY if "." not in name and name not in ("profile", "http")),
+    *sorted(
+        name
+        for name in _LAZY
+        if "." not in name and name not in ("profile", "http", "qlog")
+    ),
 ]
 
 
@@ -110,7 +122,7 @@ def __getattr__(name: str):
     import importlib
 
     module = importlib.import_module(module_name)
-    value = module if name in ("profile", "http") else getattr(module, name)
+    value = module if name in ("profile", "http", "qlog") else getattr(module, name)
     globals()[name] = value  # cache: next access skips __getattr__
     return value
 

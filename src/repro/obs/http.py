@@ -14,9 +14,13 @@ standalone.  Endpoints:
 ``/readyz``         readiness: 200 only when every registered check passes
                     (store recovered, plan cache warm, ...), 503 otherwise,
                     with a per-check JSON report either way
-``/debug/slow``     the slow-query buffer (:func:`repro.obs.profile.slow_queries`)
+``/debug/slow``     the slow-query buffer (:func:`repro.obs.profile.slow_queries`);
+                    ``?limit=``/``?format=jsonl`` supported
 ``/debug/events``   the flight-recorder ring (:mod:`repro.obs.events`);
                     ``?kind=``/``?limit=``/``?format=jsonl`` supported
+``/debug/queries``  per-plan-signature latency accounting
+                    (:func:`repro.obs.qlog.signature_stats`);
+                    ``?sort=count|total|p95``/``?limit=``/``?format=jsonl``
 ==================  ========================================================
 
 Readiness checks are plain callables returning ``bool`` or
@@ -38,6 +42,7 @@ from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from repro.obs import events as _events
 from repro.obs import profile as _profile
+from repro.obs import qlog as _qlog
 from repro.obs.metrics import (
     MetricsRegistry,
     default_registry,
@@ -67,6 +72,7 @@ ENDPOINTS = (
     "/readyz",
     "/debug/slow",
     "/debug/events",
+    "/debug/queries",
 )
 
 
@@ -175,6 +181,8 @@ class TelemetryApp:
             limit = _int_param(query, "limit")
             if limit is not None:
                 entries = entries[-limit:] if limit > 0 else []
+            if (query.get("format") or ["json"])[0] == "jsonl":
+                return "200 OK", _JSONL, _qlog.export_jsonl(entries)
             return "200 OK", _JSON, _json_body(
                 {"threshold_ms": _profile.slow_query_ms(), "slow_queries": entries}
             )
@@ -185,6 +193,22 @@ class TelemetryApp:
                 return "200 OK", _JSONL, _events.export_jsonl(entries)
             return "200 OK", _JSON, _json_body(
                 {"recording": _events.is_recording(), "events": entries}
+            )
+        if path == "/debug/queries":
+            sort = (query.get("sort") or ["total"])[0]
+            limit = _int_param(query, "limit")
+            stats = _qlog.signature_stats(
+                sort=sort, limit=limit if limit is not None else 20
+            )
+            if (query.get("format") or ["json"])[0] == "jsonl":
+                return "200 OK", _JSONL, _qlog.export_jsonl(stats)
+            return "200 OK", _JSON, _json_body(
+                {
+                    "recording": _qlog.is_recording(),
+                    "capture": _qlog.capture_path(),
+                    "sort": sort,
+                    "queries": stats,
+                }
             )
         if path == "/":
             return "200 OK", _JSON, _json_body({"endpoints": list(ENDPOINTS)})
@@ -255,11 +279,13 @@ def start_telemetry_server(
 
     ``port=0`` binds an ephemeral port (read it back from ``server.port``).
     Starting the server re-reads ``REPRO_SLOW_QUERY_MS`` /
-    ``REPRO_SLOW_QUERY_LOG`` / ``REPRO_EVENTS`` / ``REPRO_EVENT_LOG`` so a
-    long-lived process picks up diagnostics armed after import.
+    ``REPRO_SLOW_QUERY_LOG`` / ``REPRO_EVENTS`` / ``REPRO_EVENT_LOG`` /
+    ``REPRO_QLOG`` / ``REPRO_QUERY_LOG`` so a long-lived process picks up
+    diagnostics armed after import.
     """
     _profile.refresh_slow_query_config()
     _events.refresh_event_config()
+    _qlog.refresh_qlog_config()
     if app is None:
         app = TelemetryApp(registry)
     return TelemetryServer(app, host=host, port=port).start()

@@ -40,6 +40,8 @@ from typing import Any, Callable, Iterable, Mapping
 from repro.obs import trace as _trace
 
 __all__ = [
+    "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -53,6 +55,15 @@ __all__ = [
 
 #: Default histogram buckets (seconds-flavored, Prometheus-style).
 DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+#: Sub-millisecond preset for query-latency histograms.  DEFAULT_BUCKETS
+#: starts at 1ms while the evaluate hot path runs ~100us, which would land
+#: every observation in the first bucket and make p50/p95 unreadable.
+LATENCY_BUCKETS = (
+    0.00005, 0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
 
 _KINDS = ("counter", "gauge", "histogram")
 

@@ -1,0 +1,625 @@
+"""Structured query log: per-evaluation records keyed by a stable plan signature.
+
+The slow-query log (:mod:`repro.obs.profile`) samples the tail and the
+flight recorder (:mod:`repro.obs.events`) captures cold operational events;
+what neither answers is *which queries dominate a workload*.  This module
+is the attribution layer: every evaluation site — engine
+:meth:`~repro.uxquery.engine.PreparedQuery.evaluate`, the exec layer's
+batch/shard entry points, the store's ``query``/``query_many``, IVM
+maintenance — appends one typed record to a bounded thread-safe ring, and
+(when capture is armed) mirrors it to a size-rotated JSONL file that
+``repro replay`` can re-run and ``repro report`` can aggregate offline.
+
+Records are keyed by the **plan signature**
+(:func:`repro.uxquery.engine.plan_signature`): a stable hash of the
+simplified NRC form, the semiring name and the env types, computed once at
+prepare time.  Equal plans hash equally across processes, so per-signature
+aggregations (latency histograms, the ``/debug/queries`` endpoint, the
+capture-vs-replay report) line up between a capture run, its replay, and a
+scraped production process.
+
+Cost discipline (the ``fail_point`` contract): the log is **disarmed by
+default** — unlike the flight recorder it hooks the per-evaluate hot path —
+and every site pays one module-global read when disarmed.  Arming:
+
+* ``REPRO_QUERY_LOG=FILE`` — ring + per-signature metrics + JSONL capture
+  (records gain a ``digest`` so replay can verify results);
+* ``REPRO_QLOG=on`` — ring + per-signature metrics, no file;
+* :func:`set_recording` / the :class:`recording` context manager.
+
+``REPRO_QUERY_LOG_MAX_BYTES`` (default 64 MiB) bounds the capture file —
+it rotates to ``FILE.1``, ``FILE.2``, ... keeping
+``REPRO_QUERY_LOG_KEEP`` generations (default 1).  Per-signature metric
+cardinality is bounded: the first :data:`SIGNATURE_LIMIT` distinct
+signatures get their own histogram series, the rest share ``other``.
+
+Import-weight note: like :mod:`repro.obs.events` this module depends only
+on :mod:`repro.obs.metrics` and :mod:`repro.obs.trace`, so the engine can
+import it at module level without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Iterable, Mapping
+
+from repro.obs import trace as _trace
+from repro.obs.metrics import LATENCY_BUCKETS, default_registry
+
+__all__ = [
+    "RECORD_VERSION",
+    "OTHER_SIGNATURE",
+    "SIGNATURE_LIMIT",
+    "record",
+    "recent_records",
+    "clear_records",
+    "export_jsonl",
+    "result_digest",
+    "is_recording",
+    "set_recording",
+    "recording",
+    "suppress",
+    "suppressed",
+    "ring_capacity",
+    "set_ring_capacity",
+    "signature_stats",
+    "clear_signature_stats",
+    "aggregate_records",
+    "render_report",
+    "render_compare_report",
+    "refresh_qlog_config",
+    "ENV_QLOG",
+    "ENV_QLOG_FILE",
+    "ENV_QLOG_MAX_BYTES",
+    "ENV_QLOG_KEEP",
+]
+
+ENV_QLOG = "REPRO_QLOG"
+ENV_QLOG_FILE = "REPRO_QUERY_LOG"
+ENV_QLOG_MAX_BYTES = "REPRO_QUERY_LOG_MAX_BYTES"
+ENV_QLOG_KEEP = "REPRO_QUERY_LOG_KEEP"
+
+RECORD_VERSION = 1
+DEFAULT_RING_CAPACITY = 1024
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+DEFAULT_KEEP = 1
+
+#: Distinct signatures admitted to their own metric series; the rest share
+#: the ``other`` bucket so per-request query texts cannot blow up the
+#: registry's label cardinality.
+SIGNATURE_LIMIT = 32
+OTHER_SIGNATURE = "other"
+
+#: One global read decides the disarmed path; writers hold _RING_LOCK.
+_RECORDING = False
+_RING: deque = deque(maxlen=DEFAULT_RING_CAPACITY)
+_RING_LOCK = threading.Lock()
+_SEQ = 0
+_LOG_PATH: str | None = None
+_LOG_MAX_BYTES = DEFAULT_MAX_BYTES
+_LOG_KEEP = DEFAULT_KEEP
+_ROTATE_LOCK = threading.Lock()
+
+_TRUTHY = ("on", "1", "true", "yes")
+_FALSY = ("off", "0", "false", "no")
+
+_REGISTRY = default_registry()
+_RECORD_COUNTER = _REGISTRY.counter(
+    "repro_qlog_records_total", "Query-log records by operation"
+)
+#: Per-signature latency distribution on the sub-millisecond preset:
+#: DEFAULT_BUCKETS starts at 1ms while the hot path runs ~100us, which
+#: would land every evaluation in the first bucket.
+_QUERY_LATENCY = _REGISTRY.histogram(
+    "repro_query_latency_seconds",
+    "Evaluation latency by plan signature (bounded cardinality; overflow "
+    "signatures share the 'other' series)",
+    buckets=LATENCY_BUCKETS,
+)
+
+#: Cumulative per-signature accounting behind /debug/queries: bucket counts
+#: on LATENCY_BUCKETS (p95 reads the bucket upper bounds), total/max, and a
+#: sample of the query text.  Bounded by SIGNATURE_LIMIT + the other bucket.
+_SIG_STATS: dict[str, dict[str, Any]] = {}
+_SIG_LOCK = threading.Lock()
+
+
+class _Nesting(threading.local):
+    depth = 0
+
+
+_NESTING = _Nesting()
+
+
+def suppressed() -> bool:
+    """True inside an outer record site (store/exec/ivm): records emitted
+    deeper in the same thread are dropped so one user call yields exactly
+    one record, owned by the outermost armed site."""
+    return _NESTING.depth > 0
+
+
+class suppress:
+    """Scope marking an outer record site; records emitted inside (engine
+    evaluations, a batch under a shard or store call) are dropped."""
+
+    def __enter__(self) -> "suppress":
+        _NESTING.depth += 1
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        _NESTING.depth -= 1
+
+
+# ---------------------------------------------------------------------------
+# Recording
+# ---------------------------------------------------------------------------
+def _count_rows(value: Any) -> int:
+    """Result cardinality: K-set member count, list length, else 1."""
+    items = getattr(value, "_items", None)
+    if items is not None:
+        return len(items)
+    if isinstance(value, list):
+        return len(value)
+    return 1
+
+
+def result_digest(value: Any) -> str:
+    """A deterministic, order-independent digest of an evaluation result.
+
+    K-sets hash as the sorted multiset of ``tree -> annotation`` lines with
+    annotations rendered by the semiring's canonical ``repr_element``
+    (monomials, witnesses and lattice sets come out sorted — so the digest
+    is stable across processes and hash seeds, where a raw ``str()`` of a
+    frozenset-valued annotation would not be); lists (batch results) hash
+    the sequence of per-element digests; everything else hashes its ``str``.
+    """
+    hasher = hashlib.sha256()
+    items = getattr(value, "_items", None)
+    if items is not None:
+        repr_element = value.semiring.repr_element
+        for line in sorted(
+            f"{tree}\x1f{repr_element(annotation)}"
+            for tree, annotation in value.items()
+        ):
+            hasher.update(line.encode("utf-8"))
+            hasher.update(b"\n")
+    elif isinstance(value, list):
+        for element in value:
+            hasher.update(result_digest(element).encode("ascii"))
+            hasher.update(b"\n")
+    else:
+        hasher.update(str(value).encode("utf-8"))
+    return hasher.hexdigest()[:32]
+
+
+def _signature_label(signature: str) -> str:
+    """``signature`` if admitted under the cardinality bound, else ``other``."""
+    if signature in _SIG_STATS:
+        return signature
+    if len(_SIG_STATS) < SIGNATURE_LIMIT:
+        return signature
+    return OTHER_SIGNATURE
+
+
+def _account(signature: str, query: str, op: str, seconds: float, rows: int) -> str:
+    with _SIG_LOCK:
+        label = _signature_label(signature)
+        state = _SIG_STATS.get(label)
+        if state is None:
+            state = _SIG_STATS[label] = {
+                "signature": label,
+                "query": query if label != OTHER_SIGNATURE else None,
+                "count": 0,
+                "total_s": 0.0,
+                "max_s": 0.0,
+                "rows": 0,
+                "buckets": [0] * (len(LATENCY_BUCKETS) + 1),
+                "ops": {},
+            }
+        state["count"] += 1
+        state["total_s"] += seconds
+        state["max_s"] = max(state["max_s"], seconds)
+        state["rows"] += rows
+        state["ops"][op] = state["ops"].get(op, 0) + 1
+        index = len(LATENCY_BUCKETS)
+        for position, bound in enumerate(LATENCY_BUCKETS):
+            if seconds <= bound:
+                index = position
+                break
+        state["buckets"][index] += 1
+    return label
+
+
+def record(
+    prepared: Any,
+    op: str,
+    method: str,
+    seconds: float,
+    *,
+    result: Any = None,
+    rows: int | None = None,
+    cache_hit: bool | None = None,
+    pushdown: str | None = None,
+    store: str | None = None,
+    doc: str | None = None,
+    docs: list | None = None,
+    var: str | None = None,
+    merge: bool | None = None,
+) -> dict[str, Any] | None:
+    """Append one query-log record; returns it (``None`` when disarmed).
+
+    ``prepared`` supplies the signature, query text, semiring and env types;
+    ``op`` names the record site (``evaluate``, ``store.query``,
+    ``store.query_many``, ``exec.batch``, ``exec.shard``, ``ivm.apply``).
+    Records emitted inside a :class:`suppress` scope are dropped so the
+    outermost armed site owns the record for its whole call.
+    """
+    if not _RECORDING:
+        return None
+    if _NESTING.depth > 0:
+        return None
+    if rows is None:
+        rows = _count_rows(result) if result is not None else 0
+    if cache_hit is None:
+        cache_hit = bool(getattr(prepared, "_plan_cache_hit", False))
+    signature = getattr(prepared, "signature", None) or ""
+    query_text = str(getattr(prepared, "surface", ""))
+    entry: dict[str, Any] = {
+        "v": RECORD_VERSION,
+        "ts": time.time(),
+        "sig": signature,
+        "q": query_text,
+        "semiring": prepared.semiring.name,
+        "env_types": dict(getattr(prepared, "env_types", {}) or {}),
+        "op": op,
+        "method": method,
+        "ms": seconds * 1000.0,
+        "rows": rows,
+        "cache_hit": cache_hit,
+        "codegen": getattr(prepared, "generated", None) is not None,
+        "trace_id": _trace.current_trace_id(),
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+    }
+    if pushdown is not None:
+        entry["pushdown"] = pushdown
+    if store is not None:
+        entry["store"] = store
+    if doc is not None:
+        entry["doc"] = doc
+    if docs is not None:
+        entry["docs"] = list(docs)
+    if var is not None:
+        entry["var"] = var
+    if merge is not None:
+        entry["merge"] = bool(merge)
+    path = _LOG_PATH
+    if path and result is not None:
+        # Digests are computed only when capture is armed: replay needs
+        # them, the in-memory ring does not pay for them.
+        entry["digest"] = result_digest(result)
+    global _SEQ
+    with _RING_LOCK:
+        _SEQ += 1
+        entry["seq"] = _SEQ
+        _RING.append(entry)
+    label = _account(signature, query_text, op, seconds, rows)
+    _RECORD_COUNTER.inc(op=op)
+    _QUERY_LATENCY.observe(seconds, signature=label)
+    if path:
+        _append_line(path, json.dumps(entry, default=str) + "\n")
+    return entry
+
+
+def _append_line(path: str, line: str) -> None:
+    """One JSONL append plus the size-rotation check (cross-process safe)."""
+    try:
+        with open(path, "a", encoding="utf-8") as log:
+            log.write(line)
+            size = log.tell()
+    except OSError:  # pragma: no cover - log dir vanished
+        return
+    if _LOG_MAX_BYTES and size >= _LOG_MAX_BYTES:
+        _rotate(path)
+
+
+def _rotate(path: str) -> None:
+    """Shift ``path`` -> ``path.1`` -> ... keeping ``_LOG_KEEP`` generations.
+
+    Another process may rotate concurrently — every rename is individually
+    best-effort, so a lost race drops at most one generation, never a
+    record from the active file.
+    """
+    with _ROTATE_LOCK:
+        try:
+            if os.path.getsize(path) < _LOG_MAX_BYTES:
+                return  # another thread/process already rotated
+        except OSError:
+            return
+        for generation in range(_LOG_KEEP, 0, -1):
+            source = path if generation == 1 else f"{path}.{generation - 1}"
+            target = f"{path}.{generation}"
+            try:
+                os.replace(source, target)
+            except OSError:
+                continue
+        if _LOG_KEEP < 1:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+
+def recent_records(
+    op: str | None = None, limit: int | None = None
+) -> list[dict[str, Any]]:
+    """A snapshot of the ring, oldest first (optionally filtered/tailed)."""
+    with _RING_LOCK:
+        snapshot = list(_RING)
+    if op is not None:
+        snapshot = [entry for entry in snapshot if entry["op"] == op]
+    if limit is not None and limit >= 0:
+        snapshot = snapshot[-limit:] if limit else []
+    return snapshot
+
+
+def clear_records() -> None:
+    with _RING_LOCK:
+        _RING.clear()
+
+
+def export_jsonl(entries: Iterable[Mapping[str, Any]]) -> str:
+    """One JSON object per line, in record order."""
+    return "".join(json.dumps(dict(entry), default=str) + "\n" for entry in entries)
+
+
+# ---------------------------------------------------------------------------
+# Per-signature accounting
+# ---------------------------------------------------------------------------
+def _bucket_quantile(buckets: list[int], quantile: float) -> float:
+    """The latency quantile estimate from cumulative LATENCY_BUCKETS counts."""
+    total = sum(buckets)
+    if not total:
+        return 0.0
+    rank = quantile * total
+    seen = 0
+    for index, count in enumerate(buckets):
+        seen += count
+        if seen >= rank:
+            if index < len(LATENCY_BUCKETS):
+                return LATENCY_BUCKETS[index]
+            return LATENCY_BUCKETS[-1]  # +Inf bucket: report the top bound
+    return LATENCY_BUCKETS[-1]
+
+
+def signature_stats(
+    sort: str = "total", limit: int | None = None
+) -> list[dict[str, Any]]:
+    """Cumulative per-signature summaries, ``sort`` in count/total/p95.
+
+    Each entry carries count, total/mean/max/p95 latency (ms), row totals
+    and the per-op breakdown; this is the live view ``/debug/queries``
+    serves (offline aggregation of a capture file goes through
+    :func:`aggregate_records` instead).
+    """
+    with _SIG_LOCK:
+        states = [dict(state, buckets=list(state["buckets"])) for state in _SIG_STATS.values()]
+    entries = []
+    for state in states:
+        count = state["count"]
+        entries.append(
+            {
+                "signature": state["signature"],
+                "query": state["query"],
+                "count": count,
+                "total_ms": state["total_s"] * 1000.0,
+                "mean_ms": state["total_s"] / count * 1000.0 if count else 0.0,
+                "max_ms": state["max_s"] * 1000.0,
+                "p95_ms": _bucket_quantile(state["buckets"], 0.95) * 1000.0,
+                "rows": state["rows"],
+                "ops": dict(state["ops"]),
+            }
+        )
+    keys = {
+        "count": lambda e: e["count"],
+        "total": lambda e: e["total_ms"],
+        "p95": lambda e: e["p95_ms"],
+    }
+    entries.sort(key=keys.get(sort, keys["total"]), reverse=True)
+    if limit is not None and limit >= 0:
+        entries = entries[:limit]
+    return entries
+
+
+def clear_signature_stats() -> None:
+    with _SIG_LOCK:
+        _SIG_STATS.clear()
+
+
+# ---------------------------------------------------------------------------
+# Offline aggregation (repro report / replay)
+# ---------------------------------------------------------------------------
+def _exact_quantile(values: list[float], quantile: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(quantile * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def aggregate_records(records: Iterable[Mapping[str, Any]]) -> dict[str, dict[str, Any]]:
+    """Group capture records by signature with exact latency quantiles.
+
+    Offline we hold every raw latency, so p50/p95 are exact rather than
+    bucket-bounded.  Returns ``{signature: summary}``.
+    """
+    groups: dict[str, dict[str, Any]] = {}
+    for entry in records:
+        signature = entry.get("sig") or ""
+        group = groups.get(signature)
+        if group is None:
+            group = groups[signature] = {
+                "signature": signature,
+                "query": entry.get("q"),
+                "semiring": entry.get("semiring"),
+                "count": 0,
+                "rows": 0,
+                "ops": {},
+                "latencies_ms": [],
+            }
+        group["count"] += 1
+        group["rows"] += int(entry.get("rows") or 0)
+        op = entry.get("op") or "?"
+        group["ops"][op] = group["ops"].get(op, 0) + 1
+        group["latencies_ms"].append(float(entry.get("ms") or 0.0))
+    for group in groups.values():
+        latencies = group.pop("latencies_ms")
+        group["total_ms"] = sum(latencies)
+        group["mean_ms"] = group["total_ms"] / len(latencies) if latencies else 0.0
+        group["p50_ms"] = _exact_quantile(latencies, 0.50)
+        group["p95_ms"] = _exact_quantile(latencies, 0.95)
+        group["max_ms"] = max(latencies) if latencies else 0.0
+    return groups
+
+
+def _short_query(text: Any, width: int = 40) -> str:
+    rendered = str(text or "")
+    return rendered if len(rendered) <= width else rendered[: width - 3] + "..."
+
+
+def render_report(
+    aggregate: Mapping[str, Mapping[str, Any]],
+    sort: str = "total",
+    limit: int | None = None,
+) -> str:
+    """A per-signature latency table for one aggregation (``repro report``)."""
+    keys = {
+        "count": lambda e: e["count"],
+        "total": lambda e: e["total_ms"],
+        "p95": lambda e: e["p95_ms"],
+    }
+    entries = sorted(
+        aggregate.values(), key=keys.get(sort, keys["total"]), reverse=True
+    )
+    if limit is not None and limit >= 0:
+        entries = entries[:limit]
+    lines = [
+        f"{'signature':16s}  {'count':>6s}  {'total-ms':>9s}  {'mean-ms':>8s}  "
+        f"{'p95-ms':>8s}  query"
+    ]
+    for entry in entries:
+        lines.append(
+            f"{entry['signature'][:16]:16s}  {entry['count']:6d}  "
+            f"{entry['total_ms']:9.2f}  {entry['mean_ms']:8.3f}  "
+            f"{entry['p95_ms']:8.3f}  {_short_query(entry.get('query'))}"
+        )
+    return "\n".join(lines)
+
+
+def render_compare_report(
+    captured: Mapping[str, Mapping[str, Any]],
+    replayed: Mapping[str, Mapping[str, Any]],
+) -> str:
+    """The capture-vs-replay latency table (``repro replay``), by signature."""
+    lines = [
+        f"{'signature':16s}  {'count':>6s}  {'capture-mean':>12s}  "
+        f"{'replay-mean':>11s}  {'ratio':>6s}  {'cap-p95':>8s}  {'rep-p95':>8s}  query"
+    ]
+    signatures = sorted(
+        set(captured) | set(replayed),
+        key=lambda s: -(captured.get(s, {}).get("total_ms", 0.0)),
+    )
+    for signature in signatures:
+        cap = captured.get(signature)
+        rep = replayed.get(signature)
+        cap_mean = cap["mean_ms"] if cap else 0.0
+        rep_mean = rep["mean_ms"] if rep else 0.0
+        ratio = rep_mean / cap_mean if cap_mean else float("inf") if rep_mean else 0.0
+        source = cap or rep or {}
+        lines.append(
+            f"{signature[:16]:16s}  {(cap or rep or {}).get('count', 0):6d}  "
+            f"{cap_mean:12.3f}  {rep_mean:11.3f}  {ratio:6.2f}  "
+            f"{(cap['p95_ms'] if cap else 0.0):8.3f}  "
+            f"{(rep['p95_ms'] if rep else 0.0):8.3f}  "
+            f"{_short_query(source.get('query'))}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+def is_recording() -> bool:
+    return _RECORDING
+
+
+def set_recording(enabled: bool) -> bool:
+    """Enable/disable the recorder; returns the previous state."""
+    global _RECORDING
+    previous = _RECORDING
+    _RECORDING = bool(enabled)
+    return previous
+
+
+class recording:
+    """Scoped recorder toggle (tests force-arm, benchmarks force-disarm)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._previous: bool | None = None
+
+    def __enter__(self) -> "recording":
+        self._previous = set_recording(self.enabled)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._previous is not None:
+            set_recording(self._previous)
+
+
+def ring_capacity() -> int:
+    return _RING.maxlen or 0
+
+
+def set_ring_capacity(capacity: int) -> None:
+    """Resize the ring, preserving the newest records that still fit."""
+    global _RING
+    if capacity < 1:
+        raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+    with _RING_LOCK:
+        _RING = deque(_RING, maxlen=capacity)
+
+
+def capture_path() -> str | None:
+    """The armed JSONL capture file, or ``None``."""
+    return _LOG_PATH
+
+
+def refresh_qlog_config(environ: Mapping[str, str] | None = None) -> None:
+    """(Re-)read the query-log env vars; call after mutating ``os.environ``
+    (the telemetry server and the replay/report/follow long-runners do)."""
+    global _RECORDING, _LOG_PATH, _LOG_MAX_BYTES, _LOG_KEEP
+    environ = environ if environ is not None else os.environ
+    raw = (environ.get(ENV_QLOG) or "").strip().lower()
+    path = environ.get(ENV_QLOG_FILE) or None
+    if raw in _FALSY:
+        _RECORDING = False
+    else:
+        _RECORDING = raw in _TRUTHY or path is not None
+    _LOG_PATH = path
+    try:
+        _LOG_MAX_BYTES = int(environ.get(ENV_QLOG_MAX_BYTES) or DEFAULT_MAX_BYTES)
+    except ValueError:
+        _LOG_MAX_BYTES = DEFAULT_MAX_BYTES
+    try:
+        _LOG_KEEP = int(environ.get(ENV_QLOG_KEEP) or DEFAULT_KEEP)
+    except ValueError:
+        _LOG_KEEP = DEFAULT_KEEP
+
+
+refresh_qlog_config()

@@ -37,6 +37,7 @@ the equivalence corpus and the differential fuzz suite in ``tests/nrc/``.
 
 from __future__ import annotations
 
+import hashlib
 from time import perf_counter as _perf
 from typing import Any, Iterable, Mapping
 
@@ -48,6 +49,7 @@ from repro.nrc.compile_eval import CompiledExpr, compile_expr
 from repro.nrc.eval import evaluate as evaluate_nrc
 from repro.nrc.rewrite import simplify
 from repro.obs import profile as _obs_profile
+from repro.obs import qlog as _qlog
 from repro.obs import trace as _trace
 from repro.obs.trace import span
 from repro.resilience.limits import EvalLimits, activate
@@ -65,6 +67,7 @@ __all__ = [
     "prepare_query",
     "evaluate_query",
     "env_types_of",
+    "plan_signature",
     "VALID_METHODS",
     "DEFAULT_METHOD",
     "validate_method",
@@ -86,6 +89,120 @@ def validate_method(method: str) -> str:
             f"unknown evaluation method {method!r}; valid methods: {valid}"
         )
     return method
+
+
+def _alpha_normalized(expr: Expr, env: Mapping[str, str], level: int) -> str:
+    """Render ``expr`` with bound variables replaced by binder-depth names.
+
+    Capture-avoiding substitution gensyms fresh names (``x#17``) from a
+    process-global counter, so ``str(plan)`` depends on compilation history.
+    This rendering replaces every bound name by ``%<depth>`` (free variables
+    keep their names), making alpha-equivalent plans render identically.
+    """
+    from repro.nrc.ast import (
+        BigUnion,
+        EmptySet,
+        IfEq,
+        Kids,
+        LabelLit,
+        Let,
+        PairExpr,
+        Proj,
+        Scale,
+        Singleton,
+        Srt,
+        Tag,
+        TreeExpr,
+        Union,
+        Var,
+    )
+
+    if isinstance(expr, Var):
+        return env.get(expr.name, expr.name)
+    if isinstance(expr, LabelLit):
+        return repr(expr.label)
+    if isinstance(expr, EmptySet):
+        return "{}"
+    if isinstance(expr, Singleton):
+        return f"{{{_alpha_normalized(expr.expr, env, level)}}}"
+    if isinstance(expr, Union):
+        return (
+            f"({_alpha_normalized(expr.left, env, level)} U "
+            f"{_alpha_normalized(expr.right, env, level)})"
+        )
+    if isinstance(expr, Scale):
+        return f"({expr.scalar} * {_alpha_normalized(expr.expr, env, level)})"
+    if isinstance(expr, BigUnion):
+        source = _alpha_normalized(expr.source, env, level)
+        name = f"%{level}"
+        inner = dict(env)
+        inner[expr.var] = name
+        return f"U({name} in {source}) {_alpha_normalized(expr.body, inner, level + 1)}"
+    if isinstance(expr, IfEq):
+        return (
+            f"if {_alpha_normalized(expr.left, env, level)} = "
+            f"{_alpha_normalized(expr.right, env, level)} then "
+            f"{_alpha_normalized(expr.then, env, level)} else "
+            f"{_alpha_normalized(expr.orelse, env, level)}"
+        )
+    if isinstance(expr, PairExpr):
+        return (
+            f"({_alpha_normalized(expr.first, env, level)}, "
+            f"{_alpha_normalized(expr.second, env, level)})"
+        )
+    if isinstance(expr, Proj):
+        return f"pi_{expr.index}({_alpha_normalized(expr.expr, env, level)})"
+    if isinstance(expr, TreeExpr):
+        return (
+            f"Tree({_alpha_normalized(expr.label, env, level)}, "
+            f"{_alpha_normalized(expr.kids, env, level)})"
+        )
+    if isinstance(expr, Tag):
+        return f"tag({_alpha_normalized(expr.expr, env, level)})"
+    if isinstance(expr, Kids):
+        return f"kids({_alpha_normalized(expr.expr, env, level)})"
+    if isinstance(expr, Srt):
+        target = _alpha_normalized(expr.target, env, level)
+        label_name, acc_name = f"%{level}", f"%{level + 1}"
+        inner = dict(env)
+        inner[expr.label_var] = label_name
+        inner[expr.acc_var] = acc_name
+        body = _alpha_normalized(expr.body, inner, level + 2)
+        return f"(srt({label_name}, {acc_name}). {body}) {target}"
+    if isinstance(expr, Let):
+        value = _alpha_normalized(expr.value, env, level)
+        name = f"%{level}"
+        inner = dict(env)
+        inner[expr.var] = name
+        return f"let {name} := {value} in {_alpha_normalized(expr.body, inner, level + 1)}"
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def plan_signature(
+    simplified: Expr, semiring: Semiring, env_types: Mapping[str, str]
+) -> str:
+    """A stable fingerprint of a prepared plan.
+
+    Hashes the *simplified* NRC form's alpha-normalized rendering (bound
+    variables are renamed by binder depth, so the gensym counter's history
+    cannot leak in), the semiring's registry name and the sorted env types.
+    Equal plans therefore hash equally across threads, processes and runs,
+    which is what lets the query log's per-signature aggregations line up
+    between a capture run, its replay, and a scraped production process.
+    Textually distinct spellings of one query (``$S/*`` vs ``$S/child::*``)
+    normalize to the same simplified form and share a signature —
+    deliberately coarser than the plan-cache key, which must never merge
+    distinct texts.
+    """
+    payload = "\x1f".join(
+        (
+            f"v{1}",
+            _alpha_normalized(simplified, {}, 0),
+            semiring.name,
+            ",".join(f"{name}={kind}" for name, kind in sorted(env_types.items())),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def env_types_of(env: Mapping[str, Any] | None) -> dict[str, str]:
@@ -150,6 +267,12 @@ class PreparedQuery:
         with span("prepare.simplify"):
             self.nrc_simplified = simplify(self.nrc, semiring)
         timings["simplify"] = _perf() - started
+        #: The stable plan fingerprint the query log keys on (see
+        #: :func:`plan_signature`); computed once here, reused by every
+        #: evaluation record.  ``_plan_cache_hit`` flips to True the first
+        #: time a plan cache serves this plan without compiling.
+        self.signature = plan_signature(self.nrc_simplified, semiring, self.env_types)
+        self._plan_cache_hit = False
         started = _perf()
         with span("prepare.compile-closures"):
             self.compiled: CompiledExpr = compile_expr(self.nrc_simplified, semiring)
@@ -221,9 +344,12 @@ class PreparedQuery:
         # Slow-query log: one module-global read plus a refresh-probe bump
         # when REPRO_SLOW_QUERY_MS is unset (the fail_point discipline,
         # with a periodic env re-check so a long-lived process can arm the
-        # log without restarting), a clock pair when armed.
+        # log without restarting), a clock pair when armed.  The query log
+        # shares the same clock pair — one extra module-global read when
+        # both are disarmed.
         slow_ms = _obs_profile.slow_query_threshold()
-        started = _perf() if slow_ms is not None else 0.0
+        qlogging = _qlog._RECORDING
+        started = _perf() if slow_ms is not None or qlogging else 0.0
         if limits is None or not limits.is_bounded:
             result = self._evaluate_traced(env, method)
         else:
@@ -231,8 +357,11 @@ class PreparedQuery:
             with activate(guard):
                 result = self._evaluate_traced(env, method)
                 guard.check_result(result)
+        elapsed_s = _perf() - started if qlogging or slow_ms is not None else 0.0
+        if qlogging:
+            _qlog.record(self, "evaluate", method, elapsed_s, result=result)
         if slow_ms is not None:
-            elapsed_ms = (_perf() - started) * 1000.0
+            elapsed_ms = elapsed_s * 1000.0
             if elapsed_ms >= slow_ms:
                 _obs_profile.record_slow_query({
                     "query": str(self.surface),

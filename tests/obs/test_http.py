@@ -98,10 +98,61 @@ class TestEndpoints:
         assert lines[-1]["kind"] == "limits.timeout"
         events.clear_events()
 
+    def test_debug_slow_serves_jsonl(self, server):
+        from repro.obs.profile import clear_slow_queries, record_slow_query
+
+        clear_slow_queries()
+        try:
+            record_slow_query({"surface": "($S)/a", "duration_ms": 55.0})
+            status, headers, body = _get(server.url + "/debug/slow?format=jsonl&limit=5")
+            assert status == 200
+            assert headers["Content-Type"].startswith("application/x-ndjson")
+            lines = [json.loads(line) for line in body.decode("utf-8").splitlines()]
+            assert lines[-1]["surface"] == "($S)/a"
+        finally:
+            clear_slow_queries()
+
+    def test_debug_queries_serves_signature_stats(self, server):
+        from repro.obs import qlog
+        from repro.semirings import NATURAL
+        from repro.uxquery import prepare_query
+        from repro.workloads import random_forest
+
+        qlog.clear_signature_stats()
+        qlog.clear_records()
+        try:
+            forest = random_forest(NATURAL, num_trees=1, depth=3, fanout=2, seed=31)
+            prepared = prepare_query("($S)/*", NATURAL, {"S": forest})
+            with qlog.recording(True):
+                prepared.evaluate({"S": forest})
+                prepared.evaluate({"S": forest})
+            status, _, body = _get(server.url + "/debug/queries?sort=count&limit=5")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["sort"] == "count"
+            entry = next(
+                item
+                for item in payload["queries"]
+                if item["signature"] == prepared.signature
+            )
+            assert entry["count"] >= 2
+            assert entry["p95_ms"] >= 0.0
+            assert entry["query"] == str(prepared.surface)
+            status, headers, body = _get(server.url + "/debug/queries?format=jsonl")
+            assert status == 200
+            assert headers["Content-Type"].startswith("application/x-ndjson")
+            lines = [json.loads(line) for line in body.decode("utf-8").splitlines()]
+            assert any(line["signature"] == prepared.signature for line in lines)
+        finally:
+            qlog.clear_signature_stats()
+            qlog.clear_records()
+
     def test_index_lists_the_endpoints(self, server):
         status, _, body = _get(server.url + "/")
         assert status == 200
-        assert "/metrics" in json.loads(body)["endpoints"]
+        endpoints = json.loads(body)["endpoints"]
+        assert "/metrics" in endpoints
+        assert "/debug/queries" in endpoints
 
     def test_unknown_path_is_a_json_404(self, server):
         status, _, body = _get(server.url + "/nope")
@@ -228,16 +279,22 @@ class TestServeAddress:
 
 class TestServerLifecycle:
     def test_start_refreshes_diagnostic_config(self, monkeypatch):
-        from repro.obs import profile
+        from repro.obs import profile, qlog
 
         monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "123.5")
         monkeypatch.setenv("REPRO_EVENTS", "on")
-        with start_telemetry_server(port=0):
-            assert profile.slow_query_ms() == 123.5
-            assert events.is_recording()
-        monkeypatch.delenv("REPRO_SLOW_QUERY_MS")
-        profile.refresh_slow_query_config()
-        events.refresh_event_config()
+        monkeypatch.setenv("REPRO_QLOG", "on")
+        try:
+            with start_telemetry_server(port=0):
+                assert profile.slow_query_ms() == 123.5
+                assert events.is_recording()
+                assert qlog.is_recording()
+        finally:
+            monkeypatch.delenv("REPRO_SLOW_QUERY_MS")
+            monkeypatch.delenv("REPRO_QLOG")
+            profile.refresh_slow_query_config()
+            events.refresh_event_config()
+            qlog.refresh_qlog_config()
 
     def test_shutdown_frees_the_port(self):
         live = start_telemetry_server(port=0)

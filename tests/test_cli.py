@@ -174,8 +174,8 @@ class TestCliHelpText:
         output = self._help_of(capsys, [])
         for command in (
             "query", "explain", "batch", "maintain", "cache-stats",
-            "metrics", "events", "bench-check", "faults", "specialize",
-            "shred", "store",
+            "metrics", "events", "replay", "report", "bench-check",
+            "faults", "specialize", "shred", "store",
         ):
             assert command in output, f"{command!r} missing from top-level help"
 
@@ -195,3 +195,143 @@ class TestCliHelpText:
         assert "--threshold" in output
         assert "--history" in output
         assert "BENCH_history" in output
+
+    def test_replay_help_documents_the_workload_replayer(self, capsys):
+        output = self._help_of(capsys, ["replay"])
+        assert "--compare" in output
+        assert "--store" in output
+        assert "--max-rate" in output
+        assert "--speed" in output
+        assert "REPRO_QUERY_LOG" in output
+
+    def test_report_help_documents_the_aggregator(self, capsys):
+        output = self._help_of(capsys, ["report"])
+        assert "--sort" in output
+        assert "--limit" in output
+        assert "signature" in output
+
+
+class TestCliQueryLog:
+    """The replay/report commands and the env-refresh discipline."""
+
+    QUERY = "($S)/*"
+
+    def _captured_store(self, tmp_path, monkeypatch):
+        """A store with two documents and a qlog capture of queries over them."""
+        from repro.obs import qlog
+
+        document = tmp_path / "doc.xml"
+        document.write_text(
+            '<a annot="1"><b annot="2"><d annot="1"/></b><c annot="3"/></a>',
+            encoding="utf-8",
+        )
+        store_dir = str(tmp_path / "store")
+        capture = tmp_path / "capture.jsonl"
+        for doc_id in ("d1", "d2"):
+            assert main([
+                "store", "ingest", "--dir", store_dir, "--input", str(document),
+                "--doc", doc_id, "--semiring", "natural",
+            ]) == 0
+        monkeypatch.setenv("REPRO_QUERY_LOG", str(capture))
+        qlog.refresh_qlog_config()
+        try:
+            for doc_id in ("d1", "d2"):
+                assert main([
+                    "store", "query", "--dir", store_dir,
+                    "--doc", doc_id, "-q", self.QUERY,
+                ]) == 0
+        finally:
+            monkeypatch.delenv("REPRO_QUERY_LOG")
+            qlog.refresh_qlog_config()
+        return store_dir, capture
+
+    def test_replay_compare_verifies_digests(self, tmp_path, monkeypatch, capsys):
+        store_dir, capture = self._captured_store(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main([
+            "replay", str(capture), "--store", store_dir, "--compare", "--max-rate",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "digest mismatches: 0" in output
+        assert "signature mismatches: 0" in output
+        assert "replayed 2 store record(s)" in output
+
+    def test_replay_detects_a_tampered_digest(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        store_dir, capture = self._captured_store(tmp_path, monkeypatch)
+        records = [
+            json.loads(line) for line in capture.read_text().splitlines()
+        ]
+        records[0]["digest"] = "0" * 32
+        capture.write_text(
+            "".join(json.dumps(record) + "\n" for record in records)
+        )
+        capsys.readouterr()
+        assert main([
+            "replay", str(capture), "--store", store_dir, "--compare", "--max-rate",
+        ]) == 1
+        output = capsys.readouterr().out
+        assert "digest mismatches: 1" in output
+
+    def test_replay_without_store_is_prepare_only(self, tmp_path, monkeypatch, capsys):
+        _store_dir, capture = self._captured_store(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["replay", str(capture), "--max-rate"]) == 0
+        output = capsys.readouterr().out
+        assert "re-prepared 2" in output
+        assert "signature mismatches: 0" in output
+
+    def test_report_renders_the_signature_table(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        _store_dir, capture = self._captured_store(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["report", str(capture)]) == 0
+        table = capsys.readouterr().out
+        first = json.loads(capture.read_text().splitlines()[0])
+        assert first["sig"][:16] in table
+        assert main(["report", str(capture), "--json", "--sort", "count"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[first["sig"]]["count"] == 2
+
+    def test_events_follow_refreshes_env_config(self, tmp_path, monkeypatch):
+        # Regression: long-runners must re-read the observability env vars
+        # (the way `metrics --serve` always did) before entering their loop.
+        from repro import cli
+        from repro.obs import events, profile, qlog
+
+        called: dict = {}
+        monkeypatch.setattr(
+            cli,
+            "_follow_event_log",
+            lambda path, kind: (called.setdefault("args", (path, kind)), 0)[-1],
+        )
+        log = tmp_path / "events.jsonl"
+        log.write_text("")
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "77.5")
+        monkeypatch.setenv("REPRO_QLOG", "on")
+        try:
+            assert cli.main(["events", "--follow", "--log", str(log)]) == 0
+            assert called["args"] == (str(log), None)
+            assert profile.slow_query_ms() == 77.5
+            assert qlog.is_recording()
+        finally:
+            monkeypatch.delenv("REPRO_SLOW_QUERY_MS")
+            monkeypatch.delenv("REPRO_QLOG")
+            profile.refresh_slow_query_config()
+            events.refresh_event_config()
+            qlog.refresh_qlog_config()
+
+    def test_replay_and_report_refresh_env_config(self, tmp_path, monkeypatch, capsys):
+        from repro.obs import qlog
+
+        _store_dir, capture = self._captured_store(tmp_path, monkeypatch)
+        monkeypatch.setenv("REPRO_QLOG", "on")
+        try:
+            assert main(["report", str(capture)]) == 0
+            assert qlog.is_recording()
+        finally:
+            monkeypatch.delenv("REPRO_QLOG")
+            qlog.refresh_qlog_config()
+        capsys.readouterr()
