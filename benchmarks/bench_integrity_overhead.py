@@ -1,0 +1,174 @@
+"""Checksum overhead on the durability hot paths (must stay <= 5%).
+
+The integrity contract (:mod:`repro.store.integrity`) is that end-to-end
+checksumming is cheap enough to leave on unconditionally, measured against
+the **pre-checksum (PR 9) baseline**: the old append serialized the record
+and wrote it through a text-mode handle (one encode inside ``json.dumps``,
+a second inside ``TextIOWrapper.write``); the v1 append serializes once,
+splices the CRC32 into the line as bytes, and writes through a binary
+handle — the saved encode pays for the checksum.  Snapshot verification is
+one CRC32 over the raw body bytes before parsing, measured against the
+same load with ``verify=False``.
+
+The regression bar — enforced here and by the CI quick-mode step via
+``run_all.py``'s ``integrity`` section — is that either path costs at most
+5% over its baseline.  The same-code ``checksum=False`` ratio is recorded
+for the trajectory without a bar: it isolates the pure crc+splice cost
+from the text-vs-binary win, and nobody runs that configuration.
+
+Appends go through a real file (open/write/flush per record, no fsync —
+the default durability), so the measured ratios reflect the production
+append, not a serialization micro-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from statistics import median
+
+from repro.obs.trace import span
+from repro.resilience.faults import fail_point
+from repro.semirings import NATURAL
+from repro.store import WriteAheadLog, load_snapshot, write_snapshot
+from repro.store.columns import ShreddedColumns
+from repro.workloads import random_forest
+
+#: The acceptance bar: v1 appends vs the PR 9 append, verified snapshot
+#: loads vs unverified.
+MAX_OVERHEAD_RATIO = 1.05
+
+#: A realistic update record: one delta change with codec-sized fields.
+RECORD = {
+    "op": "update",
+    "doc": "a",
+    "changes": [
+        {
+            "tree": "t" * 120,
+            "pos": "p" * 48,
+            "neg": "n" * 48,
+            "label": "member",
+            "pos_repr": "3",
+            "neg_repr": "0",
+        }
+    ],
+}
+
+
+class Pr9WriteAheadLog(WriteAheadLog):
+    """The pre-checksum append, byte for byte: the PR 9 baseline.
+
+    Checksum-less (v0) records through a text-mode handle — exactly what
+    ``append`` compiled to before the v1 record format landed.
+    """
+
+    def append(self, record: dict) -> int:
+        lsn = self._next_lsn
+        payload = dict(record)
+        payload["lsn"] = lsn
+        body = json.dumps(payload, sort_keys=True)
+        with span(
+            "store.wal.append", lsn=lsn, bytes=len(body) + 1, fsync=self.fsync
+        ), open(self.path, "a", encoding="utf-8") as handle:
+            fail_point("wal.append.write")
+            handle.write(body)
+            handle.flush()
+            fail_point("wal.append.torn")
+            handle.write("\n")
+            handle.flush()
+            fail_point("wal.append.fsync")
+        self._next_lsn = lsn + 1
+        self._records.append((lsn, payload))
+        return lsn
+
+
+def interleaved_append_medians(
+    directory: Path, appends: int = 3000
+) -> tuple[float, float, float]:
+    """Median per-append seconds for (pr9, v1-checksummed, v0-binary).
+
+    The three logs are appended to in strict alternation, so load or
+    clock-frequency drift hits all sides equally; medians are robust
+    against the page-cache/allocator spikes individual appends take.
+    """
+    baseline = Pr9WriteAheadLog(directory / "pr9.jsonl", checksum=False)
+    checked = WriteAheadLog(directory / "v1.jsonl")
+    plain = WriteAheadLog(directory / "v0.jsonl", checksum=False)
+    times: dict[str, list[float]] = {"pr9": [], "v1": [], "v0": []}
+    for _ in range(appends):
+        for key, wal in (("pr9", baseline), ("v1", checked), ("v0", plain)):
+            start = time.perf_counter()
+            wal.append(RECORD)
+            times[key].append(time.perf_counter() - start)
+    warm = appends // 10  # discard cold-file warmup
+    return (
+        median(times["pr9"][warm:]),
+        median(times["v1"][warm:]),
+        median(times["v0"][warm:]),
+    )
+
+
+def snapshot_path(directory: Path) -> Path:
+    path = directory / "snapshot.json"
+    if not path.exists():
+        forest = random_forest(NATURAL, num_trees=8, depth=4, fanout=3, seed=17)
+        write_snapshot(
+            path,
+            semiring_name="natural",
+            wal_lsn=1,
+            documents={"d": ShreddedColumns.from_forest(forest)},
+            views=[],
+        )
+    return path
+
+
+def interleaved_load_medians(path: Path, loads: int = 150) -> tuple[float, float]:
+    """Median per-load seconds for (unverified, verified)."""
+    times: dict[bool, list[float]] = {False: [], True: []}
+    for _ in range(loads):
+        for verify in (False, True):
+            start = time.perf_counter()
+            load_snapshot(path, verify=verify)
+            times[verify].append(time.perf_counter() - start)
+    warm = loads // 10
+    return median(times[False][warm:]), median(times[True][warm:])
+
+
+def test_wal_append_checksummed(benchmark, tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl")
+    benchmark(lambda: wal.append(RECORD))
+
+
+def test_wal_append_pr9_baseline(benchmark, tmp_path):
+    wal = Pr9WriteAheadLog(tmp_path / "wal.jsonl", checksum=False)
+    benchmark(lambda: wal.append(RECORD))
+
+
+def test_snapshot_load_verified(benchmark, tmp_path):
+    path = snapshot_path(tmp_path)
+    benchmark(lambda: load_snapshot(path))
+
+
+def test_wal_append_overhead_within_bound(tmp_path):
+    """v1 checksummed appends must cost <= 5% over the PR 9 append."""
+    pr9_s, v1_s, v0_s = interleaved_append_medians(tmp_path, appends=1500)
+    ratio = v1_s / pr9_s
+    assert ratio <= MAX_OVERHEAD_RATIO, (
+        f"checksummed appends cost {(ratio - 1) * 100:.1f}% over the "
+        f"pre-checksum baseline (bar: {(MAX_OVERHEAD_RATIO - 1) * 100:.0f}%); "
+        f"pr9={pr9_s * 1e6:.1f}us v1={v1_s * 1e6:.1f}us v0={v0_s * 1e6:.1f}us"
+    )
+
+
+def test_snapshot_load_overhead_within_bound(tmp_path):
+    """Envelope verification must cost <= 5% over an unverified load."""
+    path = snapshot_path(tmp_path)
+    assert load_snapshot(path)["verified"] is True
+    plain_s, verified_s = interleaved_load_medians(path)
+    ratio = verified_s / plain_s
+    assert ratio <= MAX_OVERHEAD_RATIO, (
+        f"snapshot verification costs {(ratio - 1) * 100:.1f}% per load "
+        f"(bar: {(MAX_OVERHEAD_RATIO - 1) * 100:.0f}%); "
+        f"plain={plain_s * 1e6:.1f}us verified={verified_s * 1e6:.1f}us"
+    )

@@ -22,7 +22,10 @@ across PRs:
   on child-chain-3);
 * ``obs`` — the instrumentation tax: the fully hooked serving path with
   tracing/profiling disarmed vs the raw generated-program call (CI asserts
-  <= 5% on child-chain-3), plus a metrics-export smoke check.
+  <= 5% on child-chain-3), plus a metrics-export smoke check;
+* ``integrity`` — the checksum tax: v1 checksummed WAL appends vs the
+  pre-checksum append, and verified snapshot loads vs ``verify=False``
+  (CI asserts both overhead ratios stay <= 1.05).
 
 Every run is archived to ``BENCH_history/`` and compared against the
 previous archived run, so per-benchmark regressions are visible across PRs
@@ -86,7 +89,8 @@ def run_pytest_benchmarks(quick: bool) -> list[dict]:
         if quick:
             command += [
                 "-k",
-                "figure1 or figure4 or batch or shard or ivm or store or codegen or guard",
+                "figure1 or figure4 or batch or shard or ivm or store or codegen "
+                "or guard or integrity",
                 "--benchmark-min-rounds",
                 "1",
                 "--benchmark-max-time",
@@ -674,6 +678,67 @@ def measure_obs(quick: bool) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Section 8: storage integrity (repro.store checksums)
+# ---------------------------------------------------------------------------
+def measure_integrity(quick: bool) -> dict:
+    """The checksum tax on the durability hot paths.
+
+    Asserts the regression bars directly: a v1 checksummed WAL append must
+    cost <= 5% over the pre-checksum (PR 9) append, and a checksum-verified
+    snapshot load <= 5% over ``verify=False``.  The same-code
+    ``checksum=False`` append ratio is recorded without a bar — it isolates
+    the pure crc+splice cost from the text-vs-binary write win.
+    """
+    from bench_integrity_overhead import (
+        interleaved_append_medians,
+        interleaved_load_medians,
+        snapshot_path,
+    )
+
+    max_overhead_ratio = 1.05
+    appends = 1500 if quick else 4000
+    loads = 80 if quick else 200
+    with tempfile.TemporaryDirectory() as raw_dir:
+        directory = Path(raw_dir)
+        pr9_s, v1_s, v0_s = interleaved_append_medians(directory, appends=appends)
+        plain_load_s, verified_load_s = interleaved_load_medians(
+            snapshot_path(directory), loads=loads
+        )
+    append_ratio = v1_s / pr9_s if pr9_s else float("inf")
+    checksum_only_ratio = v1_s / v0_s if v0_s else float("inf")
+    load_ratio = verified_load_s / plain_load_s if plain_load_s else float("inf")
+    report = {
+        "wal_append_pr9_s": pr9_s,
+        "wal_append_v1_s": v1_s,
+        "wal_append_v0_s": v0_s,
+        "wal_append_overhead_ratio": append_ratio,
+        "wal_append_checksum_only_ratio": checksum_only_ratio,
+        "snapshot_load_plain_s": plain_load_s,
+        "snapshot_load_verified_s": verified_load_s,
+        "snapshot_load_overhead_ratio": load_ratio,
+        "max_overhead_ratio": max_overhead_ratio,
+    }
+    print(
+        f"{'integrity_overhead':32s} append pr9 {pr9_s * 1e6:7.1f}us  "
+        f"v1 {v1_s * 1e6:7.1f}us  overhead {(append_ratio - 1) * 100:+5.1f}%  "
+        f"snapshot load {(load_ratio - 1) * 100:+5.1f}%"
+    )
+    if append_ratio > max_overhead_ratio:
+        raise SystemExit(
+            f"integrity_overhead: checksummed WAL appends cost "
+            f"{(append_ratio - 1) * 100:.1f}% over the pre-checksum baseline "
+            f"(bar: {(max_overhead_ratio - 1) * 100:.0f}%)"
+        )
+    if load_ratio > max_overhead_ratio:
+        raise SystemExit(
+            f"integrity_overhead: snapshot verification costs "
+            f"{(load_ratio - 1) * 100:.1f}% per load "
+            f"(bar: {(max_overhead_ratio - 1) * 100:.0f}%)"
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
 # Bench trajectory: archive every run, report deltas vs the previous one
 # ---------------------------------------------------------------------------
 HISTORY_DIR = REPO_ROOT / "BENCH_history"
@@ -721,6 +786,15 @@ def _flatten_metrics(report: dict) -> dict[str, float]:
     put("obs/disarmed_overhead_ratio", obs_section.get("overhead_ratio"))
     put("obs/traced_overhead_ratio", obs_section.get("traced_ratio"))
     put("obs/qlog_disarmed_ratio", obs_section.get("qlog_disarmed_ratio"))
+    integrity_section = report.get("integrity") or {}
+    put(
+        "integrity/wal_append_overhead_ratio",
+        integrity_section.get("wal_append_overhead_ratio"),
+    )
+    put(
+        "integrity/snapshot_load_overhead_ratio",
+        integrity_section.get("snapshot_load_overhead_ratio"),
+    )
     return metrics
 
 
@@ -839,6 +913,13 @@ def main() -> None:
             "<= 1.05, the armed-tracing ratio is recorded without a bar, and "
             "the default metrics registry is smoke-checked (Prometheus text "
             "parses, JSON round-trips)",
+            "integrity": "integrity_overhead times v1 checksummed WAL appends "
+            "(CRC32 spliced into the line, binary-mode writes) against the "
+            "pre-checksum PR 9 append (text-mode writes) and checksum-verified "
+            "snapshot loads against verify=False, appends/loads strictly "
+            "alternated and medians compared; both overhead ratios are "
+            "asserted <= 1.05, and the same-code checksum=False append ratio "
+            "is recorded without a bar",
         },
         "speedups": measure_speedups(args.quick),
         "codegen": measure_codegen(args.quick),
@@ -847,6 +928,7 @@ def main() -> None:
         "store": measure_store(args.quick),
         "resilience": measure_resilience(args.quick),
         "obs": measure_obs(args.quick),
+        "integrity": measure_integrity(args.quick),
     }
     if not args.no_pytest:
         report["benchmarks"] = run_pytest_benchmarks(args.quick)

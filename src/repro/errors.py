@@ -104,6 +104,21 @@ class StoreError(ReproError):
     """Errors in the persistent indexed document store (:mod:`repro.store`)."""
 
 
+class IntegrityError(StoreError):
+    """A durable artifact failed checksum / digest / consistency verification.
+
+    Raised instead of serving possibly-wrong data: a WAL record whose CRC32
+    does not match its body, a snapshot whose whole-file checksum or
+    per-column digest disagrees with its contents, or a log whose lsns are
+    no longer monotone.  ``artifact`` names the damaged file so operators
+    (and ``repro fsck``) know exactly what to scrub.
+    """
+
+    def __init__(self, message: str, *, artifact: str | None = None):
+        super().__init__(message)
+        self.artifact = artifact
+
+
 class ResilienceError(ReproError):
     """Errors in the fault-injection / guardrail layer (:mod:`repro.resilience`)."""
 

@@ -75,6 +75,9 @@ EVENT_CATALOG: dict[str, str] = {
     "limits.budget": "an evaluation exceeded a row/byte budget (BudgetExceededError)",
     "fault.injected": "an armed failpoint fired (repro.resilience.faults)",
     "query.slow": "an evaluation crossed the REPRO_SLOW_QUERY_MS threshold",
+    "integrity.checksum-mismatch": "a WAL record or snapshot failed checksum/digest verification",
+    "integrity.quarantine": "fsck moved a corrupt artifact or WAL suffix to a .quarantine sidecar",
+    "integrity.salvage": "fsck salvaged the longest valid WAL prefix of a damaged log",
 }
 
 #: One global read decides the disarmed path; writers hold _RING_LOCK.

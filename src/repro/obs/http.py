@@ -56,6 +56,7 @@ __all__ = [
     "start_telemetry_server",
     "parse_serve_address",
     "store_ready_check",
+    "store_integrity_check",
     "plan_cache_ready_check",
     "PROMETHEUS_CONTENT_TYPE",
 ]
@@ -319,6 +320,36 @@ def store_ready_check(store: Any) -> Callable[[], tuple[bool, str]]:
             f"{stats.documents} document(s), {stats.views} view(s), "
             f"{stats.recovered_records} recovered WAL record(s)"
         )
+
+    return check
+
+
+def store_integrity_check(store: Any) -> Callable[[], tuple[bool, str]]:
+    """Ready while the store's durable artifacts verify end-to-end.
+
+    Runs the light (file-level, side-effect-free) scrub of
+    :func:`repro.store.fsck.verify_artifacts` on each probe: the snapshot
+    envelope checksum plus every WAL record's CRC.  Goes unready — naming
+    the damaged artifact — as soon as on-disk corruption appears, so an
+    orchestrator stops routing to a replica that would refuse (or worse,
+    be unable) to recover.  In-memory stores are trivially ready.
+    """
+
+    def check() -> tuple[bool, str]:
+        directory = getattr(store, "directory", None)
+        if directory is None:
+            return True, "in-memory store (no durable artifacts)"
+        from repro.store.fsck import verify_artifacts
+
+        findings = verify_artifacts(directory)
+        errors = [f for f in findings if f.severity == "error"]
+        if errors:
+            return False, "; ".join(f"{f.artifact}: {f.detail}" for f in errors)
+        warnings = [f for f in findings if f.severity == "warning"]
+        detail = "wal + snapshot checksums verified"
+        if warnings:
+            detail += f" ({len(warnings)} warning(s))"
+        return True, detail
 
     return check
 

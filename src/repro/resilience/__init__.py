@@ -23,12 +23,14 @@ from repro.resilience.faults import (
     arm,
     arm_from_env,
     armed_sites,
+    corrupt_file,
     declare_site,
     disarm,
     disarm_all,
     env_spec,
     fail_at,
     fail_point,
+    faults_armed,
 )
 from repro.resilience.limits import (
     EvalLimits,
@@ -45,12 +47,14 @@ __all__ = [
     "arm",
     "arm_from_env",
     "armed_sites",
+    "corrupt_file",
     "declare_site",
     "disarm",
     "disarm_all",
     "env_spec",
     "fail_at",
     "fail_point",
+    "faults_armed",
     "EvalLimits",
     "LimitGuard",
     "activate",

@@ -44,6 +44,15 @@ Actions
     kill process-pool workers.
 ``delay``
     Sleep ``delay_s`` seconds, then continue (for races/timeouts).
+``corrupt``
+    Damage the file named by the site's context (seeded, deterministic)
+    and *continue silently* — modelling media corruption that is only
+    discovered on the next load or ``repro fsck``.  ``mode=flip`` XORs
+    ``flips`` random byte(s) inside the site's byte region, ``mode=truncate``
+    cuts the file at a random point inside the region, ``mode=garbage``
+    splices a junk line at the region start.  Sites that support it
+    (``corrupt.wal.record``, ``corrupt.snapshot.file``) pass the file path
+    and byte region as context.
 
 Environment variable
 --------------------
@@ -63,6 +72,7 @@ import os
 import random
 import threading
 import time
+from pathlib import Path
 from typing import Dict, Iterator, Optional
 
 from repro.errors import FaultInjected, ResilienceError
@@ -71,7 +81,8 @@ from repro.obs.events import emit
 ENV_VAR = "REPRO_FAULTS"
 EXIT_CODE = 87  # distinctive status for `exit`-action deaths
 
-_ACTIONS = ("raise", "crash", "exit", "delay")
+_ACTIONS = ("raise", "crash", "exit", "delay", "corrupt")
+_CORRUPT_MODES = ("flip", "truncate", "garbage")
 
 #: Catalog of every failpoint compiled into the library, site -> description.
 #: ``repro faults list`` prints it and the crash-exhaustive harness iterates it.
@@ -88,6 +99,8 @@ SITE_CATALOG: Dict[str, str] = {
     "store.update.apply": "between WAL append and in-memory update apply",
     "store.view.apply": "between WAL append and in-memory view registration",
     "exec.worker.task": "at entry of a process-pool worker task",
+    "corrupt.wal.record": "after a WAL record is durably appended (region: that record's bytes)",
+    "corrupt.snapshot.file": "after os.replace publishes a snapshot (region: the whole file)",
 }
 
 
@@ -104,6 +117,58 @@ class SimulatedCrash(BaseException):
         self.site = site
 
 
+def corrupt_file(
+    path: str | os.PathLike,
+    mode: str = "flip",
+    *,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+    start: int = 0,
+    end: Optional[int] = None,
+    flips: int = 1,
+) -> None:
+    """Deterministically damage ``path`` within the byte region [start, end).
+
+    The primitive behind the ``corrupt`` action, exported so corruption
+    harnesses can place the exact same damage offline (on a closed store)
+    that the live failpoint places online.  ``flip`` XORs ``flips`` random
+    byte(s) with a random nonzero mask; ``truncate`` cuts the file at a
+    random point inside the region (everything after is lost — physically
+    indistinguishable from a torn append); ``garbage`` splices a junk line
+    at the region start.  All randomness comes from ``rng`` (or a fresh
+    ``random.Random(seed)``), so a given seed always places identical damage.
+    """
+    if mode not in _CORRUPT_MODES:
+        raise ResilienceError(
+            f"unknown corruption mode {mode!r}; valid modes: {', '.join(_CORRUPT_MODES)}"
+        )
+    path = Path(path)
+    rng = rng if rng is not None else random.Random(seed)
+    data = bytearray(path.read_bytes())
+    region_end = len(data) if end is None else min(end, len(data))
+    region_start = max(0, min(start, region_end))
+    if mode == "flip":
+        if region_end <= region_start:
+            return
+        for _ in range(max(1, flips)):
+            position = rng.randrange(region_start, region_end)
+            data[position] ^= rng.randrange(1, 256)
+        path.write_bytes(bytes(data))
+    elif mode == "truncate":
+        if region_end <= region_start:
+            return
+        cut = (
+            rng.randrange(region_start, region_end)
+            if region_end - region_start > 1
+            else region_start
+        )
+        with open(path, "r+b") as handle:
+            handle.truncate(cut)
+    else:  # garbage: a junk (but newline-terminated) line spliced in
+        junk = bytes(rng.randrange(33, 127) for _ in range(24)) + b"\n"
+        path.write_bytes(bytes(data[:region_start] + junk + data[region_start:]))
+
+
 class FailPoint:
     """One armed site.  Mutable state (hit/fire counters) guarded by ``_LOCK``."""
 
@@ -116,9 +181,12 @@ class FailPoint:
         "delay_s",
         "flag",
         "seed",
+        "mode",
+        "flips",
         "hit_count",
         "fired",
         "_rng",
+        "_corrupt_rng",
     )
 
     def __init__(
@@ -132,6 +200,8 @@ class FailPoint:
         seed: int = 0,
         delay_s: float = 0.01,
         flag: Optional[str] = None,
+        mode: str = "flip",
+        flips: int = 1,
     ):
         if site not in SITE_CATALOG:
             known = ", ".join(sorted(SITE_CATALOG))
@@ -146,6 +216,10 @@ class FailPoint:
             raise ResilienceError(f"failpoint times must be >= 0, got {times}")
         if probability is not None and not 0.0 <= probability <= 1.0:
             raise ResilienceError(f"failpoint probability must be in [0, 1], got {probability}")
+        if mode not in _CORRUPT_MODES:
+            raise ResilienceError(
+                f"unknown corruption mode {mode!r}; valid modes: {', '.join(_CORRUPT_MODES)}"
+            )
         self.site = site
         self.action = action
         self.hits = hits
@@ -154,9 +228,12 @@ class FailPoint:
         self.delay_s = delay_s
         self.flag = flag
         self.seed = seed
+        self.mode = mode
+        self.flips = flips
         self.hit_count = 0
         self.fired = 0
         self._rng = random.Random(seed) if probability is not None else None
+        self._corrupt_rng = random.Random(seed) if action == "corrupt" else None
 
     def _should_fire(self) -> bool:
         """Called under ``_LOCK``.  Advances counters, decides this hit."""
@@ -177,17 +254,40 @@ class FailPoint:
         self.fired += 1
         return True
 
-    def _fire(self) -> None:
+    def _fire(self, context: Optional[dict] = None) -> None:
         """Perform the action.  Called outside the lock."""
+        context = context or {}
         # Emit before acting: the JSONL mirror (REPRO_EVENT_LOG) must survive
         # even the os._exit action, which skips every Python-level teardown.
-        emit("fault.injected", site=self.site, action=self.action, fired=self.fired)
+        emit(
+            "fault.injected",
+            site=self.site,
+            action=self.action,
+            fired=self.fired,
+            **({"path": context["path"]} if "path" in context else {}),
+        )
         if self.action == "raise":
             raise FaultInjected(f"fault injected at {self.site!r}")
         if self.action == "crash":
             raise SimulatedCrash(self.site)
         if self.action == "exit":
             os._exit(EXIT_CODE)
+        if self.action == "corrupt":
+            path = context.get("path")
+            if path is None:
+                raise ResilienceError(
+                    f"corrupt action fired at {self.site!r}, but the site "
+                    "passed no file path in its context"
+                )
+            corrupt_file(
+                path,
+                self.mode,
+                rng=self._corrupt_rng,
+                start=context.get("start", 0),
+                end=context.get("end"),
+                flips=self.flips,
+            )
+            return  # silent damage: execution continues, detection comes later
         time.sleep(self.delay_s)  # action == "delay"
 
     def spec(self) -> str:
@@ -203,6 +303,12 @@ class FailPoint:
                 opts.append(f"seed={self.seed}")
         if self.action == "delay" and self.delay_s != 0.01:
             opts.append(f"delay_s={self.delay_s}")
+        if self.action == "corrupt":
+            opts.append(f"mode={self.mode}")
+            if self.flips != 1:
+                opts.append(f"flips={self.flips}")
+            if self.seed:
+                opts.append(f"seed={self.seed}")
         if self.flag is not None:
             opts.append(f"flag={self.flag}")
         rendered = f"{self.site}={self.action}"
@@ -221,15 +327,31 @@ def declare_site(site: str, description: str) -> None:
     SITE_CATALOG.setdefault(site, description)
 
 
-def fail_point(site: str) -> None:
-    """Hook compiled into a production code path.  Near-free when unarmed."""
+def faults_armed() -> bool:
+    """True when any failpoint is armed (one global read, no lock).
+
+    Hot paths whose :func:`fail_point` call would need non-trivial context
+    (a ``stat`` for a byte offset, string rendering) guard that work behind
+    this so the unarmed cost stays a single read.
+    """
+    return _ACTIVE
+
+
+def fail_point(site: str, **context) -> None:
+    """Hook compiled into a production code path.  Near-free when unarmed.
+
+    ``context`` carries site-specific facts for actions that need them —
+    the ``corrupt`` sites pass the target file path and byte region.
+    Keyword construction only happens when the caller passes context, so
+    context-free sites stay a single global read when unarmed.
+    """
     if not _ACTIVE:
         return
     with _LOCK:
         point = _REGISTRY.get(site)
         if point is None or not point._should_fire():
             return
-    point._fire()
+    point._fire(context)
 
 
 def arm(site: str, action: str = "raise", **options) -> FailPoint:
@@ -299,11 +421,11 @@ def _parse_options(text: str) -> dict:
         key, _, raw = part.partition("=")
         key = key.strip()
         raw = raw.strip()
-        if key in ("hits", "times", "seed"):
+        if key in ("hits", "times", "seed", "flips"):
             options[key] = int(raw)
         elif key in ("probability", "delay_s"):
             options[key] = float(raw)
-        elif key == "flag":
+        elif key in ("flag", "mode"):
             options[key] = raw
         else:
             raise ResilienceError(f"unknown failpoint option {key!r}")

@@ -43,8 +43,9 @@ The CLI exposes the same surface as ``python -m repro store
 ingest|query|update|compact|stats``.
 """
 
-from repro.errors import StoreError
+from repro.errors import IntegrityError, StoreError
 from repro.store.columns import ShreddedColumns
+from repro.store.fsck import FsckReport, fsck_store, verify_artifacts
 from repro.store.index import StructuralIndex
 from repro.store.pushdown import (
     NAV_VAR,
@@ -58,7 +59,11 @@ from repro.store.wal import WriteAheadLog, delta_to_payload, payload_to_delta
 
 __all__ = [
     "StoreError",
+    "IntegrityError",
     "ShreddedColumns",
+    "FsckReport",
+    "fsck_store",
+    "verify_artifacts",
     "StructuralIndex",
     "NAV_VAR",
     "NavigationSplit",

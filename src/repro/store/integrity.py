@@ -1,0 +1,108 @@
+"""Shared checksum/digest primitives for the durable-store integrity layer.
+
+Both durable artifacts carry verifiable redundancy:
+
+* every WAL record (format ``v=1``) embeds a CRC32 over the canonical JSON
+  serialization of the record *without* the ``crc`` field — canonical means
+  ``json.dumps(..., sort_keys=True)``, which is byte-stable across a
+  dump/load round trip for the JSON-scalar payloads the WAL stores;
+* every snapshot (format 2) is a two-line envelope: a small header line
+  holding a CRC32 of the body line's exact bytes, plus per-column SHA-256
+  content digests inside the body for fsck-grade damage localization.
+
+Verification failures are *typed*: every mismatch goes through
+:func:`integrity_error`, which emits an ``integrity.checksum-mismatch``
+flight-recorder event, bumps ``repro_integrity_errors_total`` (labelled by
+artifact kind), and returns a ready-to-raise
+:class:`~repro.errors.IntegrityError` naming the damaged file — callers
+never have to choose between detection and observability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from typing import Any, Dict, Mapping
+
+from repro.errors import IntegrityError
+from repro.obs.events import emit
+from repro.obs.metrics import default_registry
+
+__all__ = [
+    "crc32_text",
+    "record_body",
+    "record_crc",
+    "column_digest",
+    "column_digests",
+    "integrity_error",
+    "INTEGRITY_ERRORS",
+    "FSCK_RUNS",
+]
+
+#: Verification failures by artifact kind (wal-record / snapshot / columns / view).
+INTEGRITY_ERRORS = default_registry().counter(
+    "repro_integrity_errors_total",
+    "Checksum/digest/consistency verification failures by artifact kind",
+)
+
+#: ``repro fsck`` invocations by outcome (clean / corrupt / repaired).
+FSCK_RUNS = default_registry().counter(
+    "repro_fsck_runs_total", "fsck runs by outcome"
+)
+
+
+def crc32_text(text: str) -> int:
+    """CRC32 of ``text``'s UTF-8 bytes (unsigned, as stored in artifacts)."""
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+def record_body(record: Mapping[str, Any]) -> str:
+    """The canonical checksummed serialization of a WAL record.
+
+    Everything except the ``crc`` field itself and the ``v`` format marker
+    participates, so verification is independent of where (or how) those
+    keys sit in the stored line — the writer splices both in without a
+    second serialization pass.  ``v`` stays outside the checksum domain
+    deliberately: it is a format discriminator, not data (the reader keys
+    off the *presence* of ``crc``), and any damage to its few bytes either
+    breaks the line's JSON (caught) or is semantically inert.
+    """
+    return json.dumps(
+        {key: value for key, value in record.items() if key not in ("crc", "v")},
+        sort_keys=True,
+    )
+
+
+def record_crc(record: Mapping[str, Any]) -> int:
+    """The CRC32 a well-formed v1 WAL record must carry."""
+    return crc32_text(record_body(record))
+
+
+def column_digest(values: list) -> str:
+    """SHA-256 content digest of one shredded column (a list of JSON scalars).
+
+    Exact because shredding is deterministic and document-stable: equal
+    forests shred to byte-equal column payloads, so equal digests.
+    """
+    return hashlib.sha256(
+        json.dumps(values, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def column_digests(columns_payload: Mapping[str, list]) -> Dict[str, str]:
+    """Per-column digests for one document's ``ShreddedColumns.to_payload()``."""
+    return {name: column_digest(values) for name, values in columns_payload.items()}
+
+
+def integrity_error(message: str, *, artifact: str, kind: str, **attrs: Any) -> IntegrityError:
+    """Build the typed error for a verification failure, with telemetry.
+
+    Emits the ``integrity.checksum-mismatch`` event and bumps the
+    ``repro_integrity_errors_total{artifact=kind}`` counter, then returns
+    (not raises) the :class:`IntegrityError` so call sites keep their own
+    ``raise ... from ...`` chaining.
+    """
+    INTEGRITY_ERRORS.inc(artifact=kind)
+    emit("integrity.checksum-mismatch", artifact=artifact, artifact_kind=kind, **attrs)
+    return IntegrityError(message, artifact=artifact)

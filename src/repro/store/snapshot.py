@@ -12,6 +12,17 @@ half-written file; together with the monotone WAL lsns this makes the
 compaction sequence (write snapshot, then truncate the log) crash-safe at
 every intermediate point.
 
+Format 2 adds end-to-end integrity: the file is a two-line envelope whose
+first line is a small header carrying a CRC32 of the body line's exact
+bytes, and the body embeds per-column SHA-256 content digests (exact
+because shredding is deterministic and document-stable).  Every load
+verifies the whole-file checksum — which transitively authenticates the
+column digests and every column byte — and raises a typed
+:class:`~repro.errors.IntegrityError` naming the file on mismatch; the
+per-column digests let ``repro fsck`` localize damage to a specific
+document and column.  Format-1 (pre-checksum) snapshots still load and are
+flagged so fsck can report the downgrade.
+
 The annotation *semiring* is stored by registry name — durability is a
 registry-semirings feature; exotic user semirings can still use the store
 in-memory.
@@ -31,6 +42,7 @@ from repro.resilience.faults import fail_point
 from repro.semirings.base import Semiring
 from repro.semirings.registry import available_semirings, get_semiring
 from repro.store.columns import ShreddedColumns
+from repro.store.integrity import column_digests, crc32_text, integrity_error
 
 __all__ = [
     "SNAPSHOT_FORMAT",
@@ -39,7 +51,7 @@ __all__ = [
     "load_snapshot",
 ]
 
-SNAPSHOT_FORMAT = 1
+SNAPSHOT_FORMAT = 2
 
 
 def _structurally_equal(candidate: Semiring, semiring: Semiring) -> bool:
@@ -95,23 +107,33 @@ def _write_snapshot(
     documents: Dict[str, ShreddedColumns],
     views: list[dict],
 ) -> None:
+    column_payloads = {
+        doc_id: columns.to_payload() for doc_id, columns in documents.items()
+    }
     payload = {
         "format": SNAPSHOT_FORMAT,
         "semiring": semiring_name,
         "wal_lsn": wal_lsn,
-        "documents": {
-            doc_id: columns.to_payload() for doc_id, columns in documents.items()
-        },
+        "documents": column_payloads,
         "views": list(views),
+        "column_digests": {
+            doc_id: column_digests(columns) for doc_id, columns in column_payloads.items()
+        },
     }
+    body = json.dumps(payload, sort_keys=True) + "\n"
+    header = json.dumps(
+        {"format": SNAPSHOT_FORMAT, "algo": "crc32", "checksum": crc32_text(body)},
+        sort_keys=True,
+    )
     handle, temp_name = tempfile.mkstemp(
         prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
     )
     try:
         with os.fdopen(handle, "w", encoding="utf-8") as temp:
             fail_point("snapshot.write")
-            json.dump(payload, temp, sort_keys=True)
+            temp.write(header)
             temp.write("\n")
+            temp.write(body)
             temp.flush()
             fail_point("snapshot.fsync")
             os.fsync(temp.fileno())
@@ -132,24 +154,82 @@ def _write_snapshot(
         except OSError:
             pass
         raise
+    # The snapshot is durably published: the corruption harness damages the
+    # whole file (header, body, digests alike).
+    fail_point("corrupt.snapshot.file", path=str(path))
 
 
-def load_snapshot(path: Path | str) -> Optional[dict]:
+def load_snapshot(path: Path | str, *, verify: bool = True) -> Optional[dict]:
     """Load a snapshot file into ``{semiring, wal_lsn, documents, views}``.
 
     Returns ``None`` when no snapshot exists.  ``documents`` maps document
     ids to :class:`ShreddedColumns`; the semiring is resolved through the
     registry.
+
+    Format-2 envelopes are checksum-verified (whole-file CRC32, which
+    transitively authenticates the per-column digests and every column
+    byte); a mismatch raises :class:`~repro.errors.IntegrityError` naming
+    the file.  ``verify=False`` skips the checksum — the fsck scrubber uses
+    it to localize damage with the per-column digests, and benchmarks use
+    it as the unverified baseline.  Format-1 (pre-checksum) snapshots load
+    with ``verified: False`` in the result.
     """
     path = Path(path)
     if not path.exists():
         return None
     try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, ValueError) as error:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
         raise StoreError(f"cannot read snapshot {path}: {error}") from error
-    if not isinstance(payload, dict) or payload.get("format") != SNAPSHOT_FORMAT:
-        format_found = payload.get("format") if isinstance(payload, dict) else payload
+    except UnicodeDecodeError as error:
+        raise integrity_error(
+            f"snapshot {path}: undecodable bytes: {error}",
+            artifact=str(path),
+            kind="snapshot",
+        ) from error
+    head, newline, body = text.partition("\n")
+    header = None
+    if newline:
+        try:
+            candidate = json.loads(head)
+        except ValueError:
+            candidate = None
+        if isinstance(candidate, dict) and "checksum" in candidate:
+            header = candidate
+    verified = False
+    if header is not None:
+        if verify:
+            computed = crc32_text(body)
+            if computed != header.get("checksum"):
+                raise integrity_error(
+                    f"snapshot {path}: whole-file CRC32 mismatch (stored "
+                    f"{header.get('checksum')!r}, computed {computed})",
+                    artifact=str(path),
+                    kind="snapshot",
+                )
+            verified = True
+        try:
+            payload = json.loads(body)
+        except ValueError as error:
+            raise integrity_error(
+                f"snapshot {path}: corrupt body: {error}",
+                artifact=str(path),
+                kind="snapshot",
+            ) from error
+    else:
+        # Either a format-1 (pre-checksum) single-JSON snapshot or damage
+        # severe enough to destroy the envelope header.
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise integrity_error(
+                f"cannot read snapshot {path}: {error}",
+                artifact=str(path),
+                kind="snapshot",
+            ) from error
+    snapshot_format = payload.get("format") if isinstance(payload, dict) else None
+    if snapshot_format not in (1, SNAPSHOT_FORMAT):
+        format_found = snapshot_format if isinstance(payload, dict) else payload
         raise StoreError(
             f"snapshot {path} has unsupported format {format_found!r}"
         )
@@ -167,4 +247,7 @@ def load_snapshot(path: Path | str) -> Optional[dict]:
         "wal_lsn": int(payload.get("wal_lsn", 0)),
         "documents": documents,
         "views": list(payload.get("views", [])),
+        "format": snapshot_format,
+        "verified": verified,
+        "column_digests": dict(payload.get("column_digests", {})),
     }

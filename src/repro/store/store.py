@@ -84,6 +84,8 @@ _REGISTRY.gauge("repro_store_wal_records", "Records currently in the store's WAL
 #: must not collapse into one time series).
 _STORE_SEQ = itertools.count(1)
 
+_DURABILITY_POLICIES = ("none", "fsync")
+
 _OPERATION_KINDS = (
     "ingests",
     "updates",
@@ -130,6 +132,7 @@ class StoreStats(NamedTuple):
     recovered_records: int
     worker_retries: int = 0
     worker_degraded: int = 0
+    wal_v0_records: int = 0
 
     @property
     def pushdown_rate(self) -> float:
@@ -147,6 +150,7 @@ class DocumentStore:
         *,
         snapshot_every: int = 0,
         fsync: bool = False,
+        durability: str | None = None,
         plan_cache: PlanCache | None = None,
     ):
         """Open (or create) a store.
@@ -157,9 +161,28 @@ class DocumentStore:
         holds the latest compaction image, and construction *recovers* any
         existing state.  ``semiring`` may be omitted when opening an existing
         directory.  ``snapshot_every=N`` auto-compacts after every N WAL
-        appends; ``fsync=True`` makes each append a true fsync barrier.
+        appends.
+
+        The WAL fsync policy is ``durability``: ``"none"`` (the default)
+        flushes each append to the OS but survives only process crashes,
+        ``"fsync"`` makes each append a true fsync barrier that also
+        survives power loss, at the cost of one disk sync per operation.
+        The older ``fsync=True`` boolean is kept as an alias for
+        ``durability="fsync"``; passing both (in disagreement) is an error.
         """
         self.directory = Path(directory) if directory is not None else None
+        if durability is not None:
+            if durability not in _DURABILITY_POLICIES:
+                raise StoreError(
+                    f"unknown durability policy {durability!r}; "
+                    f"valid policies: {', '.join(sorted(_DURABILITY_POLICIES))}"
+                )
+            if fsync and durability == "none":
+                raise StoreError(
+                    "durability='none' contradicts fsync=True; pass one or the other"
+                )
+            fsync = durability == "fsync"
+        self.durability = "fsync" if fsync else "none"
         self._snapshot_every = snapshot_every
         self._documents: dict[str, StoredDocument] = {}
         self._views: dict[str, MaterializedView] = {}
@@ -600,6 +623,7 @@ class DocumentStore:
             recovered_records=self._recovered_records,
             worker_retries=self._worker_retries,
             worker_degraded=self._worker_degraded,
+            wal_v0_records=self._wal.v0_records if self._wal is not None else 0,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -19,6 +19,17 @@ Robustness notes:
   the count of dropped bytes is reported.  Unparseable complete lines are
   real corruption and refuse to load — silently dropping an acknowledged
   record would be worse.
+* every record is written in **format v1**: the line carries ``"v": 1`` and
+  a ``"crc"`` field holding a CRC32 over the canonical serialization of the
+  record without the crc/version fields
+  (:func:`repro.store.integrity.record_body`).
+  Loading verifies each record's crc and the strict monotonicity of in-file
+  lsns; any mismatch on a *complete* line raises a typed
+  :class:`~repro.errors.IntegrityError` naming the file and line — a
+  bit-flip that still parses as JSON (a changed count in an N-annotation)
+  is detected instead of being served as a correct result.  Pre-checksum
+  (v0) records still replay; they are counted in :attr:`v0_records` so
+  ``repro fsck`` and store stats can surface the downgrade.
 * lsns stay monotonic **across truncation**: compaction snapshots the store
   and then truncates the log, and a crash *between* those two steps leaves
   old records in the log — replay skips every record at or below the
@@ -34,18 +45,24 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from pathlib import Path
 from typing import Any, Iterator, List, Tuple
 
 from repro.errors import StoreError
 from repro.ivm.delta import Delta
 from repro.obs.trace import span
-from repro.resilience.faults import fail_point
+from repro.resilience.faults import fail_point, faults_armed
 from repro.semirings.base import Semiring
 from repro.semirings.diff import DiffPair
 from repro.store.columns import decode_obj, encode_obj
+from repro.store.integrity import integrity_error, record_crc
 
-__all__ = ["WriteAheadLog", "delta_to_payload", "payload_to_delta"]
+__all__ = ["WAL_RECORD_FORMAT", "WriteAheadLog", "delta_to_payload", "payload_to_delta"]
+
+#: Version stamped into every appended record (the ``"v"`` field).  v0
+#: records (no ``v``/``crc``) predate checksumming and still replay.
+WAL_RECORD_FORMAT = 1
 
 
 def delta_to_payload(delta: Delta) -> dict:
@@ -84,10 +101,12 @@ def payload_to_delta(payload: dict, semiring: Semiring) -> Delta:
 class WriteAheadLog:
     """An append-only JSONL log with monotone lsns and torn-tail recovery."""
 
-    def __init__(self, path: Path | str, fsync: bool = False):
+    def __init__(self, path: Path | str, fsync: bool = False, checksum: bool = True):
         self.path = Path(path)
         self.fsync = fsync
+        self.checksum = checksum
         self.torn_bytes = 0
+        self.v0_records = 0
         self._records: List[Tuple[int, dict]] = []
         self._next_lsn = 1
         if self.path.exists():
@@ -99,6 +118,7 @@ class WriteAheadLog:
             return
         position = 0
         number = 0
+        previous_lsn = 0
         while position < len(data):
             newline = data.find(b"\n", position)
             if newline == -1:
@@ -117,9 +137,44 @@ class WriteAheadLog:
                     # unparseable one is real corruption, and silently
                     # dropping an fsync-acknowledged record would be worse
                     # than refusing to open.
-                    raise StoreError(
-                        f"{self.path}:{number}: corrupt WAL record: {error}"
+                    raise integrity_error(
+                        f"{self.path}:{number}: corrupt WAL record: {error}",
+                        artifact=str(self.path),
+                        kind="wal-record",
+                        line=number,
                     ) from error
+                if "crc" in record:
+                    expected = record_crc(record)
+                    if record["crc"] != expected:
+                        raise integrity_error(
+                            f"{self.path}:{number}: corrupt WAL record: CRC32 "
+                            f"mismatch (stored {record['crc']!r}, computed "
+                            f"{expected}) for lsn {lsn}",
+                            artifact=str(self.path),
+                            kind="wal-record",
+                            line=number,
+                            lsn=lsn,
+                        )
+                else:
+                    # Pre-checksum record (format v0): replay it, but count
+                    # the downgrade so stats/fsck can surface it.
+                    self.v0_records += 1
+                if lsn <= previous_lsn:
+                    # Appends only ever extend the file with fresh, larger
+                    # lsns, so a non-monotone in-file sequence means lines
+                    # were spliced or reordered — replaying a duplicated
+                    # lsn would double-apply an operation.
+                    raise integrity_error(
+                        f"{self.path}:{number}: corrupt WAL record: lsn {lsn} "
+                        f"not greater than preceding lsn {previous_lsn}",
+                        artifact=str(self.path),
+                        kind="wal-record",
+                        line=number,
+                        lsn=lsn,
+                    )
+                previous_lsn = lsn
+                record.pop("crc", None)
+                record.pop("v", None)
                 self._records.append((lsn, record))
                 if lsn >= self._next_lsn:
                     self._next_lsn = lsn + 1
@@ -138,9 +193,26 @@ class WriteAheadLog:
         lsn = self._next_lsn
         payload = dict(record)
         payload["lsn"] = lsn
-        body = json.dumps(payload, sort_keys=True)
+        if self.checksum:
+            canonical = json.dumps(payload, sort_keys=True).encode("utf-8")
+            # Splice version marker and crc in without a second
+            # serialization (or encode) pass; the verifier re-serializes
+            # the record minus crc/v, so their position in the line is
+            # immaterial (and `v` sits outside the checksum domain — see
+            # `record_body`).
+            body = b'%s, "v": %d, "crc": %d}' % (
+                canonical[:-1],
+                WAL_RECORD_FORMAT,
+                zlib.crc32(canonical),
+            )
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        # Only the corruption harness needs the record's byte region; keep
+        # the stat off the unarmed hot path.
+        armed = faults_armed()
+        offset = (self.path.stat().st_size if self.path.exists() else 0) if armed else 0
         with span("store.wal.append", lsn=lsn, bytes=len(body) + 1, fsync=self.fsync), open(
-            self.path, "a", encoding="utf-8"
+            self.path, "ab"
         ) as handle:
             fail_point("wal.append.write")
             handle.write(body)
@@ -148,11 +220,21 @@ class WriteAheadLog:
             # A crash here leaves a newline-less tail: exactly the torn
             # record that _load() physically truncates on the next open.
             fail_point("wal.append.torn")
-            handle.write("\n")
+            handle.write(b"\n")
             handle.flush()
             fail_point("wal.append.fsync")
             if self.fsync:
                 os.fsync(handle.fileno())
+        # The record is durably on disk: the corruption harness damages
+        # exactly its byte range (json.dumps with ensure_ascii keeps the
+        # line pure ASCII, so character counts are byte counts).
+        if armed:
+            fail_point(
+                "corrupt.wal.record",
+                path=str(self.path),
+                start=offset,
+                end=offset + len(body) + 1,
+            )
         self._next_lsn = lsn + 1
         self._records.append((lsn, payload))
         return lsn

@@ -18,12 +18,14 @@ from repro.resilience import (
     arm,
     arm_from_env,
     armed_sites,
+    corrupt_file,
     declare_site,
     disarm,
     disarm_all,
     env_spec,
     fail_at,
     fail_point,
+    faults_armed,
 )
 
 SITE = "wal.append.fsync"  # any catalogued site works for registry tests
@@ -165,6 +167,86 @@ class TestActions:
             start = time.monotonic()
             fail_point(SITE)
             assert time.monotonic() - start >= 0.015
+
+
+class TestCorruptAction:
+    def test_corrupt_file_flip_is_deterministic_per_seed(self, tmp_path):
+        for name in ("a.bin", "b.bin"):
+            path = tmp_path / name
+            path.write_bytes(b"0123456789" * 4)
+            corrupt_file(path, "flip", seed=7)
+        assert (tmp_path / "a.bin").read_bytes() == (tmp_path / "b.bin").read_bytes()
+        assert (tmp_path / "a.bin").read_bytes() != b"0123456789" * 4
+
+    def test_corrupt_file_respects_the_byte_region(self, tmp_path):
+        path = tmp_path / "a.bin"
+        original = b"0123456789" * 4
+        path.write_bytes(original)
+        corrupt_file(path, "flip", seed=3, start=10, end=20, flips=5)
+        damaged = path.read_bytes()
+        assert damaged[:10] == original[:10]
+        assert damaged[20:] == original[20:]
+        assert damaged[10:20] != original[10:20]
+
+    def test_corrupt_file_truncate_cuts_inside_the_region(self, tmp_path):
+        path = tmp_path / "a.bin"
+        path.write_bytes(b"0123456789" * 4)
+        corrupt_file(path, "truncate", seed=5, start=10, end=20)
+        assert 10 <= len(path.read_bytes()) < 20
+
+    def test_corrupt_file_garbage_splices_a_junk_line(self, tmp_path):
+        path = tmp_path / "a.bin"
+        path.write_bytes(b"first\nsecond\n")
+        corrupt_file(path, "garbage", seed=5, start=6)
+        lines = path.read_bytes().split(b"\n")
+        assert lines[0] == b"first"
+        assert lines[2] == b"second"
+        assert len(lines[1]) == 24  # the spliced junk
+
+    def test_corrupt_file_rejects_unknown_mode(self, tmp_path):
+        path = tmp_path / "a.bin"
+        path.write_bytes(b"data")
+        with pytest.raises(ResilienceError, match="unknown corruption mode"):
+            corrupt_file(path, "scramble")
+
+    def test_corrupt_fires_silently_and_damages_the_context_path(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_bytes(b"record-bytes\n")
+        with fail_at(
+            "corrupt.wal.record", action="corrupt", mode="flip", seed=11
+        ) as point:
+            fail_point(
+                "corrupt.wal.record", path=str(path), start=0, end=len(b"record-bytes")
+            )
+        assert point.fired == 1  # continued silently: no exception escaped
+        assert path.read_bytes() != b"record-bytes\n"
+
+    def test_corrupt_without_a_path_context_is_an_error(self):
+        with fail_at("corrupt.wal.record", action="corrupt"):
+            with pytest.raises(ResilienceError, match="path"):
+                fail_point("corrupt.wal.record")
+
+    def test_faults_armed_tracks_the_registry(self):
+        assert not faults_armed()
+        arm("corrupt.wal.record", action="corrupt", seed=1)
+        assert faults_armed()
+        disarm_all()
+        assert not faults_armed()
+
+    def test_corrupt_env_spec_round_trip(self):
+        arm("corrupt.wal.record", action="corrupt", mode="garbage", seed=7, flips=3)
+        spec = env_spec()
+        disarm_all()
+        assert arm_from_env(spec) == 1
+        point = armed_sites()["corrupt.wal.record"]
+        assert point.action == "corrupt"
+        assert point.mode == "garbage"
+        assert point.seed == 7
+        assert point.flips == 3
+
+    def test_corrupt_rejects_unknown_mode_at_arm_time(self):
+        with pytest.raises(ResilienceError, match="unknown corruption mode"):
+            arm("corrupt.wal.record", action="corrupt", mode="scramble")
 
 
 class TestEnvInheritance:
